@@ -1,0 +1,195 @@
+//! Maintenance-window detection.
+//!
+//! The paper's discussion (§6) points at OVH's public maintenance/incident
+//! feed as a future data source to correlate with the weathermap: a link
+//! drawn at `0 %` in both directions is the map's signature of a disabled
+//! link. This module reconstructs, from a time-ordered snapshot series,
+//! the windows during which each physical link was disabled — the
+//! weathermap-side half of that correlation.
+
+use std::collections::BTreeMap;
+
+use wm_model::{Timestamp, TopologySnapshot};
+
+/// Identity of one physical link across snapshots: the unordered endpoint
+/// pair plus the `#n` labels (parallel links are distinguished by label;
+/// links without labels collapse per pair).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkKey {
+    /// Lexicographically smaller endpoint.
+    pub a: String,
+    /// Lexicographically larger endpoint.
+    pub b: String,
+    /// The label at `a`'s end, when drawn.
+    pub label_a: Option<String>,
+    /// The label at `b`'s end, when drawn.
+    pub label_b: Option<String>,
+}
+
+/// One contiguous stretch of snapshots in which a link was disabled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceWindow {
+    /// Which link.
+    pub link: LinkKey,
+    /// First snapshot showing the link at 0 %.
+    pub start: Timestamp,
+    /// Last snapshot showing the link at 0 %.
+    pub end: Timestamp,
+    /// Number of snapshots inside the window.
+    pub snapshots: usize,
+}
+
+/// Detects per-link maintenance windows over a time-ordered series.
+///
+/// A window opens when a link reads `0 %` in both directions and closes
+/// at the first later snapshot where it carries traffic again (or where
+/// the link disappears from the map, which ends observation rather than
+/// maintenance — such open windows are reported too, ending at the last
+/// sighting).
+#[must_use]
+pub fn maintenance_windows(snapshots: &[TopologySnapshot]) -> Vec<MaintenanceWindow> {
+    // Open windows: key -> (start, last_seen, count).
+    let mut open: BTreeMap<LinkKey, (Timestamp, Timestamp, usize)> = BTreeMap::new();
+    let mut closed: Vec<MaintenanceWindow> = Vec::new();
+
+    for snapshot in snapshots {
+        for link in &snapshot.links {
+            let key = key_of(link);
+            if link.is_disabled() {
+                open.entry(key)
+                    .and_modify(|(_, last, count)| {
+                        *last = snapshot.timestamp;
+                        *count += 1;
+                    })
+                    .or_insert((snapshot.timestamp, snapshot.timestamp, 1));
+            } else if let Some((start, last, count)) = open.remove(&key) {
+                closed.push(MaintenanceWindow { link: key, start, end: last, snapshots: count });
+                let _ = (start, count);
+            }
+        }
+    }
+    // Windows still open at the end of the series.
+    for (key, (start, last, count)) in open {
+        closed.push(MaintenanceWindow { link: key, start, end: last, snapshots: count });
+    }
+    closed.sort_by(|x, y| x.start.cmp(&y.start).then_with(|| x.link.cmp(&y.link)));
+    closed
+}
+
+/// Fraction of link-snapshot observations that were disabled — a
+/// one-number health summary of the series.
+#[must_use]
+pub fn disabled_fraction(snapshots: &[TopologySnapshot]) -> f64 {
+    let mut total = 0usize;
+    let mut disabled = 0usize;
+    for snapshot in snapshots {
+        for link in &snapshot.links {
+            total += 1;
+            if link.is_disabled() {
+                disabled += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        disabled as f64 / total as f64
+    }
+}
+
+fn key_of(link: &wm_model::Link) -> LinkKey {
+    let (a_first, (a, b)) = if link.a.node.name <= link.b.node.name {
+        (true, (link.a.node.name.clone(), link.b.node.name.clone()))
+    } else {
+        (false, (link.b.node.name.clone(), link.a.node.name.clone()))
+    };
+    let (label_a, label_b) = if a_first {
+        (link.a.label.clone(), link.b.label.clone())
+    } else {
+        (link.b.label.clone(), link.a.label.clone())
+    };
+    LinkKey { a, b, label_a, label_b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::{Link, LinkEnd, Load, MapKind, Node};
+
+    /// One link between r-a and r-b with the given loads per snapshot.
+    fn series(loads: &[(u8, u8)]) -> Vec<TopologySnapshot> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, (la, lb))| {
+                let mut s =
+                    TopologySnapshot::new(MapKind::Europe, Timestamp::from_unix(i as i64 * 300));
+                s.nodes.push(Node::router("r-a"));
+                s.nodes.push(Node::router("r-b"));
+                s.links.push(Link::new(
+                    LinkEnd::new(Node::router("r-a"), Some("#1".into()), Load::new(*la).unwrap()),
+                    LinkEnd::new(Node::router("r-b"), Some("#1".into()), Load::new(*lb).unwrap()),
+                ));
+                s
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detects_a_closed_window() {
+        let snaps = series(&[(10, 12), (0, 0), (0, 0), (9, 11)]);
+        let windows = maintenance_windows(&snaps);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start, Timestamp::from_unix(300));
+        assert_eq!(windows[0].end, Timestamp::from_unix(600));
+        assert_eq!(windows[0].snapshots, 2);
+        assert_eq!(windows[0].link.a, "r-a");
+    }
+
+    #[test]
+    fn open_windows_are_reported() {
+        let snaps = series(&[(10, 12), (0, 0)]);
+        let windows = maintenance_windows(&snaps);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].start, Timestamp::from_unix(300));
+        assert_eq!(windows[0].end, Timestamp::from_unix(300));
+    }
+
+    #[test]
+    fn separate_windows_stay_separate() {
+        let snaps = series(&[(0, 0), (10, 10), (0, 0), (10, 10)]);
+        let windows = maintenance_windows(&snaps);
+        assert_eq!(windows.len(), 2);
+    }
+
+    #[test]
+    fn one_sided_zero_is_not_maintenance() {
+        // 0 % egress with traffic coming back is an idle direction, not a
+        // disabled link.
+        let snaps = series(&[(0, 12), (0, 9)]);
+        assert!(maintenance_windows(&snaps).is_empty());
+    }
+
+    #[test]
+    fn disabled_fraction_counts_observations() {
+        let snaps = series(&[(10, 12), (0, 0), (0, 0), (9, 11)]);
+        assert!((disabled_fraction(&snaps) - 0.5).abs() < 1e-12);
+        assert_eq!(disabled_fraction(&[]), 0.0);
+    }
+
+    #[test]
+    fn parallel_links_tracked_independently() {
+        let mut snaps = series(&[(10, 12), (11, 13)]);
+        // Add a second parallel link (#2) that is down in both snapshots.
+        for s in &mut snaps {
+            s.links.push(Link::new(
+                LinkEnd::new(Node::router("r-a"), Some("#2".into()), Load::ZERO),
+                LinkEnd::new(Node::router("r-b"), Some("#2".into()), Load::ZERO),
+            ));
+        }
+        let windows = maintenance_windows(&snaps);
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].link.label_a.as_deref(), Some("#2"));
+        assert_eq!(windows[0].snapshots, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Performance of the extraction pipeline: SVG parsing, Algorithm 1,
+//! Algorithm 2 and the end-to-end path, on a mid-size and a full-paper
+//! Europe snapshot.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ovh_weather::extract::{algorithm1, algorithm2};
+use ovh_weather::prelude::*;
+use ovh_weather::svg::Document;
+
+fn rendered_svg(scale: f64) -> String {
+    let sim = Simulation::new(SimulationConfig::scaled(42, scale));
+    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0)).svg
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let config = ExtractConfig::default();
+    let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
+    for (label, scale) in [("europe-20pct", 0.2), ("europe-full", 1.0)] {
+        let svg = rendered_svg(scale);
+        let mut group = c.benchmark_group(format!("extraction/{label}"));
+        group.throughput(Throughput::Bytes(svg.len() as u64));
+
+        group.bench_function("svg_parse", |b| {
+            b.iter(|| Document::parse(&svg).expect("valid"));
+        });
+
+        let doc = Document::parse(&svg).expect("valid");
+        group.bench_function("algorithm1", |b| {
+            b.iter(|| algorithm1(&doc).expect("valid"));
+        });
+
+        let objects = algorithm1(&doc).expect("valid");
+        group.bench_function("algorithm2", |b| {
+            b.iter(|| algorithm2(&objects, MapKind::Europe, t, &config).expect("valid"));
+        });
+
+        group.bench_function("end_to_end", |b| {
+            b.iter(|| extract_svg(&svg, MapKind::Europe, t, &config).expect("valid"));
+        });
+        group.finish();
+    }
+}
+
+fn bench_batch(c: &mut Criterion) {
+    // Throughput of the parallel batch runner over an hour of snapshots.
+    let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
+    let from = Timestamp::from_ymd(2022, 2, 1);
+    let inputs: Vec<ovh_weather::extract::BatchInput> = sim
+        .corpus_between(MapKind::Europe, from, from + Duration::from_hours(1))
+        .map(|f| ovh_weather::extract::BatchInput { timestamp: f.timestamp, svg: f.svg })
+        .collect();
+    let config = ExtractConfig::default();
+    let mut group = c.benchmark_group("extraction/batch");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.sample_size(20);
+    for threads in [1usize, 4] {
+        group.bench_function(format!("threads-{threads}"), |b| {
+            b.iter_batched(
+                || inputs.clone(),
+                |inputs| {
+                    ovh_weather::extract::extract_batch(&inputs, MapKind::Europe, &config, threads)
+                },
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Performance of the self-built format layers: the XML pull parser, the
+//! YAML emitter/parser, and the snapshot schema round trip.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ovh_weather::prelude::*;
+use ovh_weather::xml::{Event, Reader};
+
+fn sample_snapshot() -> TopologySnapshot {
+    let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
+    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0)).truth
+}
+
+fn bench_xml(c: &mut Criterion) {
+    let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
+    let svg = sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0)).svg;
+    let mut group = c.benchmark_group("formats/xml");
+    group.throughput(Throughput::Bytes(svg.len() as u64));
+    group.bench_function("pull_parse", |b| {
+        b.iter(|| {
+            let mut reader = Reader::new(&svg);
+            let mut events = 0usize;
+            while let Some(event) = reader.next_event().expect("valid") {
+                if !matches!(event, Event::Comment(_)) {
+                    events += 1;
+                }
+            }
+            events
+        });
+    });
+    group.finish();
+}
+
+fn bench_yaml(c: &mut Criterion) {
+    let snapshot = sample_snapshot();
+    let yaml = to_yaml_string(&snapshot);
+    let mut group = c.benchmark_group("formats/yaml");
+    group.throughput(Throughput::Bytes(yaml.len() as u64));
+    group.bench_function("emit", |b| {
+        b.iter(|| to_yaml_string(&snapshot));
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| from_yaml_str(&yaml).expect("valid"));
+    });
+    group.bench_function("round_trip", |b| {
+        b.iter(|| from_yaml_str(&to_yaml_string(&snapshot)).expect("valid"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xml, bench_yaml);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Performance of the data-source substitute: evolution replay, layout,
+//! rendering, and the sequential corpus generator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ovh_weather::prelude::*;
+use ovh_weather::simulator::layout::layout;
+use ovh_weather::simulator::render::render;
+
+fn bench_simulator(c: &mut Criterion) {
+    let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
+    let t = Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0);
+    let timeline = sim.timeline(MapKind::Europe);
+
+    c.bench_function("simulator/state_replay", |b| {
+        b.iter(|| timeline.state_at(t));
+    });
+
+    let state = timeline.state_at(t);
+    c.bench_function("simulator/layout", |b| {
+        b.iter(|| layout(&state));
+    });
+
+    let placed = layout(&state);
+    c.bench_function("simulator/render", |b| {
+        b.iter(|| render(&state, &placed, sim.traffic(), t));
+    });
+
+    c.bench_function("simulator/snapshot_random_access", |b| {
+        b.iter(|| sim.snapshot(MapKind::Europe, t));
+    });
+
+    let mut group = c.benchmark_group("simulator/corpus");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(12));
+    group.bench_function("one_hour_sequential", |b| {
+        b.iter(|| {
+            sim.corpus_between(MapKind::Europe, t, t + Duration::from_hours(1)).count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Ablations of the extraction design decisions.
+//!
+//! DESIGN.md calls out three load-bearing choices in the attribution step;
+//! this binary measures what happens when each is removed:
+//!
+//! 1. **Geometry tolerance** — candidate boxes are inflated by 0.25 px
+//!    before the line-intersection test, absorbing the two-decimal
+//!    coordinate rounding of machine-written SVGs. Ablated: tolerance 0.
+//! 2. **Label threshold** — the attributed label must sit within "a few
+//!    pixels" of the link end (§4). Swept: 2 → 24 px.
+//! 3. **Line-intersection candidate filter** — Algorithm 2 considers only
+//!    boxes intersecting the link's carrier line. Ablated: brute-force
+//!    closest-box-over-all, timed against the filtered version.
+
+use std::time::Instant;
+
+use ovh_weather::extract::{algorithm1, algorithm2, RawObjects};
+use ovh_weather::prelude::*;
+use ovh_weather::svg::Document;
+use wm_bench::ExpOptions;
+
+fn main() {
+    let options = ExpOptions::from_args(0.25);
+    options.banner("exp_ablation", "DESIGN.md ablations (not a paper artifact)");
+    let pipeline = options.pipeline();
+
+    // A day of Europe snapshots as the evaluation corpus.
+    let from = Timestamp::from_ymd(2022, 2, 15);
+    let files: Vec<(Timestamp, String)> = pipeline
+        .simulation()
+        .corpus_between(MapKind::Europe, from, from + Duration::from_hours(24))
+        .map(|f| (f.timestamp, f.svg))
+        .collect();
+    println!("evaluation corpus: {} snapshots (Europe, one day)\n", files.len());
+
+    // --- Ablation 1: geometry tolerance -----------------------------------
+    println!("(1) geometry tolerance (candidate-box inflation):");
+    for tolerance in [0.0, 0.05, 0.25, 1.0] {
+        let config = ExtractConfig { geometry_tolerance: tolerance, ..ExtractConfig::default() };
+        let failures = files
+            .iter()
+            .filter(|(t, svg)| extract_svg(svg, MapKind::Europe, *t, &config).is_err())
+            .count();
+        println!("    tolerance {tolerance:>5} px: {failures:>4} / {} snapshots refused", files.len());
+    }
+    println!(
+        "    -> the baseline refusals are the fault injector's corrupted files;\n\
+            with the renderer's 2 px arrow-basis inset the tolerance is\n\
+            defence-in-depth against producers that write bases exactly on\n\
+            box boundaries (two-decimal rounding then strands links)\n"
+    );
+
+    // --- Ablation 2: label distance threshold -------------------------------
+    println!("(2) label distance threshold (\"a few pixels\", §4):");
+    for threshold in [2.0, 4.0, 8.0, 12.0, 24.0, 1e9] {
+        let config =
+            ExtractConfig { label_distance_threshold: threshold, ..ExtractConfig::default() };
+        let failures = files
+            .iter()
+            .filter(|(t, svg)| extract_svg(svg, MapKind::Europe, *t, &config).is_err())
+            .count();
+        let label = if threshold >= 1e9 { "off".into() } else { format!("{threshold:>4} px") };
+        println!("    threshold {label}: {failures:>4} / {} snapshots refused", files.len());
+    }
+    println!("    -> too-tight thresholds refuse healthy maps; the check still");
+    println!("       exists to catch mis-attributions on corrupted ones\n");
+
+    // --- Ablation 3: candidate filter -----------------------------------------
+    println!("(3) line-intersection candidate filter (Algorithm 2, lines 3-4):");
+    let sample: Vec<&(Timestamp, String)> = files.iter().step_by(24).collect();
+    let config = ExtractConfig::default();
+
+    let start = Instant::now();
+    let mut filtered_links = 0usize;
+    for (t, svg) in &sample {
+        let snapshot = extract_svg(svg, MapKind::Europe, *t, &config).expect("clean corpus");
+        filtered_links += snapshot.links.len();
+    }
+    let filtered_time = start.elapsed();
+
+    // Brute force: attribute each end to the closest box over *all* boxes
+    // (no line test). Compare agreement and time.
+    let start = Instant::now();
+    let mut agree = 0usize;
+    let mut disagree = 0usize;
+    for (t, svg) in &sample {
+        let doc = Document::parse(svg).expect("clean corpus");
+        let objects = algorithm1(&doc).expect("clean corpus");
+        let reference = algorithm2(&objects, MapKind::Europe, *t, &config).expect("clean corpus");
+        for (i, link) in brute_force_ends(&objects).into_iter().enumerate() {
+            let ref_link = &reference.links[i];
+            if link == (ref_link.a.node.name.clone(), ref_link.b.node.name.clone()) {
+                agree += 1;
+            } else {
+                disagree += 1;
+            }
+        }
+    }
+    let brute_time = start.elapsed();
+    println!(
+        "    filtered:    {} links attributed in {:?} ({} snapshots)",
+        filtered_links,
+        filtered_time,
+        sample.len()
+    );
+    println!(
+        "    brute force: {} agree, {} disagree, in {:?}",
+        agree, disagree, brute_time
+    );
+    println!("    -> on well-formed maps both agree; the filter is the paper's");
+    println!("       guard against grabbing a nearby box that the link does not touch");
+}
+
+/// Closest-box-over-all attribution (the ablated variant): returns the
+/// endpoint names per link, in parse order.
+fn brute_force_ends(objects: &RawObjects) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for raw in &objects.links {
+        let ends: Vec<String> = [0, 1]
+            .iter()
+            .map(|&arrow| {
+                let basis = raw.arrows[arrow].arrow_basis().expect("arrow");
+                objects
+                    .routers
+                    .iter()
+                    .min_by(|x, y| {
+                        x.rect
+                            .distance_to_point(basis)
+                            .total_cmp(&y.rect.distance_to_point(basis))
+                    })
+                    .expect("some router")
+                    .name
+                    .clone()
+            })
+            .collect();
+        out.push((ends[0].clone(), ends[1].clone()));
+    }
+    out
+}

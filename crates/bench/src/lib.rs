@@ -1,0 +1,104 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every `exp_*` binary regenerates one table or figure of the paper and
+//! prints paper-reported values next to the measured ones. They share the
+//! command-line convention implemented here:
+//!
+//! ```text
+//! exp_fig4 [--seed N] [--scale X|full]
+//! ```
+
+use ovh_weather::prelude::*;
+
+/// Parsed command-line options of an experiment binary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExpOptions {
+    /// Simulation seed (default 42 — the seed EXPERIMENTS.md records).
+    pub seed: u64,
+    /// Network scale (default depends on the experiment; `--scale full`
+    /// selects 1.0).
+    pub scale: f64,
+}
+
+impl ExpOptions {
+    /// Parses `--seed` and `--scale` from `std::env::args`.
+    ///
+    /// `default_scale` is the experiment's fast default.
+    #[must_use]
+    pub fn from_args(default_scale: f64) -> ExpOptions {
+        let mut options = ExpOptions { seed: 42, scale: default_scale };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    options.seed = args
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed expects an integer"));
+                    i += 2;
+                }
+                "--scale" => {
+                    let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+                    options.scale = if value == "full" {
+                        1.0
+                    } else {
+                        value.parse().unwrap_or_else(|_| usage("--scale expects a float or 'full'"))
+                    };
+                    i += 2;
+                }
+                "--help" | "-h" => usage("") ,
+                other => usage(&format!("unknown option {other:?}")),
+            }
+        }
+        options
+    }
+
+    /// The pipeline configured by these options.
+    #[must_use]
+    pub fn pipeline(&self) -> Pipeline {
+        Pipeline::new(SimulationConfig::scaled(self.seed, self.scale))
+    }
+
+    /// Prints the provenance header every experiment starts with.
+    pub fn banner(&self, experiment: &str, paper_artifact: &str) {
+        println!("=== {experiment} — reproduces {paper_artifact} ===");
+        println!("seed {} | scale {} | deterministic\n", self.seed, self.scale);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: exp_* [--seed N] [--scale X|full]");
+    std::process::exit(2);
+}
+
+/// Formats a paper-vs-measured row.
+#[must_use]
+pub fn compare_row(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<42} paper: {paper:>12}   measured: {measured:>12}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        // from_args reads real argv; in tests that's the test harness
+        // binary with no --seed/--scale, so defaults apply... except the
+        // harness passes filter args. Construct directly instead.
+        let options = ExpOptions { seed: 42, scale: 0.25 };
+        let pipeline = options.pipeline();
+        assert_eq!(pipeline.simulation().config().seed, 42);
+    }
+
+    #[test]
+    fn compare_row_alignment() {
+        let row = compare_row("routers", "113", "113");
+        assert!(row.contains("paper:"));
+        assert!(row.contains("measured:"));
+    }
+}

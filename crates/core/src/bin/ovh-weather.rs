@@ -1,0 +1,348 @@
+//! `ovh-weather` — command-line front end of the reproduction.
+//!
+//! ```text
+//! ovh-weather generate --out DIR --from DATE --to DATE [--map M] [--seed N] [--scale X]
+//! ovh-weather extract  --in DIR [--map M]
+//! ovh-weather stats    --in DIR
+//! ovh-weather inspect  FILE.svg|FILE.yaml [--map M]
+//! ovh-weather validate FILE.yaml
+//! ovh-weather verify   [--map M] [--at DATE] [--seed N] [--scale X]
+//! ovh-weather analyze  --in DIR [--map M]
+//! ovh-weather diff     OLD.yaml NEW.yaml
+//! ```
+//!
+//! `generate` materialises a simulated corpus (SVG + YAML trees, exactly
+//! the released dataset's layout); `extract` re-extracts the SVG files of
+//! an existing corpus; `stats` prints Table 2 for a corpus directory;
+//! `inspect` extracts or parses one file and summarises it; `validate`
+//! audits a YAML snapshot; `verify` runs the simulator round-trip check;
+//! `analyze` runs the §5 analyses over a stored corpus; `diff` names the
+//! structural changes between two snapshots.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ovh_weather::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(rest),
+        "extract" => cmd_extract(rest),
+        "stats" => cmd_stats(rest),
+        "inspect" => cmd_inspect(rest),
+        "validate" => cmd_validate(rest),
+        "verify" => cmd_verify(rest),
+        "analyze" => cmd_analyze(rest),
+        "diff" => cmd_diff(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+ovh-weather — reproduce the OVH Weather dataset pipeline
+
+commands:
+  generate --out DIR --from YYYY-MM-DD --to YYYY-MM-DD [--map M] [--seed N] [--scale X]
+  extract  --in DIR [--map M]
+  stats    --in DIR
+  inspect  FILE.svg|FILE.yaml [--map M]
+  validate FILE.yaml
+  verify   [--map M] [--at YYYY-MM-DD] [--seed N] [--scale X]
+  analyze  --in DIR [--map M]
+  diff     OLD.yaml NEW.yaml
+
+common options:
+  --seed N     simulation seed (default 42)
+  --scale X    network scale, 1.0 = paper size (default 0.2)
+  --map M      europe|world|north-america|asia-pacific (default all/europe)";
+
+/// Parsed `--key value` options plus positional arguments.
+struct Options {
+    values: BTreeMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut values = BTreeMap::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{key} expects a value"))?;
+                values.insert(key.to_owned(), value.clone());
+                i += 2;
+            } else {
+                positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(Options { values, positional })
+    }
+
+    fn seed(&self) -> Result<u64, String> {
+        match self.values.get("seed") {
+            None => Ok(42),
+            Some(v) => v.parse().map_err(|_| format!("invalid --seed {v:?}")),
+        }
+    }
+
+    fn scale(&self) -> Result<f64, String> {
+        match self.values.get("scale").map(String::as_str) {
+            None => Ok(0.2),
+            Some("full") => Ok(1.0),
+            Some(v) => v.parse().map_err(|_| format!("invalid --scale {v:?}")),
+        }
+    }
+
+    fn maps(&self) -> Result<Vec<MapKind>, String> {
+        match self.values.get("map") {
+            None => Ok(MapKind::ALL.to_vec()),
+            Some(v) => v.parse().map(|m| vec![m]),
+        }
+    }
+
+    fn date(&self, key: &str) -> Result<Option<Timestamp>, String> {
+        match self.values.get(key) {
+            None => Ok(None),
+            Some(v) => parse_date(v).map(Some),
+        }
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+}
+
+/// Accepts `YYYY-MM-DD` or a full ISO 8601 instant.
+fn parse_date(text: &str) -> Result<Timestamp, String> {
+    if text.len() == 10 {
+        Timestamp::parse_iso8601(&format!("{text}T00:00:00Z"))
+    } else {
+        Timestamp::parse_iso8601(text)
+    }
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let out = options.required("out")?;
+    let from = options
+        .date("from")?
+        .ok_or_else(|| "missing required option --from".to_owned())?;
+    let to = options
+        .date("to")?
+        .ok_or_else(|| "missing required option --to".to_owned())?;
+    let pipeline = Pipeline::new(SimulationConfig::scaled(options.seed()?, options.scale()?));
+    let store = DatasetStore::open(out).map_err(|e| e.to_string())?;
+    for map in options.maps()? {
+        let result =
+            pipeline.materialize_window(&store, map, from, to).map_err(|e| e.to_string())?;
+        println!(
+            "{:<15} wrote {} SVG files, extracted {} YAML files, {} refused",
+            map.display_name(),
+            result.stats.total(),
+            result.stats.processed,
+            result.stats.failed
+        );
+    }
+    println!("corpus written to {out}");
+    Ok(())
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let dir = options.required("in")?;
+    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let config = ExtractConfig::default();
+    for map in options.maps()? {
+        let entries = store.entries_of(map, FileKind::Svg).map_err(|e| e.to_string())?;
+        if entries.is_empty() {
+            continue;
+        }
+        let mut processed = 0usize;
+        let mut failures: BTreeMap<String, usize> = BTreeMap::new();
+        for entry in &entries {
+            let bytes = store
+                .read(map, FileKind::Svg, entry.timestamp)
+                .map_err(|e| e.to_string())?;
+            let text = std::str::from_utf8(&bytes).map_err(|e| e.to_string())?;
+            match extract_svg(text, map, entry.timestamp, &config) {
+                Ok(snapshot) => {
+                    store
+                        .write(
+                            map,
+                            FileKind::Yaml,
+                            entry.timestamp,
+                            to_yaml_string(&snapshot).as_bytes(),
+                        )
+                        .map_err(|e| e.to_string())?;
+                    processed += 1;
+                }
+                Err(error) => *failures.entry(error.kind().to_owned()).or_default() += 1,
+            }
+        }
+        println!(
+            "{:<15} {} SVG files: {} extracted, {} refused {:?}",
+            map.display_name(),
+            entries.len(),
+            processed,
+            entries.len() - processed,
+            failures
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let dir = options.required("in")?;
+    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let entries = store.entries().map_err(|e| e.to_string())?;
+    if entries.is_empty() {
+        return Err(format!("no corpus files under {dir}"));
+    }
+    print!("{}", CorpusStats::from_entries(&entries).render_table());
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let Some(path) = options.positional.first() else {
+        return Err("inspect expects a file path".to_owned());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = if path.ends_with(".yaml") || path.ends_with(".yml") {
+        from_yaml_str(&text).map_err(|e| e.to_string())?
+    } else {
+        let map = options.maps()?.first().copied().unwrap_or(MapKind::Europe);
+        extract_svg(&text, map, Timestamp::from_unix(0), &ExtractConfig::default())
+            .map_err(|e| e.to_string())?
+    };
+    println!("map:            {}", snapshot.map.display_name());
+    println!("timestamp:      {}", snapshot.timestamp);
+    println!("routers:        {}", snapshot.router_count());
+    println!("peerings:       {}", snapshot.peerings().count());
+    println!("internal links: {}", snapshot.internal_link_count());
+    println!("external links: {}", snapshot.external_link_count());
+    println!("parallel sets:  {}", snapshot.parallel_groups().len());
+    let report = ovh_weather::extract::validate(&snapshot);
+    if report.is_clean() {
+        println!("validation:     clean");
+    } else {
+        println!("validation:     {:?}", report.tally());
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let Some(path) = options.positional.first() else {
+        return Err("validate expects a YAML file path".to_owned());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let snapshot = from_yaml_str(&text).map_err(|e| e.to_string())?;
+    let report = ovh_weather::extract::validate(&snapshot);
+    for finding in &report.findings {
+        println!("{:?} [{}] {}", finding.severity, finding.code, finding.message);
+    }
+    if report.is_acceptable() {
+        println!("OK ({} warnings)", report.findings.len());
+        Ok(())
+    } else {
+        Err(format!("{} error finding(s)", report.errors().count()))
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let dir = options.required("in")?;
+    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    for map in options.maps()? {
+        let entries = store.entries_of(map, FileKind::Yaml).map_err(|e| e.to_string())?;
+        if entries.is_empty() {
+            continue;
+        }
+        let mut snapshots = Vec::with_capacity(entries.len());
+        for entry in &entries {
+            let bytes = store
+                .read(map, FileKind::Yaml, entry.timestamp)
+                .map_err(|e| e.to_string())?;
+            let text = std::str::from_utf8(&bytes).map_err(|e| e.to_string())?;
+            snapshots.push(from_yaml_str(text).map_err(|e| e.to_string())?);
+        }
+        println!("=== {} ===", map.display_name());
+        println!("{}", summarize(&snapshots));
+    }
+    Ok(())
+}
+
+fn cmd_diff(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let [old_path, new_path] = options.positional.as_slice() else {
+        return Err("diff expects two YAML file paths".to_owned());
+    };
+    let read = |path: &String| -> Result<TopologySnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        from_yaml_str(&text).map_err(|e| e.to_string())
+    };
+    let older = read(old_path)?;
+    let newer = read(new_path)?;
+    let d = ovh_weather::model::diff(&older, &newer);
+    if d.is_empty() {
+        println!("no structural changes ({} -> {})", older.timestamp, newer.timestamp);
+        return Ok(());
+    }
+    for node in &d.added_nodes {
+        println!("+ node {} ({})", node.name, node.kind);
+    }
+    for node in &d.removed_nodes {
+        println!("- node {} ({})", node.name, node.kind);
+    }
+    for change in &d.group_changes {
+        println!(
+            "~ links {} <-> {}: {} -> {} ({:+})",
+            change.a,
+            change.b,
+            change.before,
+            change.after,
+            change.delta()
+        );
+    }
+    println!("net link change: {:+}", d.link_delta());
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let pipeline = Pipeline::new(SimulationConfig::scaled(options.seed()?, options.scale()?));
+    let at = options
+        .date("at")?
+        .unwrap_or_else(|| Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0));
+    for map in options.maps()? {
+        pipeline.verify_roundtrip(map, at).map_err(|e| format!("{map}: {e}"))?;
+        println!("{:<15} round trip OK at {at}", map.display_name());
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! On-disk corpus management for the OVH Weather dataset reproduction.
+//!
+//! The released dataset is a tree of files: the raw SVG snapshots as
+//! collected every five minutes, and the processed YAML files next to
+//! them. This crate provides the equivalent local store:
+//!
+//! * [`paths`] — the path layout
+//!   (`<map>/<kind>/<YYYY>/<MM>/<DD>/<HHMM>.<ext>`) with a reversible
+//!   timestamp codec, so a file's snapshot instant comes from its path;
+//! * [`DatasetStore`] — writing, reading and enumerating snapshot files;
+//! * [`CorpusStats`] — the per-map file-count/size aggregation reported in
+//!   the paper's Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paths;
+mod stats;
+mod store;
+
+pub use paths::{parse_path, relative_path, FileKind};
+pub use stats::{CellStats, CorpusStats};
+pub use store::{DatasetEntry, DatasetStore};

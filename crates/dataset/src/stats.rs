@@ -1,0 +1,145 @@
+//! Corpus statistics — the numbers behind Table 2.
+
+use std::collections::BTreeMap;
+
+use wm_model::MapKind;
+
+use crate::paths::FileKind;
+use crate::store::DatasetEntry;
+
+/// File count and cumulative size of one `(map, kind)` cell of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellStats {
+    /// Number of files.
+    pub files: usize,
+    /// Total size in bytes.
+    pub bytes: u64,
+}
+
+impl CellStats {
+    /// Total size in GiB (the unit Table 2 reports).
+    #[must_use]
+    pub fn gib(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+}
+
+/// The per-map, per-kind statistics of a corpus.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CorpusStats {
+    cells: BTreeMap<(MapKind, FileKind), CellStats>,
+}
+
+impl CorpusStats {
+    /// Aggregates entry metadata into Table 2 cells.
+    #[must_use]
+    pub fn from_entries(entries: &[DatasetEntry]) -> CorpusStats {
+        let mut stats = CorpusStats::default();
+        for entry in entries {
+            let cell = stats.cells.entry((entry.map, entry.kind)).or_default();
+            cell.files += 1;
+            cell.bytes += entry.size;
+        }
+        stats
+    }
+
+    /// The cell of one map and kind.
+    #[must_use]
+    pub fn cell(&self, map: MapKind, kind: FileKind) -> CellStats {
+        self.cells.get(&(map, kind)).copied().unwrap_or_default()
+    }
+
+    /// The totals row: sums across maps for one kind.
+    #[must_use]
+    pub fn total(&self, kind: FileKind) -> CellStats {
+        let mut total = CellStats::default();
+        for ((_, k), cell) in &self.cells {
+            if *k == kind {
+                total.files += cell.files;
+                total.bytes += cell.bytes;
+            }
+        }
+        total
+    }
+
+    /// Renders the Table 2 layout: one row per map, SVG and YAML columns,
+    /// plus the totals row.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<15} {:>10} {:>12} {:>10} {:>12}\n",
+            "Network Map", "SVG files", "SVG GiB", "YAML files", "YAML GiB"
+        ));
+        for map in MapKind::ALL {
+            let svg = self.cell(map, FileKind::Svg);
+            let yaml = self.cell(map, FileKind::Yaml);
+            out.push_str(&format!(
+                "{:<15} {:>10} {:>12.3} {:>10} {:>12.3}\n",
+                map.display_name(),
+                svg.files,
+                svg.gib(),
+                yaml.files,
+                yaml.gib()
+            ));
+        }
+        let svg = self.total(FileKind::Svg);
+        let yaml = self.total(FileKind::Yaml);
+        out.push_str(&format!(
+            "{:<15} {:>10} {:>12.3} {:>10} {:>12.3}\n",
+            "Total",
+            svg.files,
+            svg.gib(),
+            yaml.files,
+            yaml.gib()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::Timestamp;
+
+    fn entry(map: MapKind, kind: FileKind, size: u64, minute: i64) -> DatasetEntry {
+        DatasetEntry {
+            map,
+            kind,
+            timestamp: Timestamp::from_unix(minute * 60),
+            size,
+        }
+    }
+
+    #[test]
+    fn aggregation_per_cell() {
+        let entries = vec![
+            entry(MapKind::Europe, FileKind::Svg, 1000, 0),
+            entry(MapKind::Europe, FileKind::Svg, 2000, 5),
+            entry(MapKind::Europe, FileKind::Yaml, 100, 0),
+            entry(MapKind::World, FileKind::Svg, 500, 0),
+        ];
+        let stats = CorpusStats::from_entries(&entries);
+        assert_eq!(stats.cell(MapKind::Europe, FileKind::Svg), CellStats { files: 2, bytes: 3000 });
+        assert_eq!(stats.cell(MapKind::Europe, FileKind::Yaml), CellStats { files: 1, bytes: 100 });
+        assert_eq!(stats.cell(MapKind::World, FileKind::Yaml), CellStats::default());
+        assert_eq!(stats.total(FileKind::Svg), CellStats { files: 3, bytes: 3500 });
+    }
+
+    #[test]
+    fn gib_conversion() {
+        let cell = CellStats { files: 1, bytes: 1024 * 1024 * 1024 };
+        assert!((cell.gib() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_rendering_has_all_rows() {
+        let entries = vec![entry(MapKind::Europe, FileKind::Svg, 1024, 0)];
+        let table = CorpusStats::from_entries(&entries).render_table();
+        for map in MapKind::ALL {
+            assert!(table.contains(map.display_name()), "{table}");
+        }
+        assert!(table.contains("Total"));
+        assert_eq!(table.lines().count(), 6);
+    }
+}

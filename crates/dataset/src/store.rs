@@ -1,0 +1,203 @@
+//! The corpus store: writing, reading and enumerating snapshot files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use wm_model::{MapKind, Timestamp};
+
+use crate::paths::{parse_path, relative_path, FileKind};
+
+/// A corpus rooted at one directory.
+///
+/// The store is deliberately plain — files on disk in a documented layout,
+/// no database — matching how the real dataset is distributed (a tree of
+/// SVG and YAML files plus wrapper scripts).
+#[derive(Debug, Clone)]
+pub struct DatasetStore {
+    root: PathBuf,
+}
+
+/// One enumerated corpus file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetEntry {
+    /// Which map.
+    pub map: MapKind,
+    /// SVG or YAML.
+    pub kind: FileKind,
+    /// The snapshot instant, recovered from the path.
+    pub timestamp: Timestamp,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl DatasetStore {
+    /// Opens (or prepares to populate) a corpus rooted at `root`.
+    ///
+    /// The directory is created if missing.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DatasetStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DatasetStore { root })
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Absolute path of a snapshot file.
+    #[must_use]
+    pub fn path_of(&self, map: MapKind, kind: FileKind, t: Timestamp) -> PathBuf {
+        self.root.join(relative_path(map, kind, t))
+    }
+
+    /// Writes a snapshot file, creating date directories as needed.
+    pub fn write(
+        &self,
+        map: MapKind,
+        kind: FileKind,
+        t: Timestamp,
+        contents: &[u8],
+    ) -> io::Result<()> {
+        let path = self.path_of(map, kind, t);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, contents)
+    }
+
+    /// Reads a snapshot file.
+    pub fn read(&self, map: MapKind, kind: FileKind, t: Timestamp) -> io::Result<Bytes> {
+        fs::read(self.path_of(map, kind, t)).map(Bytes::from)
+    }
+
+    /// Whether a snapshot file exists.
+    #[must_use]
+    pub fn contains(&self, map: MapKind, kind: FileKind, t: Timestamp) -> bool {
+        self.path_of(map, kind, t).is_file()
+    }
+
+    /// Enumerates all well-formed corpus files, sorted by `(map, kind,
+    /// timestamp)`.
+    ///
+    /// Files whose paths do not follow the layout are ignored (the store
+    /// never treats foreign files as corpus members).
+    pub fn entries(&self) -> io::Result<Vec<DatasetEntry>> {
+        let mut out = Vec::new();
+        self.walk(&self.root, &mut out)?;
+        out.sort_by_key(|e| (e.map, e.kind, e.timestamp));
+        Ok(out)
+    }
+
+    /// Enumerates the entries of one map and kind, sorted by timestamp.
+    pub fn entries_of(&self, map: MapKind, kind: FileKind) -> io::Result<Vec<DatasetEntry>> {
+        let mut entries: Vec<DatasetEntry> = self
+            .entries()?
+            .into_iter()
+            .filter(|e| e.map == map && e.kind == kind)
+            .collect();
+        entries.sort_by_key(|e| e.timestamp);
+        Ok(entries)
+    }
+
+    fn walk(&self, dir: &Path, out: &mut Vec<DatasetEntry>) -> io::Result<()> {
+        if !dir.is_dir() {
+            return Ok(());
+        }
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                self.walk(&path, out)?;
+            } else if let Ok(relative) = path.strip_prefix(&self.root) {
+                if let Some((map, kind, timestamp)) = parse_path(relative) {
+                    out.push(DatasetEntry {
+                        map,
+                        kind,
+                        timestamp,
+                        size: entry.metadata()?.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> DatasetStore {
+        let dir = std::env::temp_dir()
+            .join(format!("wm-dataset-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DatasetStore::open(dir).expect("temp store")
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let store = temp_store("rw");
+        let t = Timestamp::from_ymd_hms(2021, 3, 5, 10, 5, 0);
+        store.write(MapKind::Europe, FileKind::Svg, t, b"<svg/>").unwrap();
+        assert!(store.contains(MapKind::Europe, FileKind::Svg, t));
+        let bytes = store.read(MapKind::Europe, FileKind::Svg, t).unwrap();
+        assert_eq!(&bytes[..], b"<svg/>");
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn entries_enumerate_and_sort() {
+        let store = temp_store("enum");
+        let base = Timestamp::from_ymd_hms(2021, 3, 5, 10, 0, 0);
+        for i in (0..5).rev() {
+            let t = base + wm_model::Duration::from_minutes(5 * i);
+            store.write(MapKind::Europe, FileKind::Svg, t, b"x").unwrap();
+        }
+        store.write(MapKind::AsiaPacific, FileKind::Yaml, base, b"yy").unwrap();
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 6);
+        let europe = store.entries_of(MapKind::Europe, FileKind::Svg).unwrap();
+        assert_eq!(europe.len(), 5);
+        assert!(europe.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        assert_eq!(europe[0].size, 1);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn foreign_files_are_ignored() {
+        let store = temp_store("foreign");
+        fs::write(store.root().join("README.txt"), "hello").unwrap();
+        fs::create_dir_all(store.root().join("europe/svg/2021/03/05")).unwrap();
+        fs::write(store.root().join("europe/svg/2021/03/05/notes.md"), "x").unwrap();
+        assert!(store.entries().unwrap().is_empty());
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn missing_file_read_errors() {
+        let store = temp_store("missing");
+        let t = Timestamp::from_unix(0);
+        assert!(store.read(MapKind::World, FileKind::Svg, t).is_err());
+        assert!(!store.contains(MapKind::World, FileKind::Svg, t));
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn overwrite_is_allowed() {
+        // Re-collection replaces the snapshot, like the paper's scraper
+        // overwriting the most recent file.
+        let store = temp_store("overwrite");
+        let t = Timestamp::from_unix(0);
+        store.write(MapKind::Europe, FileKind::Svg, t, b"v1").unwrap();
+        store.write(MapKind::Europe, FileKind::Svg, t, b"v2!").unwrap();
+        assert_eq!(&store.read(MapKind::Europe, FileKind::Svg, t).unwrap()[..], b"v2!");
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].size, 3);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+}

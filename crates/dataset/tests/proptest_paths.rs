@@ -1,0 +1,34 @@
+//! Property-based round-trip of the corpus path codec over the whole
+//! plausible time range.
+
+use proptest::prelude::*;
+use wm_dataset::{parse_path, relative_path, FileKind};
+use wm_model::{MapKind, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn path_codec_round_trips(
+        // 2000-01-01 .. ~2037, on the five-minute grid.
+        slot in 3_155_760i64..700_000_000,
+        map_idx in 0usize..4,
+        kind_idx in 0usize..2,
+    ) {
+        let t = Timestamp::from_unix(slot * 300);
+        let map = MapKind::ALL[map_idx];
+        let kind = FileKind::ALL[kind_idx];
+        let path = relative_path(map, kind, t);
+        let (m, k, ts) = parse_path(&path)
+            .unwrap_or_else(|| panic!("own path failed to parse: {path:?}"));
+        prop_assert_eq!(m, map);
+        prop_assert_eq!(k, kind);
+        prop_assert_eq!(ts, t);
+    }
+
+    #[test]
+    fn arbitrary_paths_never_panic(s in "[a-z0-9./-]{0,40}") {
+        // Fuzzing the parser: garbage must be rejected, not crash.
+        let _ = parse_path(std::path::Path::new(&s));
+    }
+}

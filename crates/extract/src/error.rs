@@ -1,0 +1,134 @@
+//! The extraction error taxonomy.
+//!
+//! §4 of the paper describes why a small number of snapshots cannot be
+//! processed: invalid SVG files (e.g. malformed attribute values) and
+//! files lacking elements such as routers, "resulting in a failure to
+//! find intersections for a given link". Each variant here corresponds to
+//! one of the sanity checks of that section; the batch pipeline tallies
+//! them per map, which is what Table 2's unprocessed-file counts measure.
+
+use std::fmt;
+
+/// Why a snapshot could not be extracted.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// The file is not well-formed XML (e.g. truncated).
+    InvalidXml(String),
+    /// The XML parses but the SVG geometry does not (e.g. a malformed
+    /// `points` attribute) or the root is not `<svg>`.
+    InvalidSvg(String),
+    /// A load percentage could not be parsed or exceeds 100 %.
+    InvalidLoad {
+        /// The offending text.
+        text: String,
+    },
+    /// An element sequence violates the weathermap structure (e.g. a
+    /// third arrow before the loads, or a label text without its box).
+    MalformedStructure {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A link's carrier line intersects no router box at one end — the
+    /// "failure to find intersections" of §4, typically because router
+    /// elements are missing from the file.
+    DanglingLink {
+        /// Index of the link in parse order.
+        link_index: usize,
+    },
+    /// Both ends of a link resolved to the same router — the paper's
+    /// "link is not connected to two (distinct) routers" check.
+    SelfLoop {
+        /// The router both ends resolved to.
+        router: String,
+    },
+    /// The label closest to a link end is farther than the attribution
+    /// threshold ("a few pixels").
+    LabelTooFar {
+        /// Index of the link in parse order.
+        link_index: usize,
+        /// The measured distance.
+        distance: f64,
+    },
+    /// A router box ended up with no link attached, violating the
+    /// completion check ("each router is attributed at least one link").
+    UnlinkedRouter {
+        /// The router's name.
+        router: String,
+    },
+}
+
+impl ExtractError {
+    /// A short stable identifier for per-kind tallies.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExtractError::InvalidXml(_) => "invalid-xml",
+            ExtractError::InvalidSvg(_) => "invalid-svg",
+            ExtractError::InvalidLoad { .. } => "invalid-load",
+            ExtractError::MalformedStructure { .. } => "malformed-structure",
+            ExtractError::DanglingLink { .. } => "dangling-link",
+            ExtractError::SelfLoop { .. } => "self-loop",
+            ExtractError::LabelTooFar { .. } => "label-too-far",
+            ExtractError::UnlinkedRouter { .. } => "unlinked-router",
+        }
+    }
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::InvalidXml(e) => write!(f, "invalid XML: {e}"),
+            ExtractError::InvalidSvg(e) => write!(f, "invalid SVG: {e}"),
+            ExtractError::InvalidLoad { text } => write!(f, "invalid load value {text:?}"),
+            ExtractError::MalformedStructure { detail } => {
+                write!(f, "malformed weathermap structure: {detail}")
+            }
+            ExtractError::DanglingLink { link_index } => {
+                write!(f, "link #{link_index} is not connected to a router at both ends")
+            }
+            ExtractError::SelfLoop { router } => {
+                write!(f, "link connects router {router:?} to itself")
+            }
+            ExtractError::LabelTooFar { link_index, distance } => write!(
+                f,
+                "closest label to an end of link #{link_index} is {distance:.1} px away"
+            ),
+            ExtractError::UnlinkedRouter { router } => {
+                write!(f, "router {router:?} has no links attached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let errors = [
+            ExtractError::InvalidXml("x".into()),
+            ExtractError::InvalidSvg("x".into()),
+            ExtractError::InvalidLoad { text: "x".into() },
+            ExtractError::MalformedStructure { detail: "x".into() },
+            ExtractError::DanglingLink { link_index: 0 },
+            ExtractError::SelfLoop { router: "x".into() },
+            ExtractError::LabelTooFar { link_index: 0, distance: 1.0 },
+            ExtractError::UnlinkedRouter { router: "x".into() },
+        ];
+        let mut kinds: Vec<&str> = errors.iter().map(ExtractError::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), errors.len());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExtractError::LabelTooFar { link_index: 7, distance: 42.5 };
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("42.5"), "{msg}");
+    }
+}

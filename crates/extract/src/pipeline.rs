@@ -1,0 +1,228 @@
+//! The end-to-end extraction pipeline and its parallel batch runner.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use wm_model::{MapKind, Timestamp, TopologySnapshot};
+use wm_svg::Document;
+
+use crate::algorithm1::algorithm1;
+use crate::algorithm2::{algorithm2, ExtractConfig};
+use crate::error::ExtractError;
+
+/// Extracts one snapshot: SVG text → Algorithm 1 → Algorithm 2.
+pub fn extract_svg(
+    svg: &str,
+    map: MapKind,
+    timestamp: Timestamp,
+    config: &ExtractConfig,
+) -> Result<TopologySnapshot, ExtractError> {
+    let doc = Document::parse(svg).map_err(|e| match &e {
+        wm_svg::ParseError::Xml(_) => ExtractError::InvalidXml(e.to_string()),
+        _ => ExtractError::InvalidSvg(e.to_string()),
+    })?;
+    let objects = algorithm1(&doc)?;
+    algorithm2(&objects, map, timestamp, config)
+}
+
+/// One input file of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Snapshot instant (from the file path in the real dataset).
+    pub timestamp: Timestamp,
+    /// The collected SVG bytes.
+    pub svg: String,
+}
+
+/// Aggregate statistics of a batch run — the bookkeeping behind Table 2's
+/// "almost all SVG files were processed" row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Files successfully extracted.
+    pub processed: usize,
+    /// Files rejected by a sanity check.
+    pub failed: usize,
+    /// Rejections per error kind (see [`ExtractError::kind`]).
+    pub failures_by_kind: BTreeMap<String, usize>,
+}
+
+impl BatchStats {
+    /// Total files seen.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.processed + self.failed
+    }
+
+    fn record_failure(&mut self, error: &ExtractError) {
+        self.failed += 1;
+        *self.failures_by_kind.entry(error.kind().to_owned()).or_default() += 1;
+    }
+
+    fn merge(&mut self, other: BatchStats) {
+        self.processed += other.processed;
+        self.failed += other.failed;
+        for (kind, count) in other.failures_by_kind {
+            *self.failures_by_kind.entry(kind).or_default() += count;
+        }
+    }
+}
+
+/// Extracts a batch of files in parallel with `threads` workers.
+///
+/// Per-file work is pure, so the run is deterministic: results are
+/// returned sorted by timestamp and the statistics are order-independent
+/// sums. Failed files are skipped (and tallied), matching how the paper's
+/// scripts leave fewer than a hundred files per map unprocessed.
+pub fn extract_batch(
+    inputs: &[BatchInput],
+    map: MapKind,
+    config: &ExtractConfig,
+    threads: usize,
+) -> (Vec<TopologySnapshot>, BatchStats) {
+    let threads = threads.max(1);
+    let results: Mutex<Vec<TopologySnapshot>> = Mutex::new(Vec::with_capacity(inputs.len()));
+    let stats: Mutex<BatchStats> = Mutex::new(BatchStats::default());
+
+    let chunk_size = inputs.len().div_ceil(threads).max(1);
+    let results_ref = &results;
+    let stats_ref = &stats;
+    crossbeam::thread::scope(|scope| {
+        for chunk in inputs.chunks(chunk_size) {
+            scope.spawn(move |_| {
+                let mut local_results = Vec::with_capacity(chunk.len());
+                let mut local_stats = BatchStats::default();
+                for input in chunk {
+                    match extract_svg(&input.svg, map, input.timestamp, config) {
+                        Ok(snapshot) => {
+                            local_stats.processed += 1;
+                            local_results.push(snapshot);
+                        }
+                        Err(error) => local_stats.record_failure(&error),
+                    }
+                }
+                results_ref.lock().extend(local_results);
+                stats_ref.lock().merge(local_stats);
+            });
+        }
+    })
+    .expect("batch worker panicked");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|s| s.timestamp);
+    (results, stats.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::Duration;
+    use wm_simulator::{Simulation, SimulationConfig};
+
+    fn sim() -> Simulation {
+        Simulation::new(SimulationConfig::scaled(23, 0.12))
+    }
+
+    #[test]
+    fn extract_rejects_garbage() {
+        let config = ExtractConfig::default();
+        let t = Timestamp::from_unix(0);
+        let err = extract_svg("not xml at all <", MapKind::Europe, t, &config).unwrap_err();
+        assert!(matches!(err, ExtractError::InvalidXml(_) | ExtractError::InvalidSvg(_)));
+        let err = extract_svg("<html></html>", MapKind::Europe, t, &config).unwrap_err();
+        assert!(matches!(err, ExtractError::InvalidSvg(_)));
+    }
+
+    #[test]
+    fn round_trip_against_the_simulator() {
+        let sim = sim();
+        let config = ExtractConfig::default();
+        for (map, day) in [
+            (MapKind::Europe, 5),
+            (MapKind::NorthAmerica, 40),
+            (MapKind::AsiaPacific, 55),
+            (MapKind::World, 20),
+        ] {
+            let t = Timestamp::from_ymd(2020, 8, 1) + Duration::from_days(day);
+            let rendered = sim.snapshot(map, t);
+            let mut extracted = extract_svg(&rendered.svg, map, t, &config)
+                .unwrap_or_else(|e| panic!("{map} extraction failed: {e}"));
+            let mut truth = rendered.truth.clone();
+            extracted.canonicalize();
+            truth.canonicalize();
+            assert_eq!(extracted, truth, "{map} round trip mismatch");
+        }
+    }
+
+    #[test]
+    fn corrupted_files_are_rejected_with_the_right_kind() {
+        use wm_simulator::faults::{corrupt, FaultKind};
+        let sim = sim();
+        let t = Timestamp::from_ymd(2021, 2, 2);
+        let clean = sim.snapshot(MapKind::Europe, t).svg;
+        let config = ExtractConfig::default();
+
+        let err = extract_svg(
+            &corrupt(&clean, FaultKind::TruncatedXml, 1),
+            MapKind::Europe,
+            t,
+            &config,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid-xml");
+
+        let err = extract_svg(
+            &corrupt(&clean, FaultKind::MalformedAttribute, 1),
+            MapKind::Europe,
+            t,
+            &config,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid-svg");
+
+        let err = extract_svg(
+            &corrupt(&clean, FaultKind::MissingRouters, 1),
+            MapKind::Europe,
+            t,
+            &config,
+        )
+        .unwrap_err();
+        assert!(
+            err.kind() == "dangling-link" || err.kind() == "self-loop",
+            "unexpected kind {}",
+            err.kind()
+        );
+    }
+
+    #[test]
+    fn batch_extraction_parallel_matches_serial() {
+        let sim = sim();
+        let from = Timestamp::from_ymd(2021, 4, 1);
+        let to = from + Duration::from_hours(4);
+        let inputs: Vec<BatchInput> = sim
+            .corpus_between(MapKind::Europe, from, to)
+            .map(|f| BatchInput { timestamp: f.timestamp, svg: f.svg })
+            .collect();
+        assert!(inputs.len() > 10);
+        let config = ExtractConfig::default();
+        let (serial, serial_stats) = extract_batch(&inputs, MapKind::Europe, &config, 1);
+        let (parallel, parallel_stats) = extract_batch(&inputs, MapKind::Europe, &config, 8);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_stats, parallel_stats);
+        assert_eq!(serial_stats.total(), inputs.len());
+        assert_eq!(serial_stats.processed, inputs.len() - serial_stats.failed);
+    }
+
+    #[test]
+    fn batch_stats_tally_failures_by_kind() {
+        let inputs = vec![
+            BatchInput { timestamp: Timestamp::from_unix(0), svg: "<svg></svg>".into() },
+            BatchInput { timestamp: Timestamp::from_unix(300), svg: "broken <".into() },
+            BatchInput { timestamp: Timestamp::from_unix(600), svg: "broken <".into() },
+        ];
+        let (ok, stats) =
+            extract_batch(&inputs, MapKind::Europe, &ExtractConfig::default(), 2);
+        assert_eq!(ok.len(), 1); // The empty map extracts as empty.
+        assert_eq!(stats.failed, 2);
+        assert_eq!(stats.failures_by_kind.get("invalid-xml"), Some(&2));
+    }
+}

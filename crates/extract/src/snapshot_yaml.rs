@@ -1,0 +1,262 @@
+//! The YAML snapshot schema.
+//!
+//! The paper's processing scripts output one YAML file per snapshot; the
+//! released dataset ships 541 819 of them. This module defines this
+//! reproduction's equivalent schema and its (lossless) mapping to
+//! [`TopologySnapshot`]:
+//!
+//! ```yaml
+//! schema: ovh-weather/1
+//! map: europe
+//! timestamp: 2020-07-15T10:05:00Z
+//! nodes:
+//!   - name: rbx-g1-nc1
+//!     kind: router
+//! links:
+//!   - a: rbx-g1-nc1
+//!     a_label: "#1"
+//!     a_load: 42
+//!     b: ARELION
+//!     b_label: "#1"
+//!     b_load: 9
+//! ```
+
+use wm_model::{Link, LinkEnd, Load, MapKind, Node, NodeKind, Timestamp, TopologySnapshot};
+use wm_yaml::Value;
+
+/// The schema identifier embedded in every file.
+pub const SCHEMA_ID: &str = "ovh-weather/1";
+
+/// A schema violation found while reading a YAML snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError(String);
+
+impl SchemaError {
+    fn new(message: impl Into<String>) -> SchemaError {
+        SchemaError(message.into())
+    }
+
+    /// The problem description.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot schema error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Converts a snapshot to its YAML value tree.
+#[must_use]
+pub fn snapshot_to_yaml(snapshot: &TopologySnapshot) -> Value {
+    let nodes = snapshot
+        .nodes
+        .iter()
+        .map(|n| {
+            Value::map(vec![
+                ("name", Value::from(n.name.as_str())),
+                ("kind", Value::from(n.kind.slug())),
+            ])
+        })
+        .collect();
+    let links = snapshot
+        .links
+        .iter()
+        .map(|l| {
+            let mut pairs: Vec<(&str, Value)> =
+                vec![("a", Value::from(l.a.node.name.as_str()))];
+            if let Some(label) = &l.a.label {
+                pairs.push(("a_label", Value::from(label.as_str())));
+            }
+            pairs.push(("a_load", Value::from(u32::from(l.a.egress_load.percent()))));
+            pairs.push(("b", Value::from(l.b.node.name.as_str())));
+            if let Some(label) = &l.b.label {
+                pairs.push(("b_label", Value::from(label.as_str())));
+            }
+            pairs.push(("b_load", Value::from(u32::from(l.b.egress_load.percent()))));
+            Value::map(pairs)
+        })
+        .collect();
+    Value::map(vec![
+        ("schema", Value::from(SCHEMA_ID)),
+        ("map", Value::from(snapshot.map.slug())),
+        ("timestamp", Value::from(snapshot.timestamp.to_iso8601())),
+        ("nodes", Value::Seq(nodes)),
+        ("links", Value::Seq(links)),
+    ])
+}
+
+/// Serialises a snapshot to YAML text.
+#[must_use]
+pub fn to_yaml_string(snapshot: &TopologySnapshot) -> String {
+    wm_yaml::to_string(&snapshot_to_yaml(snapshot))
+}
+
+/// Reads a snapshot back from its YAML value tree.
+pub fn snapshot_from_yaml(value: &Value) -> Result<TopologySnapshot, SchemaError> {
+    let schema = value
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| SchemaError::new("missing schema field"))?;
+    if schema != SCHEMA_ID {
+        return Err(SchemaError::new(format!("unsupported schema {schema:?}")));
+    }
+    let map: MapKind = value
+        .get("map")
+        .and_then(Value::as_str)
+        .ok_or_else(|| SchemaError::new("missing map field"))?
+        .parse()
+        .map_err(SchemaError::new)?;
+    let timestamp = Timestamp::parse_iso8601(
+        value
+            .get("timestamp")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SchemaError::new("missing timestamp field"))?,
+    )
+    .map_err(SchemaError::new)?;
+
+    let mut snapshot = TopologySnapshot::new(map, timestamp);
+    let nodes = value
+        .get("nodes")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| SchemaError::new("missing nodes sequence"))?;
+    for node in nodes {
+        let name = node
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SchemaError::new("node without a name"))?;
+        let kind: NodeKind = node
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| SchemaError::new("node without a kind"))?
+            .parse()
+            .map_err(SchemaError::new)?;
+        snapshot.nodes.push(Node { name: name.to_owned(), kind });
+    }
+
+    let links = value
+        .get("links")
+        .and_then(Value::as_seq)
+        .ok_or_else(|| SchemaError::new("missing links sequence"))?;
+    for link in links {
+        let end = |name_key: &str, label_key: &str, load_key: &str| -> Result<LinkEnd, SchemaError> {
+            let name = link
+                .get(name_key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| SchemaError::new(format!("link without {name_key:?}")))?;
+            let node = snapshot
+                .node(name)
+                .cloned()
+                .unwrap_or_else(|| Node::from_name(name));
+            let label = link.get(label_key).and_then(Value::as_str).map(str::to_owned);
+            let load_value = link
+                .get(load_key)
+                .and_then(Value::as_i64)
+                .ok_or_else(|| SchemaError::new(format!("link without {load_key:?}")))?;
+            let load = u8::try_from(load_value)
+                .ok()
+                .and_then(Load::new)
+                .ok_or_else(|| SchemaError::new(format!("load out of range: {load_value}")))?;
+            Ok(LinkEnd::new(node, label, load))
+        };
+        snapshot
+            .links
+            .push(Link::new(end("a", "a_label", "a_load")?, end("b", "b_label", "b_load")?));
+    }
+    Ok(snapshot)
+}
+
+/// Parses a snapshot from YAML text.
+pub fn from_yaml_str(text: &str) -> Result<TopologySnapshot, SchemaError> {
+    let value = wm_yaml::parse(text).map_err(|e| SchemaError::new(e.to_string()))?;
+    snapshot_from_yaml(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TopologySnapshot {
+        let mut s = TopologySnapshot::new(MapKind::Europe, Timestamp::from_ymd_hms(2021, 3, 5, 10, 5, 0));
+        s.nodes = vec![Node::from_name("rbx-g1-nc1"), Node::from_name("AMS-IX")];
+        s.links = vec![Link::new(
+            LinkEnd::new(Node::from_name("rbx-g1-nc1"), Some("#1".into()), Load::new(42).unwrap()),
+            LinkEnd::new(Node::from_name("AMS-IX"), Some("#1".into()), Load::new(9).unwrap()),
+        )];
+        s
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let snapshot = sample();
+        let text = to_yaml_string(&snapshot);
+        let back = from_yaml_str(&text).unwrap();
+        assert_eq!(snapshot, back);
+    }
+
+    #[test]
+    fn yaml_text_is_human_shaped() {
+        let text = to_yaml_string(&sample());
+        assert!(text.starts_with("schema: ovh-weather/1\n"), "{text}");
+        assert!(text.contains("map: europe"));
+        assert!(text.contains("timestamp: \"2021-03-05T10:05:00Z\"")
+            || text.contains("timestamp: 2021-03-05T10:05:00Z"), "{text}");
+        assert!(text.contains("a_load: 42"));
+        assert!(text.contains("\"#1\""));
+    }
+
+    #[test]
+    fn labels_are_optional() {
+        let mut snapshot = sample();
+        snapshot.links[0].a.label = None;
+        let back = from_yaml_str(&to_yaml_string(&snapshot)).unwrap();
+        assert_eq!(back.links[0].a.label, None);
+        assert_eq!(back.links[0].b.label.as_deref(), Some("#1"));
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected() {
+        let text = to_yaml_string(&sample()).replace(SCHEMA_ID, "ovh-weather/999");
+        let err = from_yaml_str(&text).unwrap_err();
+        assert!(err.message().contains("unsupported schema"));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        for field in ["schema: ", "map: ", "timestamp: ", "a_load: "] {
+            let text = to_yaml_string(&sample());
+            let broken: String = text
+                .lines()
+                .filter(|l| !l.trim_start().starts_with(field.trim_end()))
+                .map(|l| format!("{l}\n"))
+                .collect();
+            assert!(from_yaml_str(&broken).is_err(), "dropping {field:?} should fail");
+        }
+    }
+
+    #[test]
+    fn out_of_range_load_is_rejected() {
+        let text = to_yaml_string(&sample()).replace("a_load: 42", "a_load: 142");
+        assert!(from_yaml_str(&text).is_err());
+    }
+
+    #[test]
+    fn node_kinds_survive_round_trip() {
+        let back = from_yaml_str(&to_yaml_string(&sample())).unwrap();
+        assert_eq!(back.nodes[0].kind, NodeKind::Router);
+        assert_eq!(back.nodes[1].kind, NodeKind::Peering);
+        assert_eq!(back.links[0].b.node.kind, NodeKind::Peering);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snapshot = TopologySnapshot::new(MapKind::World, Timestamp::from_unix(0));
+        let back = from_yaml_str(&to_yaml_string(&snapshot)).unwrap();
+        assert_eq!(snapshot, back);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based round-trip of the YAML snapshot schema: any snapshot
+//! (not just simulator-shaped ones) survives serialisation losslessly.
+
+use proptest::prelude::*;
+use wm_extract::{from_yaml_str, to_yaml_string};
+use wm_model::{Link, LinkEnd, Load, MapKind, Node, Timestamp, TopologySnapshot};
+
+fn node_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // Router-ish names.
+        proptest::string::string_regex("[a-z]{2,4}-[a-z0-9]{1,4}-[a-z0-9]{1,4}")
+            .expect("valid regex"),
+        // Peering-ish names.
+        proptest::string::string_regex("[A-Z][A-Z0-9-]{1,12}").expect("valid regex"),
+    ]
+}
+
+fn label() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        (1u32..32).prop_map(|n| Some(format!("#{n}"))),
+    ]
+}
+
+fn snapshot_strategy() -> impl Strategy<Value = TopologySnapshot> {
+    let nodes = prop::collection::btree_set(node_name(), 2..12);
+    (nodes, 0i64..2_000_000_000, prop::sample::select(MapKind::ALL.to_vec())).prop_flat_map(
+        |(names, unix, map)| {
+            let names: Vec<String> = names.into_iter().collect();
+            let n = names.len();
+            let links = prop::collection::vec(
+                (0..n, 0..n, label(), label(), 0u8..=100, 0u8..=100),
+                0..20,
+            );
+            links.prop_map(move |link_specs| {
+                let mut snapshot = TopologySnapshot::new(
+                    map,
+                    Timestamp::from_unix(unix - unix % 300),
+                );
+                for name in &names {
+                    snapshot.nodes.push(Node::from_name(name.clone()));
+                }
+                for (a, b, la, lb, load_a, load_b) in link_specs {
+                    if a == b {
+                        continue;
+                    }
+                    snapshot.links.push(Link::new(
+                        LinkEnd::new(
+                            Node::from_name(names[a].clone()),
+                            la,
+                            Load::new(load_a).expect("in range"),
+                        ),
+                        LinkEnd::new(
+                            Node::from_name(names[b].clone()),
+                            lb,
+                            Load::new(load_b).expect("in range"),
+                        ),
+                    ));
+                }
+                snapshot
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn yaml_schema_round_trip(snapshot in snapshot_strategy()) {
+        let text = to_yaml_string(&snapshot);
+        let parsed = from_yaml_str(&text)
+            .unwrap_or_else(|e| panic!("schema round trip failed: {e}\n---\n{text}"));
+        prop_assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn validation_never_panics(snapshot in snapshot_strategy()) {
+        // The validator must classify, not crash, on arbitrary content.
+        let report = wm_extract::validate(&snapshot);
+        // Tally and acceptability are consistent.
+        let errors = report.errors().count();
+        prop_assert_eq!(errors == 0, report.is_acceptable());
+    }
+}

@@ -1,0 +1,195 @@
+//! Structural diffs between topology snapshots.
+//!
+//! The paper's Fig. 4 narrates evolution through *count* series; a
+//! structural diff goes one step further and names the elements that
+//! changed — which routers the August 2020 make-before-break added,
+//! which leaf routers June 2021 removed, which groups gained parallel
+//! links in the November 2021 step.
+
+use std::collections::BTreeMap;
+
+use crate::{Node, TopologySnapshot};
+
+/// A change in the number of parallel links between one node pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDelta {
+    /// Lexicographically smaller endpoint.
+    pub a: String,
+    /// Lexicographically larger endpoint.
+    pub b: String,
+    /// Parallel links in the older snapshot.
+    pub before: usize,
+    /// Parallel links in the newer snapshot.
+    pub after: usize,
+}
+
+impl GroupDelta {
+    /// Signed link-count change.
+    #[must_use]
+    pub fn delta(&self) -> i64 {
+        self.after as i64 - self.before as i64
+    }
+}
+
+/// The structural difference between two snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDiff {
+    /// Nodes present only in the newer snapshot.
+    pub added_nodes: Vec<Node>,
+    /// Nodes present only in the older snapshot.
+    pub removed_nodes: Vec<Node>,
+    /// Node pairs whose parallel-link count changed (including pairs that
+    /// appeared or disappeared entirely).
+    pub group_changes: Vec<GroupDelta>,
+}
+
+impl SnapshotDiff {
+    /// `true` when the two snapshots have identical structure (loads are
+    /// not compared — they change every five minutes by design).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes.is_empty()
+            && self.removed_nodes.is_empty()
+            && self.group_changes.is_empty()
+    }
+
+    /// Net change in total link count.
+    #[must_use]
+    pub fn link_delta(&self) -> i64 {
+        self.group_changes.iter().map(GroupDelta::delta).sum()
+    }
+}
+
+/// Computes the structural diff from `older` to `newer`.
+#[must_use]
+pub fn diff(older: &TopologySnapshot, newer: &TopologySnapshot) -> SnapshotDiff {
+    let mut result = SnapshotDiff::default();
+
+    for node in &newer.nodes {
+        if older.node(&node.name).is_none() {
+            result.added_nodes.push(node.clone());
+        }
+    }
+    for node in &older.nodes {
+        if newer.node(&node.name).is_none() {
+            result.removed_nodes.push(node.clone());
+        }
+    }
+    result.added_nodes.sort();
+    result.removed_nodes.sort();
+
+    let group_sizes = |snapshot: &TopologySnapshot| -> BTreeMap<(String, String), usize> {
+        let mut sizes = BTreeMap::new();
+        for group in snapshot.parallel_groups() {
+            sizes.insert((group.a.clone(), group.b.clone()), group.len());
+        }
+        sizes
+    };
+    let before = group_sizes(older);
+    let after = group_sizes(newer);
+    for (pair, &count_after) in &after {
+        let count_before = before.get(pair).copied().unwrap_or(0);
+        if count_before != count_after {
+            result.group_changes.push(GroupDelta {
+                a: pair.0.clone(),
+                b: pair.1.clone(),
+                before: count_before,
+                after: count_after,
+            });
+        }
+    }
+    for (pair, &count_before) in &before {
+        if !after.contains_key(pair) {
+            result.group_changes.push(GroupDelta {
+                a: pair.0.clone(),
+                b: pair.1.clone(),
+                before: count_before,
+                after: 0,
+            });
+        }
+    }
+    result
+        .group_changes
+        .sort_by(|x, y| (&x.a, &x.b).cmp(&(&y.a, &y.b)));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Link, LinkEnd, Load, MapKind, Timestamp};
+
+    fn snapshot(links: &[(&str, &str)]) -> TopologySnapshot {
+        let mut s = TopologySnapshot::new(MapKind::Europe, Timestamp::from_unix(0));
+        for (a, b) in links {
+            for name in [a, b] {
+                if s.node(name).is_none() {
+                    s.nodes.push(Node::from_name(*name));
+                }
+            }
+            s.links.push(Link::new(
+                LinkEnd::new(Node::from_name(*a), None, Load::ZERO),
+                LinkEnd::new(Node::from_name(*b), None, Load::ZERO),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let s = snapshot(&[("r-a", "r-b"), ("r-a", "PEER")]);
+        let d = diff(&s, &s);
+        assert!(d.is_empty());
+        assert_eq!(d.link_delta(), 0);
+    }
+
+    #[test]
+    fn added_and_removed_nodes_are_named() {
+        let older = snapshot(&[("r-a", "r-b")]);
+        let newer = snapshot(&[("r-a", "r-c")]);
+        let d = diff(&older, &newer);
+        assert_eq!(d.added_nodes, vec![Node::from_name("r-c")]);
+        assert_eq!(d.removed_nodes, vec![Node::from_name("r-b")]);
+    }
+
+    #[test]
+    fn parallel_link_growth_is_a_group_change() {
+        let older = snapshot(&[("r-a", "r-b")]);
+        let newer = snapshot(&[("r-a", "r-b"), ("r-a", "r-b"), ("r-a", "r-b")]);
+        let d = diff(&older, &newer);
+        assert!(d.added_nodes.is_empty());
+        assert_eq!(d.group_changes.len(), 1);
+        assert_eq!(d.group_changes[0].before, 1);
+        assert_eq!(d.group_changes[0].after, 3);
+        assert_eq!(d.link_delta(), 2);
+    }
+
+    #[test]
+    fn disappearing_group_reports_zero_after() {
+        let older = snapshot(&[("r-a", "r-b"), ("r-a", "r-c")]);
+        let newer = snapshot(&[("r-a", "r-b")]);
+        let d = diff(&older, &newer);
+        let gone = d.group_changes.iter().find(|g| g.b == "r-c").expect("group gone");
+        assert_eq!((gone.before, gone.after), (1, 0));
+        assert_eq!(d.link_delta(), -1);
+    }
+
+    #[test]
+    fn load_changes_do_not_register() {
+        let mut older = snapshot(&[("r-a", "r-b")]);
+        let mut newer = snapshot(&[("r-a", "r-b")]);
+        older.links[0].a.egress_load = Load::new(10).unwrap();
+        newer.links[0].a.egress_load = Load::new(90).unwrap();
+        assert!(diff(&older, &newer).is_empty());
+    }
+
+    #[test]
+    fn endpoint_order_is_canonical() {
+        let older = snapshot(&[("r-b", "r-a")]);
+        let newer = snapshot(&[("r-a", "r-b"), ("r-b", "r-a")]);
+        let d = diff(&older, &newer);
+        assert_eq!(d.group_changes.len(), 1);
+        assert_eq!(d.group_changes[0].a, "r-a");
+        assert_eq!(d.link_delta(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Core data model of the OVH Weather dataset reproduction.
+//!
+//! This crate defines the domain vocabulary shared by the simulator, the
+//! extraction pipeline and the analysis library:
+//!
+//! * [`MapKind`] — the four backbone weathermaps (Europe, World, North
+//!   America, Asia-Pacific),
+//! * [`NodeKind`] / [`Node`] — OVH routers (lowercase names) and physical
+//!   peerings (UPPERCASE names),
+//! * [`Load`] — a link load percentage in `[0, 100]`,
+//! * [`Link`] / [`LinkEnd`] — bidirectional links with per-direction loads
+//!   and `#n` labels,
+//! * [`TopologySnapshot`] — everything a weathermap shows at one instant,
+//! * [`Timestamp`] / [`time`] — UTC civil time implemented from scratch
+//!   (no `chrono` in the offline dependency set).
+//!
+//! The types deliberately mirror the vocabulary of the IMC '22 paper so
+//! the analysis code reads like its §5: *internal* links join two OVH
+//! routers, *external* links join a router to a peering, node *degree*
+//! counts parallel links individually, and so on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diff;
+mod link;
+mod map;
+mod node;
+mod snapshot;
+pub mod time;
+
+pub use diff::{diff, GroupDelta, SnapshotDiff};
+pub use link::{Link, LinkEnd, LinkKind};
+pub use map::MapKind;
+pub use node::{Node, NodeKind};
+pub use snapshot::{ParallelGroup, TopologySnapshot};
+pub use time::{Duration, Timestamp};
+
+/// A link load percentage in `[0, 100]`.
+///
+/// The paper's sanity checks require every extracted load to lie in this
+/// range; construction enforces it. Two low values carry special meaning
+/// in §5's imbalance analysis: `0 %` marks a disabled link and `1 %` is
+/// indistinguishable from control traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Load(u8);
+
+impl Load {
+    /// A disabled link's load.
+    pub const ZERO: Load = Load(0);
+
+    /// Creates a load, rejecting values above 100.
+    #[must_use]
+    pub fn new(percent: u8) -> Option<Load> {
+        (percent <= 100).then_some(Load(percent))
+    }
+
+    /// Creates a load from a float, clamping to `[0, 100]` and rounding.
+    ///
+    /// The simulator uses this when discretising its continuous traffic
+    /// model to the integer percentages weathermaps display.
+    #[must_use]
+    pub fn from_f64_clamped(value: f64) -> Load {
+        Load(value.clamp(0.0, 100.0).round() as u8)
+    }
+
+    /// The percentage as an integer.
+    #[inline]
+    #[must_use]
+    pub fn percent(self) -> u8 {
+        self.0
+    }
+
+    /// The percentage as a float in `[0, 100]`.
+    #[inline]
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.0)
+    }
+
+    /// `0 %` — the paper treats these links as unused/disabled.
+    #[inline]
+    #[must_use]
+    pub fn is_disabled(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `<= 1 %` — indistinguishable from control-plane traffic; §5's
+    /// imbalance analysis discounts them.
+    #[inline]
+    #[must_use]
+    pub fn is_control_noise(self) -> bool {
+        self.0 <= 1
+    }
+}
+
+impl std::fmt::Display for Load {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} %", self.0)
+    }
+}
+
+impl std::str::FromStr for Load {
+    type Err = String;
+
+    /// Parses the weathermap label form: `"42 %"`, `"42%"` or `"42"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s.trim().trim_end_matches('%').trim_end();
+        let value: u8 = digits
+            .parse()
+            .map_err(|_| format!("invalid load percentage: {s:?}"))?;
+        Load::new(value).ok_or_else(|| format!("load percentage out of range: {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_range_enforced() {
+        assert_eq!(Load::new(0), Some(Load::ZERO));
+        assert_eq!(Load::new(100).map(Load::percent), Some(100));
+        assert_eq!(Load::new(101), None);
+    }
+
+    #[test]
+    fn load_from_f64_clamps_and_rounds() {
+        assert_eq!(Load::from_f64_clamped(-5.0).percent(), 0);
+        assert_eq!(Load::from_f64_clamped(41.6).percent(), 42);
+        assert_eq!(Load::from_f64_clamped(250.0).percent(), 100);
+    }
+
+    #[test]
+    fn load_parsing_accepts_weathermap_forms() {
+        assert_eq!("42 %".parse::<Load>().unwrap().percent(), 42);
+        assert_eq!("9%".parse::<Load>().unwrap().percent(), 9);
+        assert_eq!("0".parse::<Load>().unwrap(), Load::ZERO);
+        assert!("142 %".parse::<Load>().is_err());
+        assert!("x %".parse::<Load>().is_err());
+    }
+
+    #[test]
+    fn load_semantics() {
+        assert!(Load::new(0).unwrap().is_disabled());
+        assert!(!Load::new(1).unwrap().is_disabled());
+        assert!(Load::new(1).unwrap().is_control_noise());
+        assert!(!Load::new(2).unwrap().is_control_noise());
+    }
+
+    #[test]
+    fn load_display() {
+        assert_eq!(Load::new(42).unwrap().to_string(), "42 %");
+    }
+}

@@ -1,0 +1,158 @@
+//! Weathermap nodes: OVH routers and physical peerings.
+
+use std::fmt;
+
+/// The kind of a weathermap node.
+///
+/// The weathermap's visual convention (§4, Fig. 1): OVH routers carry
+/// lowercase names such as `fra-fr5-pb6-nc5`, physical peerings carry
+/// UPPERCASE names such as `ARELION`. The extraction pipeline classifies
+/// nodes by that convention via [`NodeKind::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeKind {
+    /// An OVH backbone router (lowercase name).
+    Router,
+    /// A physical peering with another network (UPPERCASE name).
+    Peering,
+}
+
+impl NodeKind {
+    /// Classifies a node name using the weathermap convention: a name is a
+    /// peering when it contains no lowercase letters.
+    ///
+    /// Names such as `AMS-IX` (with digits and dashes) classify as
+    /// peerings; `fra-fr5-pb6-nc5` classifies as a router.
+    #[must_use]
+    pub fn classify(name: &str) -> NodeKind {
+        if name.chars().any(|c| c.is_ascii_lowercase()) {
+            NodeKind::Router
+        } else {
+            NodeKind::Peering
+        }
+    }
+
+    /// The YAML-facing identifier.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            NodeKind::Router => "router",
+            NodeKind::Peering => "peering",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.slug())
+    }
+}
+
+impl std::str::FromStr for NodeKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "router" => Ok(NodeKind::Router),
+            "peering" => Ok(NodeKind::Peering),
+            other => Err(format!("unknown node kind: {other:?}")),
+        }
+    }
+}
+
+/// A node of the weathermap: a named router or peering box.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Node {
+    /// The name as displayed on the map.
+    pub name: String,
+    /// Router or peering.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Creates a node, classifying its kind from the name convention.
+    #[must_use]
+    pub fn from_name(name: impl Into<String>) -> Node {
+        let name = name.into();
+        let kind = NodeKind::classify(&name);
+        Node { name, kind }
+    }
+
+    /// Creates a router node (does not re-classify).
+    #[must_use]
+    pub fn router(name: impl Into<String>) -> Node {
+        Node { name: name.into(), kind: NodeKind::Router }
+    }
+
+    /// Creates a peering node (does not re-classify).
+    #[must_use]
+    pub fn peering(name: impl Into<String>) -> Node {
+        Node { name: name.into(), kind: NodeKind::Peering }
+    }
+
+    /// `true` when this node is an OVH router.
+    #[must_use]
+    pub fn is_router(&self) -> bool {
+        self.kind == NodeKind::Router
+    }
+
+    /// The datacenter/site prefix of an OVH router name: `fra-fr5-pb6-nc5`
+    /// → `fra`. Returns `None` for peerings.
+    ///
+    /// The paper's §5 suggests using router names "to identify the spread
+    /// of these variations in the network"; site prefixes are the natural
+    /// grouping for that.
+    #[must_use]
+    pub fn site(&self) -> Option<&str> {
+        if !self.is_router() {
+            return None;
+        }
+        Some(self.name.split('-').next().unwrap_or(&self.name))
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_case_convention() {
+        assert_eq!(NodeKind::classify("fra-fr5-pb6-nc5"), NodeKind::Router);
+        assert_eq!(NodeKind::classify("ARELION"), NodeKind::Peering);
+        assert_eq!(NodeKind::classify("AMS-IX"), NodeKind::Peering);
+        assert_eq!(NodeKind::classify("OMANTEL"), NodeKind::Peering);
+        assert_eq!(NodeKind::classify("LEVEL3"), NodeKind::Peering);
+        // Mixed case means at least one lowercase letter → router.
+        assert_eq!(NodeKind::classify("GOOGLEfiber"), NodeKind::Router);
+    }
+
+    #[test]
+    fn from_name_uses_classification() {
+        assert!(Node::from_name("gra-g1-nc5").is_router());
+        assert!(!Node::from_name("VODAFONE").is_router());
+    }
+
+    #[test]
+    fn site_prefix() {
+        assert_eq!(Node::from_name("fra-fr5-pb6-nc5").site(), Some("fra"));
+        assert_eq!(Node::from_name("rbx-g2-a75").site(), Some("rbx"));
+        assert_eq!(Node::from_name("AMS-IX").site(), None);
+    }
+
+    #[test]
+    fn kind_slug_round_trip() {
+        for kind in [NodeKind::Router, NodeKind::Peering] {
+            assert_eq!(kind.slug().parse::<NodeKind>().unwrap(), kind);
+        }
+        assert!("other".parse::<NodeKind>().is_err());
+    }
+
+    #[test]
+    fn display_is_the_name() {
+        assert_eq!(Node::from_name("AMS-IX").to_string(), "AMS-IX");
+    }
+}

@@ -1,0 +1,297 @@
+//! The topology a weathermap shows at one instant.
+
+use std::collections::BTreeMap;
+
+use crate::{Link, LinkKind, Load, MapKind, Node, NodeKind, Timestamp};
+
+/// Everything one weathermap snapshot contains: the map identity, the
+/// capture instant, the nodes, and the bidirectional loaded links.
+///
+/// This is simultaneously the simulator's ground truth, the extraction
+/// pipeline's output, and the analysis library's input — the round-trip
+/// equality of the first two (after [`TopologySnapshot::canonicalize`]) is
+/// the keystone correctness property of the repository.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySnapshot {
+    /// Which backbone map this snapshot belongs to.
+    pub map: MapKind,
+    /// Capture instant (UTC, aligned to the five-minute grid).
+    pub timestamp: Timestamp,
+    /// All nodes visible on the map.
+    pub nodes: Vec<Node>,
+    /// All links visible on the map, including disabled (0 %) ones.
+    pub links: Vec<Link>,
+}
+
+/// A set of parallel links between one unordered node pair.
+///
+/// §5's imbalance analysis operates on *directed* sets of parallel links;
+/// [`TopologySnapshot::loads_from`] gives the per-direction load vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelGroup {
+    /// Lexicographically smaller endpoint name.
+    pub a: String,
+    /// Lexicographically larger endpoint name.
+    pub b: String,
+    /// Indices into [`TopologySnapshot::links`] of the member links.
+    pub link_indices: Vec<usize>,
+    /// Internal or external (all members share the same kind).
+    pub kind: LinkKind,
+}
+
+impl TopologySnapshot {
+    /// Creates an empty snapshot.
+    #[must_use]
+    pub fn new(map: MapKind, timestamp: Timestamp) -> TopologySnapshot {
+        TopologySnapshot { map, timestamp, nodes: Vec::new(), links: Vec::new() }
+    }
+
+    /// All OVH routers on the map.
+    pub fn routers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Router)
+    }
+
+    /// All physical peerings on the map.
+    pub fn peerings(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind == NodeKind::Peering)
+    }
+
+    /// Number of OVH routers (Table 1, column 2).
+    #[must_use]
+    pub fn router_count(&self) -> usize {
+        self.routers().count()
+    }
+
+    /// Number of internal links (Table 1, column 3).
+    #[must_use]
+    pub fn internal_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.kind() == LinkKind::Internal).count()
+    }
+
+    /// Number of external links (Table 1, column 4).
+    #[must_use]
+    pub fn external_link_count(&self) -> usize {
+        self.links.iter().filter(|l| l.kind() == LinkKind::External).count()
+    }
+
+    /// Looks a node up by name.
+    #[must_use]
+    pub fn node(&self, name: &str) -> Option<&Node> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// Node degree: the number of link ends attached to `name`, counting
+    /// every parallel link individually (Fig. 4c's definition).
+    #[must_use]
+    pub fn degree(&self, name: &str) -> usize {
+        self.links.iter().filter(|l| l.end_at(name).is_some()).count()
+    }
+
+    /// Degrees of all OVH routers, in node order (input of Fig. 4c).
+    #[must_use]
+    pub fn router_degrees(&self) -> Vec<usize> {
+        self.routers().map(|r| self.degree(&r.name)).collect()
+    }
+
+    /// Groups links by unordered endpoint pair.
+    ///
+    /// Groups are returned in lexicographic endpoint order; members keep
+    /// snapshot link order.
+    #[must_use]
+    pub fn parallel_groups(&self) -> Vec<ParallelGroup> {
+        let mut by_pair: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+        for (i, link) in self.links.iter().enumerate() {
+            let (a, b) = link.endpoint_key();
+            by_pair.entry((a.to_owned(), b.to_owned())).or_default().push(i);
+        }
+        by_pair
+            .into_iter()
+            .map(|((a, b), link_indices)| {
+                let kind = self.links[link_indices[0]].kind();
+                ParallelGroup { a, b, link_indices, kind }
+            })
+            .collect()
+    }
+
+    /// Mean number of parallel links per connected node pair (the paper
+    /// reports 6.58 for the Europe map on 2022-09-12).
+    #[must_use]
+    pub fn mean_parallelism(&self) -> f64 {
+        let groups = self.parallel_groups();
+        if groups.is_empty() {
+            return 0.0;
+        }
+        self.links.len() as f64 / groups.len() as f64
+    }
+
+    /// All load values in the snapshot with their link kind, two per link
+    /// (one per direction) — the raw input of Fig. 5a/5b.
+    #[must_use]
+    pub fn directed_loads(&self) -> Vec<(LinkKind, Load)> {
+        let mut out = Vec::with_capacity(self.links.len() * 2);
+        for link in &self.links {
+            let kind = link.kind();
+            out.push((kind, link.a.egress_load));
+            out.push((kind, link.b.egress_load));
+        }
+        out
+    }
+
+    /// Sorts nodes by name and links by canonical endpoint/label/load
+    /// order, giving the snapshot a deterministic form.
+    ///
+    /// Two snapshots describing the same topology compare equal after
+    /// canonicalisation regardless of the order in which their elements
+    /// were discovered — the extraction round-trip tests rely on this.
+    pub fn canonicalize(&mut self) {
+        self.nodes.sort();
+        self.nodes.dedup();
+        let links = std::mem::take(&mut self.links);
+        let mut links: Vec<Link> = links.into_iter().map(Link::canonicalized).collect();
+        links.sort();
+        self.links = links;
+    }
+
+    /// The per-group load vectors for one direction.
+    ///
+    /// For the group's `(a, b)` pair, returns the loads of the arrows
+    /// leaving `from` (which must be one of the two endpoints).
+    #[must_use]
+    pub fn loads_from(&self, group: &ParallelGroup, from: &str) -> Vec<Load> {
+        group
+            .link_indices
+            .iter()
+            .filter_map(|&i| self.links[i].egress_load_from(from))
+            .collect()
+    }
+}
+
+impl ParallelGroup {
+    /// Number of parallel links in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.link_indices.len()
+    }
+
+    /// `true` when the group has no members (cannot occur for groups
+    /// produced by [`TopologySnapshot::parallel_groups`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.link_indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkEnd;
+
+    fn load(p: u8) -> Load {
+        Load::new(p).unwrap()
+    }
+
+    fn link(a: &str, la: u8, b: &str, lb: u8) -> Link {
+        Link::new(
+            LinkEnd::new(Node::from_name(a), None, load(la)),
+            LinkEnd::new(Node::from_name(b), None, load(lb)),
+        )
+    }
+
+    fn sample() -> TopologySnapshot {
+        let mut s = TopologySnapshot::new(MapKind::Europe, Timestamp::from_ymd(2022, 9, 12));
+        s.nodes = vec![
+            Node::from_name("fra-fr5"),
+            Node::from_name("rbx-g1"),
+            Node::from_name("ARELION"),
+        ];
+        s.links = vec![
+            link("fra-fr5", 10, "rbx-g1", 20),
+            link("fra-fr5", 12, "rbx-g1", 22),
+            link("fra-fr5", 42, "ARELION", 9),
+        ];
+        s
+    }
+
+    #[test]
+    fn counts() {
+        let s = sample();
+        assert_eq!(s.router_count(), 2);
+        assert_eq!(s.internal_link_count(), 2);
+        assert_eq!(s.external_link_count(), 1);
+        assert_eq!(s.peerings().count(), 1);
+    }
+
+    #[test]
+    fn degree_counts_parallel_links() {
+        let s = sample();
+        assert_eq!(s.degree("fra-fr5"), 3);
+        assert_eq!(s.degree("rbx-g1"), 2);
+        assert_eq!(s.degree("ARELION"), 1);
+        assert_eq!(s.degree("nowhere"), 0);
+        assert_eq!(s.router_degrees(), vec![3, 2]);
+    }
+
+    #[test]
+    fn parallel_groups_and_mean() {
+        let s = sample();
+        let groups = s.parallel_groups();
+        assert_eq!(groups.len(), 2);
+        let internal = groups.iter().find(|g| g.kind == LinkKind::Internal).unwrap();
+        assert_eq!(internal.len(), 2);
+        assert_eq!((internal.a.as_str(), internal.b.as_str()), ("fra-fr5", "rbx-g1"));
+        assert!((s.mean_parallelism() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loads_from_direction() {
+        let s = sample();
+        let groups = s.parallel_groups();
+        let internal = groups.iter().find(|g| g.kind == LinkKind::Internal).unwrap();
+        let from_fra: Vec<u8> =
+            s.loads_from(internal, "fra-fr5").iter().map(|l| l.percent()).collect();
+        assert_eq!(from_fra, vec![10, 12]);
+        let from_rbx: Vec<u8> =
+            s.loads_from(internal, "rbx-g1").iter().map(|l| l.percent()).collect();
+        assert_eq!(from_rbx, vec![20, 22]);
+    }
+
+    #[test]
+    fn directed_loads_two_per_link() {
+        let s = sample();
+        let loads = s.directed_loads();
+        assert_eq!(loads.len(), 6);
+        assert_eq!(loads.iter().filter(|(k, _)| *k == LinkKind::External).count(), 2);
+    }
+
+    #[test]
+    fn canonicalisation_makes_order_irrelevant() {
+        let mut s1 = sample();
+        let mut s2 = sample();
+        s2.nodes.reverse();
+        s2.links.reverse();
+        // Also swap the ends of one link.
+        let l = s2.links[0].clone();
+        s2.links[0] = Link { a: l.b, b: l.a };
+        assert_ne!(s1, s2);
+        s1.canonicalize();
+        s2.canonicalize();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn canonicalisation_dedups_nodes() {
+        let mut s = sample();
+        s.nodes.push(Node::from_name("fra-fr5"));
+        s.canonicalize();
+        assert_eq!(s.nodes.len(), 3);
+    }
+
+    #[test]
+    fn empty_snapshot_statistics() {
+        let s = TopologySnapshot::new(MapKind::World, Timestamp::from_unix(0));
+        assert_eq!(s.router_count(), 0);
+        assert_eq!(s.mean_parallelism(), 0.0);
+        assert!(s.parallel_groups().is_empty());
+        assert!(s.directed_loads().is_empty());
+    }
+}

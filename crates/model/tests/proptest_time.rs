@@ -1,0 +1,69 @@
+//! Property-based checks of the from-scratch civil-time implementation.
+
+use proptest::prelude::*;
+use wm_model::{Duration, Timestamp};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    #[test]
+    fn civil_round_trip(unix in -2_000_000_000i64..4_000_000_000) {
+        let t = Timestamp::from_unix(unix);
+        let c = t.civil();
+        prop_assert!((1..=12).contains(&c.month));
+        prop_assert!((1..=31).contains(&c.day));
+        prop_assert!(c.hour < 24 && c.minute < 60 && c.second < 60);
+        let back = Timestamp::from_ymd_hms(c.year, c.month, c.day, c.hour, c.minute, c.second);
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn iso8601_round_trip(unix in 0i64..4_000_000_000) {
+        let t = Timestamp::from_unix(unix);
+        let text = t.to_iso8601();
+        prop_assert_eq!(Timestamp::parse_iso8601(&text).expect("own format parses"), t);
+    }
+
+    #[test]
+    fn weekday_advances_by_one_per_day(unix in -1_000_000_000i64..1_000_000_000) {
+        let today = Timestamp::from_unix(unix);
+        let tomorrow = today + Duration::from_days(1);
+        // Weekdays cycle with period 7; consecutive days differ.
+        prop_assert_ne!(today.weekday(), tomorrow.weekday());
+        let week_later = today + Duration::from_days(7);
+        prop_assert_eq!(today.weekday(), week_later.weekday());
+    }
+
+    #[test]
+    fn align_down_is_idempotent_and_bounded(
+        unix in -1_000_000_000i64..4_000_000_000,
+        step_minutes in 1i64..120,
+    ) {
+        let t = Timestamp::from_unix(unix);
+        let step = Duration::from_minutes(step_minutes);
+        let aligned = t.align_down(step);
+        prop_assert!(aligned <= t);
+        prop_assert!((t - aligned).as_secs() < step.as_secs());
+        prop_assert_eq!(aligned.align_down(step), aligned);
+    }
+
+    #[test]
+    fn timestamp_arithmetic_is_consistent(
+        unix in -1_000_000_000i64..1_000_000_000,
+        delta in -1_000_000i64..1_000_000,
+    ) {
+        let t = Timestamp::from_unix(unix);
+        let d = Duration::from_secs(delta);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn hour_of_day_matches_civil(unix in -2_000_000_000i64..4_000_000_000) {
+        let t = Timestamp::from_unix(unix);
+        prop_assert_eq!(t.hour_of_day(), t.civil().hour);
+        let fractional = t.fractional_hour();
+        prop_assert!((0.0..24.0).contains(&fractional));
+        prop_assert_eq!(fractional.floor() as u8, t.hour_of_day());
+    }
+}

@@ -1,0 +1,287 @@
+//! The collection-process model.
+//!
+//! Fig. 2 and Fig. 3 of the paper measure the *collection*, not the
+//! network: which five-minute snapshots actually made it to disk. The
+//! observed structure is
+//!
+//! * the Europe map was collected over the whole July 2020 → September
+//!   2022 period at ≥ 99.8 % of the five-minute resolution;
+//! * the World, North America and Asia-Pacific maps were collected July →
+//!   late September 2020, then again from October 2021 — a year-long hole;
+//! * short gaps (one or two missing snapshots) are much more common on
+//!   the non-Europe maps (< 10 % of intervals are coarser than 5 min);
+//! * an operational issue was identified and fixed in May 2022, after
+//!   which short gaps become rarer;
+//! * a handful of multi-hour outages dot the whole period.
+//!
+//! This module reproduces that structure with scripted availability
+//! segments and hash-driven miss/burst/outage processes.
+
+use wm_model::{time::SNAPSHOT_INTERVAL, Duration, MapKind, Timestamp};
+
+use crate::config::SimulationConfig;
+use crate::rng::{hash_labels, unit_f64};
+
+/// When the operational issue was fixed (May 2022, §4).
+pub fn fix_date() -> Timestamp {
+    Timestamp::from_ymd(2022, 5, 16)
+}
+
+/// The collection plan of one map: availability segments plus stochastic
+/// miss processes.
+#[derive(Debug, Clone)]
+pub struct CollectionPlan {
+    map: MapKind,
+    seed: u64,
+    /// Closed-open availability windows.
+    segments: Vec<(Timestamp, Timestamp)>,
+    /// Per-snapshot miss probability before/after the May 2022 fix.
+    miss_rate: (f64, f64),
+    /// Per-day probability that a multi-snapshot burst gap occurs.
+    burst_rate: (f64, f64),
+}
+
+impl CollectionPlan {
+    /// Builds the plan of `map` under `config`.
+    #[must_use]
+    pub fn new(map: MapKind, config: &SimulationConfig) -> CollectionPlan {
+        let hole_start = Timestamp::from_ymd(2020, 9, 28);
+        let hole_end = Timestamp::from_ymd(2021, 10, 4);
+        let segments = if map == MapKind::Europe {
+            vec![(config.start, config.end)]
+        } else if config.start < hole_start && hole_end < config.end {
+            vec![(config.start, hole_start), (hole_end, config.end)]
+        } else {
+            vec![(config.start, config.end)]
+        };
+        let (miss_rate, burst_rate) = if map == MapKind::Europe {
+            ((0.0015, 0.0003), (0.004, 0.001))
+        } else {
+            ((0.045, 0.010), (0.030, 0.008))
+        };
+        CollectionPlan {
+            map,
+            seed: hash_labels(config.seed, &[0xC0_11_EC, map as u64]),
+            segments,
+            miss_rate,
+            burst_rate,
+        }
+    }
+
+    /// The availability segments (for Fig. 2's ground truth).
+    #[must_use]
+    pub fn segments(&self) -> &[(Timestamp, Timestamp)] {
+        &self.segments
+    }
+
+    /// Which map this plan covers.
+    #[must_use]
+    pub fn map(&self) -> MapKind {
+        self.map
+    }
+
+    /// Whether the collector was inside an availability window at `t`.
+    #[must_use]
+    pub fn available(&self, t: Timestamp) -> bool {
+        self.segments.iter().any(|(start, end)| *start <= t && t < *end)
+    }
+
+    /// Whether the snapshot at grid instant `t` was actually collected.
+    #[must_use]
+    pub fn collected(&self, t: Timestamp) -> bool {
+        if !self.available(t) {
+            return false;
+        }
+        let fixed = t >= fix_date();
+        let slot = t.unix().div_euclid(SNAPSHOT_INTERVAL.as_secs()) as u64;
+        let day = t.unix().div_euclid(86_400) as u64;
+
+        // Scripted multi-hour outages: roughly three per year per map.
+        let outage_key = hash_labels(self.seed, &[1, day]);
+        if unit_f64(outage_key) < 0.008 {
+            // The outage covers a hash-chosen window of 2–9 hours.
+            let start_hour = (hash_labels(self.seed, &[2, day]) % 15) as i64;
+            let len_hours = 2 + (hash_labels(self.seed, &[3, day]) % 8) as i64;
+            let hour = t.unix().rem_euclid(86_400) / 3_600;
+            if (start_hour..start_hour + len_hours).contains(&hour) {
+                return false;
+            }
+        }
+
+        // Burst gaps: a few consecutive snapshots missing.
+        let burst_rate = if fixed { self.burst_rate.1 } else { self.burst_rate.0 };
+        if unit_f64(hash_labels(self.seed, &[4, day])) < burst_rate {
+            let burst_start_slot = hash_labels(self.seed, &[5, day]) % 288;
+            let burst_len = 2 + hash_labels(self.seed, &[6, day]) % 5;
+            let slot_of_day = (t.unix().rem_euclid(86_400) / SNAPSHOT_INTERVAL.as_secs()) as u64;
+            if (burst_start_slot..burst_start_slot + burst_len).contains(&slot_of_day) {
+                return false;
+            }
+        }
+
+        // Independent single-snapshot misses.
+        let miss_rate = if fixed { self.miss_rate.1 } else { self.miss_rate.0 };
+        unit_f64(hash_labels(self.seed, &[7, slot])) >= miss_rate
+    }
+
+    /// All collected snapshot instants, on the five-minute grid.
+    pub fn collected_times(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        let step = SNAPSHOT_INTERVAL;
+        self.segments.iter().flat_map(move |(start, end)| {
+            let mut times = Vec::new();
+            let mut t = start.align_down(step);
+            if t < *start {
+                t += step;
+            }
+            while t < *end {
+                if self.collected(t) {
+                    times.push(t);
+                }
+                t += step;
+            }
+            times
+        })
+    }
+
+    /// Collected instants within `[from, to)` — for windowed experiments.
+    pub fn collected_times_between(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> impl Iterator<Item = Timestamp> + '_ {
+        let step = SNAPSHOT_INTERVAL;
+        let mut t = from.align_down(step);
+        if t < from {
+            t += step;
+        }
+        std::iter::from_fn(move || {
+            while t < to {
+                let cur = t;
+                t += step;
+                if self.collected(cur) {
+                    return Some(cur);
+                }
+            }
+            None
+        })
+    }
+}
+
+/// Gap durations between consecutive instants.
+#[must_use]
+pub fn gaps(times: &[Timestamp]) -> Vec<Duration> {
+    times.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SimulationConfig {
+        SimulationConfig::paper(17)
+    }
+
+    #[test]
+    fn europe_covers_the_whole_period() {
+        let plan = CollectionPlan::new(MapKind::Europe, &config());
+        assert_eq!(plan.segments().len(), 1);
+        assert!(plan.available(Timestamp::from_ymd(2021, 3, 1)));
+    }
+
+    #[test]
+    fn other_maps_have_the_year_long_hole() {
+        for map in [MapKind::World, MapKind::NorthAmerica, MapKind::AsiaPacific] {
+            let plan = CollectionPlan::new(map, &config());
+            assert_eq!(plan.segments().len(), 2, "{map}");
+            assert!(plan.available(Timestamp::from_ymd(2020, 8, 15)), "{map}");
+            assert!(!plan.available(Timestamp::from_ymd(2021, 3, 1)), "{map}");
+            assert!(plan.available(Timestamp::from_ymd(2022, 2, 1)), "{map}");
+        }
+    }
+
+    #[test]
+    fn europe_five_minute_coverage_matches_fig_3() {
+        let plan = CollectionPlan::new(MapKind::Europe, &config());
+        // Sample a pre-fix month.
+        let times: Vec<Timestamp> = plan
+            .collected_times_between(
+                Timestamp::from_ymd(2021, 2, 1),
+                Timestamp::from_ymd(2021, 3, 1),
+            )
+            .collect();
+        let gaps = gaps(&times);
+        let five_min = gaps.iter().filter(|g| g.as_secs() == 300).count();
+        let ratio = five_min as f64 / gaps.len() as f64;
+        assert!(ratio > 0.99, "Europe 5-min ratio {ratio}");
+    }
+
+    #[test]
+    fn non_europe_maps_are_coarser_but_mostly_under_ten_minutes() {
+        let plan = CollectionPlan::new(MapKind::NorthAmerica, &config());
+        let times: Vec<Timestamp> = plan
+            .collected_times_between(
+                Timestamp::from_ymd(2022, 1, 1),
+                Timestamp::from_ymd(2022, 2, 1),
+            )
+            .collect();
+        let gaps = gaps(&times);
+        let five_min = gaps.iter().filter(|g| g.as_secs() == 300).count() as f64;
+        let within_ten = gaps.iter().filter(|g| g.as_secs() <= 600).count() as f64;
+        let n = gaps.len() as f64;
+        assert!(five_min / n > 0.90, "five-minute share {}", five_min / n);
+        assert!(five_min / n < 0.999, "NA should be coarser than Europe");
+        assert!(within_ten / n > 0.97, "ten-minute share {}", within_ten / n);
+    }
+
+    #[test]
+    fn the_may_2022_fix_reduces_short_gaps() {
+        let plan = CollectionPlan::new(MapKind::AsiaPacific, &config());
+        let rate = |from: Timestamp, to: Timestamp| {
+            let times: Vec<Timestamp> =
+                plan.collected_times_between(from, to).collect();
+            let gaps = gaps(&times);
+            gaps.iter().filter(|g| g.as_secs() > 300).count() as f64 / gaps.len() as f64
+        };
+        let before = rate(Timestamp::from_ymd(2022, 3, 1), Timestamp::from_ymd(2022, 5, 1));
+        let after = rate(Timestamp::from_ymd(2022, 6, 1), Timestamp::from_ymd(2022, 8, 1));
+        assert!(after < before / 2.0, "gap rate before {before}, after {after}");
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        let a = CollectionPlan::new(MapKind::Europe, &config());
+        let b = CollectionPlan::new(MapKind::Europe, &config());
+        let window_start = Timestamp::from_ymd(2021, 6, 1);
+        let window_end = Timestamp::from_ymd(2021, 6, 8);
+        let ta: Vec<Timestamp> = a.collected_times_between(window_start, window_end).collect();
+        let tb: Vec<Timestamp> = b.collected_times_between(window_start, window_end).collect();
+        assert_eq!(ta, tb);
+        assert!(!ta.is_empty());
+    }
+
+    #[test]
+    fn outages_produce_multi_hour_gaps_somewhere() {
+        let plan = CollectionPlan::new(MapKind::Europe, &config());
+        let times: Vec<Timestamp> = plan
+            .collected_times_between(
+                Timestamp::from_ymd(2021, 1, 1),
+                Timestamp::from_ymd(2021, 7, 1),
+            )
+            .collect();
+        let max_gap = gaps(&times).into_iter().max().unwrap();
+        assert!(
+            max_gap >= Duration::from_hours(2),
+            "expected at least one multi-hour outage, max gap {max_gap}"
+        );
+    }
+
+    #[test]
+    fn collected_times_respects_grid() {
+        let plan = CollectionPlan::new(MapKind::Europe, &config());
+        for t in plan
+            .collected_times_between(Timestamp::from_ymd(2021, 1, 1), Timestamp::from_ymd(2021, 1, 2))
+        {
+            assert_eq!(t.unix() % 300, 0, "snapshot off the 5-minute grid: {t}");
+        }
+    }
+}

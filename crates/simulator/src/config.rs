@@ -1,0 +1,140 @@
+//! Simulation configuration and per-map sizing targets.
+
+use wm_model::{MapKind, Timestamp};
+
+/// Global configuration of a simulated weathermap world.
+///
+/// Everything the simulator does — topology genesis, evolution events,
+/// traffic, collection gaps, file corruption — is a deterministic function
+/// of this configuration. Two runs with equal configs produce
+/// byte-identical corpora.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// First instant of the collection period (the paper started in July
+    /// 2020).
+    pub start: Timestamp,
+    /// Last instant of the collection period (the paper's tables reference
+    /// 2022-09-12).
+    pub end: Timestamp,
+    /// Linear size factor applied to router/link targets. `1.0` reproduces
+    /// the paper-scale network; tests use smaller values for speed.
+    pub scale: f64,
+}
+
+impl SimulationConfig {
+    /// The paper-faithful configuration: July 2020 → September 2022 at
+    /// full network size.
+    #[must_use]
+    pub fn paper(seed: u64) -> SimulationConfig {
+        SimulationConfig {
+            seed,
+            start: Timestamp::from_ymd_hms(2020, 7, 15, 0, 0, 0),
+            end: Timestamp::from_ymd_hms(2022, 9, 12, 23, 55, 0),
+            scale: 1.0,
+        }
+    }
+
+    /// A reduced configuration for tests: the same two-year span but a
+    /// network roughly `scale` times the paper's size.
+    #[must_use]
+    pub fn scaled(seed: u64, scale: f64) -> SimulationConfig {
+        SimulationConfig { scale, ..SimulationConfig::paper(seed) }
+    }
+}
+
+/// Sizing targets for one map at the *reference date* (2022-09-12, the
+/// date of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapTargets {
+    /// OVH routers on the map.
+    pub routers: usize,
+    /// Internal links (between OVH routers), parallel links counted.
+    pub internal_links: usize,
+    /// External links (to peerings).
+    pub external_links: usize,
+    /// Peering boxes on the map.
+    pub peerings: usize,
+}
+
+/// The paper's Table 1 counts for a map, scaled by `scale`.
+///
+/// Scaling keeps at least two routers and one link so degenerate maps
+/// cannot arise in tests.
+#[must_use]
+pub fn targets(map: MapKind, scale: f64) -> MapTargets {
+    let paper = match map {
+        MapKind::Europe => MapTargets {
+            routers: 113,
+            internal_links: 744,
+            external_links: 265,
+            peerings: 30,
+        },
+        MapKind::World => MapTargets {
+            routers: 16,
+            internal_links: 76,
+            external_links: 0,
+            peerings: 0,
+        },
+        MapKind::NorthAmerica => MapTargets {
+            routers: 60,
+            internal_links: 407,
+            external_links: 214,
+            peerings: 20,
+        },
+        MapKind::AsiaPacific => MapTargets {
+            routers: 23,
+            internal_links: 96,
+            external_links: 39,
+            peerings: 12,
+        },
+    };
+    let s = |v: usize, min: usize| (((v as f64) * scale).round() as usize).max(min);
+    MapTargets {
+        routers: s(paper.routers, 2),
+        internal_links: s(paper.internal_links, 1),
+        external_links: if paper.external_links == 0 {
+            0
+        } else {
+            s(paper.external_links, 1)
+        },
+        peerings: if paper.peerings == 0 { 0 } else { s(paper.peerings, 1) },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_spans_the_collection_period() {
+        let c = SimulationConfig::paper(1);
+        assert_eq!(c.start.to_iso8601(), "2020-07-15T00:00:00Z");
+        assert_eq!(c.end.to_iso8601(), "2022-09-12T23:55:00Z");
+        assert_eq!(c.scale, 1.0);
+    }
+
+    #[test]
+    fn full_scale_targets_match_table_1() {
+        let t = targets(MapKind::Europe, 1.0);
+        assert_eq!((t.routers, t.internal_links, t.external_links), (113, 744, 265));
+        let t = targets(MapKind::World, 1.0);
+        assert_eq!((t.routers, t.internal_links, t.external_links), (16, 76, 0));
+        let t = targets(MapKind::NorthAmerica, 1.0);
+        assert_eq!((t.routers, t.internal_links, t.external_links), (60, 407, 214));
+        let t = targets(MapKind::AsiaPacific, 1.0);
+        assert_eq!((t.routers, t.internal_links, t.external_links), (23, 96, 39));
+    }
+
+    #[test]
+    fn scaling_shrinks_but_never_degenerates() {
+        let t = targets(MapKind::Europe, 0.1);
+        assert_eq!(t.routers, 11);
+        assert!(t.internal_links >= 1);
+        let tiny = targets(MapKind::AsiaPacific, 0.001);
+        assert!(tiny.routers >= 2);
+        // World keeps zero externals at any scale.
+        assert_eq!(targets(MapKind::World, 0.5).external_links, 0);
+    }
+}

@@ -1,0 +1,582 @@
+//! The two-year evolution timeline.
+//!
+//! §5's Fig. 4 narrates the Europe map's history: ten routers added from
+//! August to September 2020 with four removed shortly after (a
+//! make-before-break upgrade), four routers removed in June 2021, a short
+//! dip in August 2021 (maintenance), internal links growing by steps (one
+//! large step in November 2021) while external links grow gradually, and
+//! Fig. 6's AMS-IX upgrade in March 2022. This module scripts exactly
+//! those storylines (scaled by the configuration) plus quieter generic
+//! versions for the other maps.
+//!
+//! Planning happens in two passes so the end state lands on Table 1
+//! exactly: first the *plan* fixes every event count numerically, then
+//! genesis is built for `final targets − planned deltas`, and finally the
+//! plan is materialised into concrete events referencing genesis nodes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wm_model::{Duration, MapKind, NodeKind, Timestamp};
+
+use crate::config::{targets, MapTargets, SimulationConfig};
+use crate::genesis::{self, Genesis};
+use crate::names::router_name;
+use crate::state::{Event, NetworkState};
+
+/// One event with its occurrence time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// When the event takes effect.
+    pub at: Timestamp,
+    /// What happens.
+    pub event: Event,
+}
+
+/// The dated capacity record PeeringDB publishes for the Fig. 6 upgrade.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeeringDbRecord {
+    /// The peering LAN (e.g. `AMS-IX`).
+    pub peering: String,
+    /// When the record was updated.
+    pub at: Timestamp,
+    /// Total announced capacity after the update, in Gbps.
+    pub total_capacity_gbps: u32,
+}
+
+/// The Fig. 6 scenario milestones for one map, when it hosts the scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpgradeScenario {
+    /// The router-side endpoint of the upgraded group.
+    pub router: String,
+    /// The peering-side endpoint (`AMS-IX`).
+    pub peering: String,
+    /// Arrow *A*: the new link appears (inactive).
+    pub link_added: Timestamp,
+    /// Arrow *B*: PeeringDB announces the new total capacity.
+    pub peeringdb_updated: Timestamp,
+    /// Arrow *C*: the link starts carrying traffic.
+    pub link_activated: Timestamp,
+    /// The PeeringDB records (before and after).
+    pub peeringdb_records: Vec<PeeringDbRecord>,
+}
+
+/// A map's genesis plus its scripted future.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    /// Which map this timeline describes.
+    pub map: MapKind,
+    /// The initial state (July 2020).
+    pub genesis: Genesis,
+    /// All events, sorted by time.
+    pub events: Vec<ScheduledEvent>,
+    /// The Fig. 6 scenario, present on the Europe map at sufficient scale.
+    pub scenario: Option<UpgradeScenario>,
+}
+
+/// Numeric plan of every scripted change, fixed before genesis is built.
+#[derive(Debug, Clone, Default)]
+struct Plan {
+    mbb_adds: usize,
+    mbb_removes: usize,
+    jun_removals: usize,
+    dip_routers: usize,
+    links_per_new_router: usize,
+    internal_steps: Vec<(Timestamp, usize)>,
+    external_gradual: usize,
+    scenario: bool,
+}
+
+impl Plan {
+    fn router_delta(&self) -> i64 {
+        self.mbb_adds as i64 - self.mbb_removes as i64 - self.jun_removals as i64
+    }
+
+    fn internal_delta(&self) -> i64 {
+        let from_routers =
+            (self.mbb_adds - self.mbb_removes) * self.links_per_new_router;
+        let steps: usize = self.internal_steps.iter().map(|(_, k)| *k).sum();
+        from_routers as i64 + steps as i64 - self.jun_removals as i64
+    }
+
+    fn external_delta(&self) -> i64 {
+        self.external_gradual as i64 + i64::from(self.scenario)
+    }
+}
+
+fn make_plan(map: MapKind, config: &SimulationConfig, final_targets: &MapTargets) -> Plan {
+    let s = config.scale;
+    let n = |x: f64| (x * s).round() as usize;
+    let estimated_leaves = (final_targets.routers as f64 * 0.20) as usize;
+    match map {
+        MapKind::Europe => {
+            let mbb_adds = n(10.0);
+            let jun_removals = n(4.0).min(estimated_leaves / 2);
+            let dip_routers = n(2.0).min(estimated_leaves.saturating_sub(jun_removals));
+            Plan {
+                mbb_adds,
+                mbb_removes: (mbb_adds * 2) / 5,
+                jun_removals,
+                dip_routers,
+                links_per_new_router: 3,
+                internal_steps: vec![
+                    (Timestamp::from_ymd(2020, 10, 12), n(10.0)),
+                    (Timestamp::from_ymd(2021, 1, 18), n(10.0)),
+                    (Timestamp::from_ymd(2021, 4, 26), n(10.0)),
+                    (Timestamp::from_ymd(2021, 11, 8), n(40.0)), // the big step
+                    (Timestamp::from_ymd(2022, 2, 14), n(10.0)),
+                    (Timestamp::from_ymd(2022, 5, 23), n(10.0)),
+                ],
+                external_gradual: n(49.0),
+                scenario: final_targets.external_links >= 10,
+            }
+        }
+        MapKind::NorthAmerica => Plan {
+            mbb_adds: n(4.0),
+            mbb_removes: 0,
+            jun_removals: 0,
+            dip_routers: n(1.0).min(estimated_leaves),
+            links_per_new_router: 3,
+            internal_steps: vec![
+                (Timestamp::from_ymd(2020, 11, 16), n(9.0)),
+                (Timestamp::from_ymd(2021, 5, 10), n(9.0)),
+                (Timestamp::from_ymd(2021, 12, 6), n(9.0)),
+                (Timestamp::from_ymd(2022, 6, 13), n(8.0)),
+            ],
+            external_gradual: n(34.0),
+            scenario: false,
+        },
+        MapKind::AsiaPacific => Plan {
+            mbb_adds: n(1.0),
+            mbb_removes: 0,
+            jun_removals: 0,
+            dip_routers: 0,
+            links_per_new_router: 3,
+            internal_steps: vec![(Timestamp::from_ymd(2021, 9, 6), n(5.0))],
+            external_gradual: n(6.0),
+            scenario: false,
+        },
+        MapKind::World => Plan {
+            mbb_adds: n(1.0),
+            mbb_removes: 0,
+            jun_removals: 0,
+            dip_routers: 0,
+            links_per_new_router: 2,
+            internal_steps: vec![(Timestamp::from_ymd(2021, 7, 5), n(4.0))],
+            external_gradual: 0,
+            scenario: false,
+        },
+    }
+}
+
+impl Timeline {
+    /// Builds the timeline of one map.
+    ///
+    /// `gateways` is consulted only for the World map (see
+    /// [`genesis::build`]); it must contain at least one spare name beyond
+    /// the genesis router count for the scripted gateway addition.
+    #[must_use]
+    pub fn build(
+        map: MapKind,
+        config: &SimulationConfig,
+        gateways: &[(String, String)],
+    ) -> Timeline {
+        let final_targets = targets(map, config.scale);
+        let plan = make_plan(map, config, &final_targets);
+
+        let genesis_targets = MapTargets {
+            routers: (final_targets.routers as i64 - plan.router_delta()).max(2) as usize,
+            internal_links: (final_targets.internal_links as i64 - plan.internal_delta()).max(1)
+                as usize,
+            external_links: (final_targets.external_links as i64 - plan.external_delta()).max(0)
+                as usize,
+            peerings: final_targets.peerings,
+        };
+        let genesis = genesis::build(map, &genesis_targets, gateways, config.seed);
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ 0xE0E0 ^ (map as u64).wrapping_mul(0x517C_C1B7_2722_0A95),
+        );
+
+        let mut events: Vec<ScheduledEvent> = Vec::new();
+        let mut scenario = None;
+        let state = &genesis.state;
+
+        // --- Make-before-break router additions (Aug–Sep 2020) -----------
+        let mbb_window_start = Timestamp::from_ymd(2020, 8, 3);
+        let mut mbb_names: Vec<(String, String)> = Vec::new(); // (router, anchor core)
+        let genesis_router_count = state.routers().count();
+        for i in 0..plan.mbb_adds {
+            let core = genesis.core_routers[rng.gen_range(0..genesis.core_routers.len())].clone();
+            // The World map's routers are continental gateways; scripted
+            // additions borrow the next spare gateway name so router names
+            // keep overlapping across maps (the Table 1 dedup note).
+            let (name, site) = if map == MapKind::World {
+                let spare = gateways
+                    .get(genesis_router_count + i)
+                    .unwrap_or_else(|| panic!("no spare gateway name for scripted addition"));
+                spare.clone()
+            } else {
+                let site = state.nodes[state.node_idx(&core).expect("core exists")].site.clone();
+                (router_name(&site, 100 + i), site) // index offset avoids collisions
+            };
+            let at = if map == MapKind::World {
+                // The World gateway addition lands in March 2021 rather
+                // than the Europe-specific August window.
+                Timestamp::from_ymd(2021, 3, 15)
+            } else {
+                mbb_window_start
+                    + Duration::from_days((i as i64 * 40) / plan.mbb_adds.max(1) as i64)
+            };
+            events.push(ScheduledEvent {
+                at,
+                event: Event::AddRouter { name: name.clone(), site },
+            });
+            events.push(ScheduledEvent {
+                at,
+                event: Event::AddGroup {
+                    a: name.clone(),
+                    b: core.clone(),
+                    links: plan.links_per_new_router,
+                    capacity_gbps: 100,
+                },
+            });
+            mbb_names.push((name, core));
+        }
+        // ... and the removal of the replaced units shortly after.
+        let mbb_remove_start = Timestamp::from_ymd(2020, 9, 21);
+        for (i, (name, _)) in mbb_names.iter().take(plan.mbb_removes).enumerate() {
+            events.push(ScheduledEvent {
+                at: mbb_remove_start + Duration::from_days(3 * i as i64),
+                event: Event::RemoveRouter { name: name.clone() },
+            });
+        }
+
+        // --- June 2021 router removals ------------------------------------
+        let mut leaves = genesis.leaf_routers.clone();
+        leaves.shuffle(&mut rng);
+        let jun_start = Timestamp::from_ymd(2021, 6, 7);
+        for (i, leaf) in leaves.iter().take(plan.jun_removals).enumerate() {
+            events.push(ScheduledEvent {
+                at: jun_start + Duration::from_days(i as i64),
+                event: Event::RemoveRouter { name: leaf.clone() },
+            });
+        }
+
+        // --- August 2021 maintenance dip (remove, then restore) -----------
+        let dip_candidates: Vec<String> =
+            leaves.iter().skip(plan.jun_removals).take(plan.dip_routers).cloned().collect();
+        let dip_start = Timestamp::from_ymd(2021, 8, 9);
+        let dip_end = dip_start + Duration::from_days(12);
+        for name in &dip_candidates {
+            let idx = state.node_idx(name).expect("leaf exists at genesis");
+            let group = state
+                .groups
+                .iter()
+                .find(|g| g.a == idx || g.b == idx)
+                .expect("leaf has one group");
+            let other = if group.a == idx { group.b } else { group.a };
+            let core = state.nodes[other].name.clone();
+            let site = state.nodes[idx].site.clone();
+            events.push(ScheduledEvent {
+                at: dip_start,
+                event: Event::RemoveRouter { name: name.clone() },
+            });
+            events.push(ScheduledEvent {
+                at: dip_end,
+                event: Event::AddRouter { name: name.clone(), site },
+            });
+            events.push(ScheduledEvent {
+                at: dip_end,
+                event: Event::AddGroup { a: name.clone(), b: core, links: 1, capacity_gbps: 100 },
+            });
+        }
+
+        // --- Internal step upgrades ----------------------------------------
+        // Eligible: internal groups between non-leaf genesis routers.
+        let leaf_set: std::collections::HashSet<&String> = genesis.leaf_routers.iter().collect();
+        let internal_pairs: Vec<(String, String)> = state
+            .groups
+            .iter()
+            .filter(|g| {
+                state.nodes[g.a].kind == NodeKind::Router
+                    && state.nodes[g.b].kind == NodeKind::Router
+                    && !leaf_set.contains(&state.nodes[g.a].name)
+                    && !leaf_set.contains(&state.nodes[g.b].name)
+            })
+            .map(|g| (state.nodes[g.a].name.clone(), state.nodes[g.b].name.clone()))
+            .collect();
+        for (step_at, count) in &plan.internal_steps {
+            for i in 0..*count {
+                let (a, b) = internal_pairs[rng.gen_range(0..internal_pairs.len())].clone();
+                events.push(ScheduledEvent {
+                    // A step unrolls over a couple of days.
+                    at: *step_at + Duration::from_hours((i as i64 * 48) / (*count).max(1) as i64),
+                    event: Event::AddLink { a, b, active: true },
+                });
+            }
+        }
+
+        // --- Gradual external additions -------------------------------------
+        let external_pairs: Vec<(String, String)> = state
+            .groups
+            .iter()
+            .filter(|g| {
+                let external = state.nodes[g.a].kind != state.nodes[g.b].kind;
+                let is_scenario = genesis.scenario_group.as_ref().is_some_and(|(r, p)| {
+                    (state.nodes[g.a].name == *r && state.nodes[g.b].name == *p)
+                        || (state.nodes[g.b].name == *r && state.nodes[g.a].name == *p)
+                });
+                external && !is_scenario
+            })
+            .map(|g| (state.nodes[g.a].name.clone(), state.nodes[g.b].name.clone()))
+            .collect();
+        if !external_pairs.is_empty() {
+            let span_days = (config.end - config.start).as_days_f64().max(1.0) as i64;
+            for i in 0..plan.external_gradual {
+                let day = (i as i64 * span_days) / plan.external_gradual.max(1) as i64
+                    + rng.gen_range(0..5);
+                let (a, b) = external_pairs[rng.gen_range(0..external_pairs.len())].clone();
+                events.push(ScheduledEvent {
+                    at: config.start + Duration::from_days(day.min(span_days - 1)),
+                    event: Event::AddLink { a, b, active: true },
+                });
+            }
+        }
+
+        // --- The Fig. 6 AMS-IX upgrade -------------------------------------
+        if plan.scenario {
+            if let Some((router, peering)) = genesis.scenario_group.clone() {
+                let link_added = Timestamp::from_ymd_hms(2022, 3, 5, 11, 20, 0);
+                let peeringdb_updated = Timestamp::from_ymd_hms(2022, 3, 14, 9, 0, 0);
+                let link_activated = Timestamp::from_ymd_hms(2022, 3, 19, 14, 35, 0);
+                events.push(ScheduledEvent {
+                    at: link_added,
+                    event: Event::AddLink { a: router.clone(), b: peering.clone(), active: false },
+                });
+                events.push(ScheduledEvent {
+                    at: link_activated,
+                    event: Event::ActivateLinks { a: router.clone(), b: peering.clone() },
+                });
+                scenario = Some(UpgradeScenario {
+                    router,
+                    peering: peering.clone(),
+                    link_added,
+                    peeringdb_updated,
+                    link_activated,
+                    peeringdb_records: vec![
+                        PeeringDbRecord {
+                            peering: peering.clone(),
+                            at: Timestamp::from_ymd(2019, 5, 20),
+                            total_capacity_gbps: 400,
+                        },
+                        PeeringDbRecord {
+                            peering,
+                            at: peeringdb_updated,
+                            total_capacity_gbps: 500,
+                        },
+                    ],
+                });
+            }
+        }
+
+        events.sort_by_key(|e| e.at);
+        Timeline { map, genesis, events, scenario }
+    }
+
+    /// The network state at `t`, replaying all events up to and including
+    /// that instant.
+    ///
+    /// Replay cost is `O(events)`; sequential consumers should use
+    /// [`Timeline::cursor`] instead.
+    #[must_use]
+    pub fn state_at(&self, t: Timestamp) -> NetworkState {
+        let mut state = self.genesis.state.clone();
+        for scheduled in &self.events {
+            if scheduled.at > t {
+                break;
+            }
+            state
+                .apply(&scheduled.event)
+                .unwrap_or_else(|e| panic!("scripted event invalid at {}: {e}", scheduled.at));
+        }
+        state
+    }
+
+    /// An incremental cursor positioned at genesis.
+    #[must_use]
+    pub fn cursor(&self) -> TimelineCursor<'_> {
+        TimelineCursor { timeline: self, state: self.genesis.state.clone(), next_event: 0 }
+    }
+}
+
+/// A forward-only cursor over a [`Timeline`], amortising event replay for
+/// sequential snapshot generation.
+#[derive(Debug, Clone)]
+pub struct TimelineCursor<'t> {
+    timeline: &'t Timeline,
+    state: NetworkState,
+    next_event: usize,
+}
+
+impl TimelineCursor<'_> {
+    /// Advances to `t` (which must not precede earlier calls) and returns
+    /// the state.
+    pub fn advance_to(&mut self, t: Timestamp) -> &NetworkState {
+        while let Some(scheduled) = self.timeline.events.get(self.next_event) {
+            if scheduled.at > t {
+                break;
+            }
+            self.state
+                .apply(&scheduled.event)
+                .unwrap_or_else(|e| panic!("scripted event invalid at {}: {e}", scheduled.at));
+            self.next_event += 1;
+        }
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn europe_timeline(scale: f64) -> Timeline {
+        Timeline::build(MapKind::Europe, &SimulationConfig::scaled(42, scale), &[])
+    }
+
+    #[test]
+    fn end_state_matches_table_1_at_full_scale() {
+        let tl = europe_timeline(1.0);
+        let end = SimulationConfig::paper(42).end;
+        let state = tl.state_at(end);
+        let t = targets(MapKind::Europe, 1.0);
+        assert_eq!(state.routers().count(), t.routers);
+        let (internal, external) = state.link_counts();
+        assert_eq!(internal, t.internal_links);
+        assert_eq!(external, t.external_links);
+    }
+
+    #[test]
+    fn all_maps_land_on_their_targets() {
+        let config = SimulationConfig::paper(7);
+        let gws: Vec<(String, String)> =
+            (0..20).map(|i| (router_name("rbx", i), "rbx".to_owned())).collect();
+        for map in MapKind::ALL {
+            let tl = Timeline::build(map, &config, &gws);
+            let state = tl.state_at(config.end);
+            let t = targets(map, 1.0);
+            assert_eq!(state.routers().count(), t.routers, "{map} routers");
+            let (i, e) = state.link_counts();
+            assert_eq!(i, t.internal_links, "{map} internal");
+            assert_eq!(e, t.external_links, "{map} external");
+        }
+    }
+
+    #[test]
+    fn mbb_bump_is_visible_in_router_counts() {
+        let tl = europe_timeline(1.0);
+        let genesis_routers = tl.genesis.state.routers().count();
+        // Mid-September 2020: all ten added, removals not yet done.
+        let peak = tl.state_at(Timestamp::from_ymd(2020, 9, 20)).routers().count();
+        assert_eq!(peak, genesis_routers + 10);
+        // Late October 2020: four removed again.
+        let settled = tl.state_at(Timestamp::from_ymd(2020, 10, 31)).routers().count();
+        assert_eq!(settled, genesis_routers + 6);
+    }
+
+    #[test]
+    fn june_2021_removal_shows() {
+        let tl = europe_timeline(1.0);
+        let before = tl.state_at(Timestamp::from_ymd(2021, 6, 1)).routers().count();
+        let after = tl.state_at(Timestamp::from_ymd(2021, 6, 30)).routers().count();
+        assert_eq!(after, before - 4);
+    }
+
+    #[test]
+    fn august_2021_dip_recovers() {
+        let tl = europe_timeline(1.0);
+        let before = tl.state_at(Timestamp::from_ymd(2021, 8, 1)).routers().count();
+        let during = tl.state_at(Timestamp::from_ymd(2021, 8, 15)).routers().count();
+        let after = tl.state_at(Timestamp::from_ymd(2021, 9, 5)).routers().count();
+        assert_eq!(during, before - 2);
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn november_2021_internal_step() {
+        let tl = europe_timeline(1.0);
+        let (before, _) = tl.state_at(Timestamp::from_ymd(2021, 11, 1)).link_counts();
+        let (after, _) = tl.state_at(Timestamp::from_ymd(2021, 11, 20)).link_counts();
+        assert_eq!(after, before + 40);
+    }
+
+    #[test]
+    fn external_links_grow_gradually() {
+        let tl = europe_timeline(1.0);
+        let quarters = [
+            Timestamp::from_ymd(2020, 7, 15),
+            Timestamp::from_ymd(2021, 1, 15),
+            Timestamp::from_ymd(2021, 7, 15),
+            Timestamp::from_ymd(2022, 1, 15),
+            Timestamp::from_ymd(2022, 9, 12),
+        ];
+        let counts: Vec<usize> =
+            quarters.iter().map(|t| tl.state_at(*t).link_counts().1).collect();
+        for pair in counts.windows(2) {
+            assert!(pair[1] > pair[0], "external links must grow: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn scenario_milestones_change_the_group() {
+        let tl = europe_timeline(1.0);
+        let sc = tl.scenario.clone().expect("Europe hosts the scenario");
+        let before = tl.state_at(sc.link_added - Duration::from_hours(1));
+        let g = before.group_between(&sc.router, &sc.peering).unwrap();
+        assert_eq!((g.links.len(), g.active_links()), (4, 4));
+
+        let added = tl.state_at(sc.link_added + Duration::from_hours(1));
+        let g = added.group_between(&sc.router, &sc.peering).unwrap();
+        assert_eq!((g.links.len(), g.active_links()), (5, 4));
+
+        let active = tl.state_at(sc.link_activated + Duration::from_hours(1));
+        let g = active.group_between(&sc.router, &sc.peering).unwrap();
+        assert_eq!((g.links.len(), g.active_links()), (5, 5));
+
+        // PeeringDB: 400 → 500 Gbps, i.e. 100 Gbps per link over 4 links.
+        assert_eq!(sc.peeringdb_records.last().unwrap().total_capacity_gbps, 500);
+        assert!(sc.link_added < sc.peeringdb_updated);
+        assert!(sc.peeringdb_updated < sc.link_activated);
+    }
+
+    #[test]
+    fn cursor_matches_random_access() {
+        let tl = europe_timeline(0.3);
+        let mut cursor = tl.cursor();
+        let mut t = Timestamp::from_ymd(2020, 7, 15);
+        let end = Timestamp::from_ymd(2022, 9, 12);
+        while t < end {
+            let incremental = cursor.advance_to(t).clone();
+            assert_eq!(incremental, tl.state_at(t), "divergence at {t}");
+            t += Duration::from_days(30);
+        }
+    }
+
+    #[test]
+    fn events_are_sorted() {
+        let tl = europe_timeline(1.0);
+        assert!(tl.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(!tl.events.is_empty());
+    }
+
+    #[test]
+    fn small_scale_timeline_is_consistent() {
+        let tl = europe_timeline(0.15);
+        let config = SimulationConfig::scaled(42, 0.15);
+        let state = tl.state_at(config.end);
+        let t = targets(MapKind::Europe, 0.15);
+        assert_eq!(state.routers().count(), t.routers);
+        let (i, e) = state.link_counts();
+        assert_eq!(i, t.internal_links);
+        assert_eq!(e, t.external_links);
+    }
+}

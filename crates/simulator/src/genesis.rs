@@ -1,0 +1,458 @@
+//! Initial topology construction.
+//!
+//! Builds the July-2020 state of each map so that, after the scripted
+//! evolution of [`crate::evolution`] runs to September 2022, the network
+//! lands on the paper's Table 1 counts. The construction follows the
+//! structure §5 reveals:
+//!
+//! * every site has a pair of *core* routers with fat parallel-link groups
+//!   between them, around a ring (plus chords) of inter-site core links —
+//!   these are the Fig. 4c routers with more than 20 links;
+//! * *aggregation* routers dual-home onto their site's cores;
+//! * *leaf* routers attach with a single link — the >20 % of routers that
+//!   appear with degree 1 because their other connections are outside the
+//!   backbone map;
+//! * peerings attach to core routers of the major sites with their own
+//!   parallel groups (externals), absent from the World map.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wm_model::MapKind;
+
+use crate::config::MapTargets;
+use crate::names::{peering_names, router_name, site_codes};
+use crate::state::{Event, NetworkState};
+
+/// The constructed genesis state plus the structural roles the evolution
+/// script needs to reference.
+#[derive(Debug, Clone)]
+pub struct Genesis {
+    /// The initial network state.
+    pub state: NetworkState,
+    /// Routers with exactly one link (safe to remove in maintenance
+    /// events without stranding a scripted link addition).
+    pub leaf_routers: Vec<String>,
+    /// Core routers, in site order (anchors for scripted additions).
+    pub core_routers: Vec<String>,
+    /// The endpoints of the Fig. 6 scenario group (`router`, `AMS-IX`),
+    /// when this map hosts it.
+    pub scenario_group: Option<(String, String)>,
+}
+
+/// Fraction of routers that are single-link leaves at genesis. Chosen so
+/// that after the scripted June-2021 leaf removals the reference-date
+/// fraction stays above the >20 % Fig. 4c reports.
+const LEAF_FRACTION: f64 = 0.26;
+
+/// Builds the genesis state of one continental map.
+///
+/// `gateways` must be empty for continental maps; for [`MapKind::World`]
+/// it lists the `(name, site)` pairs of intercontinental gateway routers
+/// borrowed from the other maps.
+#[must_use]
+pub fn build(
+    map: MapKind,
+    targets: &MapTargets,
+    gateways: &[(String, String)],
+    seed: u64,
+) -> Genesis {
+    let mut rng = StdRng::seed_from_u64(seed ^ (map as u64).wrapping_mul(0x9E37_79B9));
+    let mut state = NetworkState::new(map);
+
+    if map == MapKind::World {
+        return build_world(state, targets, gateways, &mut rng);
+    }
+
+    // --- Router placement ------------------------------------------------
+    let sites = site_codes(map);
+    let n_sites = (targets.routers / 7).clamp(2, sites.len());
+    let sites = &sites[..n_sites];
+
+    let leaf_count = ((targets.routers as f64 * LEAF_FRACTION).round() as usize)
+        .min(targets.routers.saturating_sub(2 * n_sites));
+    let core_count = (2 * n_sites).min(targets.routers - leaf_count);
+    let agg_count = targets.routers - core_count - leaf_count;
+
+    let mut core_routers: Vec<String> = Vec::new();
+    let mut cores_by_site: Vec<Vec<String>> = vec![Vec::new(); n_sites];
+    let mut next_index = vec![0usize; n_sites];
+    for s in 0..n_sites {
+        let per_site_cores = if core_count >= 2 * n_sites { 2 } else { 1 };
+        for _ in 0..per_site_cores {
+            if core_routers.len() >= core_count {
+                break;
+            }
+            let name = router_name(sites[s], next_index[s]);
+            next_index[s] += 1;
+            state
+                .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+                .expect("fresh router");
+            cores_by_site[s].push(name.clone());
+            core_routers.push(name);
+        }
+    }
+
+    // Aggregation routers: weighted to the first (major) sites.
+    let mut agg_by_site: Vec<Vec<String>> = vec![Vec::new(); n_sites];
+    for i in 0..agg_count {
+        // Triangular weighting: site 0 gets the most.
+        let s = weighted_site(&mut rng, n_sites);
+        let name = router_name(sites[s], next_index[s]);
+        next_index[s] += 1;
+        state
+            .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+            .expect("fresh router");
+        agg_by_site[s].push(name);
+        let _ = i;
+    }
+
+    // Leaf routers.
+    let mut leaf_routers: Vec<String> = Vec::new();
+    for _ in 0..leaf_count {
+        let s = weighted_site(&mut rng, n_sites);
+        let name = router_name(sites[s], next_index[s]);
+        next_index[s] += 1;
+        state
+            .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+            .expect("fresh router");
+        leaf_routers.push(name);
+    }
+
+    // --- Internal groups --------------------------------------------------
+    let add_group = |state: &mut NetworkState, a: &str, b: &str, links: usize| {
+        if a != b && state.group_between(a, b).is_none() {
+            state
+                .apply(&Event::AddGroup {
+                    a: a.to_owned(),
+                    b: b.to_owned(),
+                    links,
+                    capacity_gbps: 100,
+                })
+                .expect("valid group");
+        }
+    };
+
+    // Intra-site core pair.
+    for cores in cores_by_site.iter().filter(|c| c.len() >= 2) {
+        let links = rng.gen_range(5..=9);
+        add_group(&mut state, &cores[0], &cores[1], links);
+    }
+    // Inter-site ring over first cores.
+    for s in 0..n_sites {
+        let next = (s + 1) % n_sites;
+        if n_sites > 2 || s < next {
+            let links = rng.gen_range(5..=9);
+            add_group(&mut state, &cores_by_site[s][0], &cores_by_site[next][0], links);
+        }
+    }
+    // Chords between second cores of nearby major sites.
+    for s in 0..n_sites.saturating_sub(2) {
+        if s % 2 == 0 {
+            let a = cores_by_site[s].last().expect("site has a core");
+            let b = cores_by_site[s + 2].last().expect("site has a core");
+            let links = rng.gen_range(4..=8);
+            add_group(&mut state, a, b, links);
+        }
+    }
+    // Aggregation dual-homing.
+    for (s, aggs) in agg_by_site.iter().enumerate() {
+        for agg in aggs {
+            for core in &cores_by_site[s] {
+                let links = rng.gen_range(2..=5);
+                add_group(&mut state, agg, core, links);
+            }
+        }
+    }
+    // Leaves: single link to a core of their site.
+    for leaf in &leaf_routers {
+        let site = state.nodes[state.node_idx(leaf).expect("leaf exists")].site.clone();
+        let s = sites.iter().position(|c| *c == site).expect("known site");
+        let core = cores_by_site[s][0].clone();
+        add_group(&mut state, leaf, &core, 1);
+    }
+
+    calibrate_links(&mut state, targets.internal_links, true, &mut rng, &[]);
+
+    // --- Peerings and external groups --------------------------------------
+    let mut scenario_group = None;
+    if targets.peerings > 0 {
+        let pool = peering_names(map);
+        let n_peerings = targets.peerings.min(pool.len());
+        for name in &pool[..n_peerings] {
+            state.apply(&Event::AddPeering { name: (*name).to_owned() }).expect("fresh peering");
+        }
+        let mut protected: Vec<u64> = Vec::new();
+        for (i, name) in pool[..n_peerings].iter().enumerate() {
+            // Peerings attach to core routers of the major sites; big
+            // exchanges get two attachment routers.
+            let attachments = if i < n_peerings / 3 { 2 } else { 1 };
+            for k in 0..attachments {
+                let core = &core_routers[(i * 3 + k * 5) % core_routers.len()];
+                if state.group_between(core, name).is_some() {
+                    continue;
+                }
+                // Fig. 6: AMS-IX starts with exactly four 100 Gbps links.
+                let links = if map == MapKind::Europe && *name == "AMS-IX" && k == 0 {
+                    4
+                } else {
+                    rng.gen_range(2..=8)
+                };
+                state
+                    .apply(&Event::AddGroup {
+                        a: core.clone(),
+                        b: (*name).to_owned(),
+                        links,
+                        capacity_gbps: 100,
+                    })
+                    .expect("valid external group");
+                if map == MapKind::Europe && *name == "AMS-IX" && k == 0 {
+                    scenario_group = Some((core.clone(), (*name).to_owned()));
+                    let gid = state.group_between(core, name).expect("just added").id;
+                    protected.push(gid);
+                }
+            }
+        }
+        calibrate_links(&mut state, targets.external_links, false, &mut rng, &protected);
+    }
+
+    Genesis { state, leaf_routers, core_routers, scenario_group }
+}
+
+/// World-map genesis: a mesh of intercontinental gateway routers.
+fn build_world(
+    mut state: NetworkState,
+    targets: &MapTargets,
+    gateways: &[(String, String)],
+    rng: &mut StdRng,
+) -> Genesis {
+    assert!(!gateways.is_empty(), "the World map needs gateway routers");
+    let n = targets.routers.min(gateways.len());
+    for (name, site) in &gateways[..n] {
+        state
+            .apply(&Event::AddRouter { name: name.clone(), site: site.clone() })
+            .expect("fresh gateway");
+    }
+    let names: Vec<String> = gateways[..n].iter().map(|(name, _)| name.clone()).collect();
+    // Ring plus long-haul chords, modest parallelism (submarine systems).
+    for i in 0..names.len() {
+        let j = (i + 1) % names.len();
+        if names.len() > 2 || i < j {
+            let links = rng.gen_range(2..=5);
+            state
+                .apply(&Event::AddGroup {
+                    a: names[i].clone(),
+                    b: names[j].clone(),
+                    links,
+                    capacity_gbps: 100,
+                })
+                .expect("valid world group");
+        }
+    }
+    for i in (0..names.len().saturating_sub(3)).step_by(3) {
+        if state.group_between(&names[i], &names[i + 3]).is_none() {
+            let links = rng.gen_range(2..=4);
+            state
+                .apply(&Event::AddGroup {
+                    a: names[i].clone(),
+                    b: names[i + 3].clone(),
+                    links,
+                    capacity_gbps: 100,
+                })
+                .expect("valid world chord");
+        }
+    }
+    calibrate_links(&mut state, targets.internal_links, true, rng, &[]);
+    Genesis {
+        state,
+        leaf_routers: Vec::new(),
+        core_routers: names,
+        scenario_group: None,
+    }
+}
+
+/// Triangularly weighted site index: site 0 is the largest.
+fn weighted_site(rng: &mut StdRng, n_sites: usize) -> usize {
+    let a = rng.gen_range(0..n_sites);
+    let b = rng.gen_range(0..n_sites);
+    a.min(b)
+}
+
+/// Adds/removes parallel links on eligible groups until the link count of
+/// the requested kind matches `target` exactly.
+///
+/// Eligible groups have at least two links (single-link leaf groups are
+/// the Fig. 4c degree-1 routers and must not change) and are not in
+/// `protected` (the Fig. 6 scenario group keeps exactly its scripted
+/// multiplicity).
+fn calibrate_links(
+    state: &mut NetworkState,
+    target: usize,
+    internal: bool,
+    rng: &mut StdRng,
+    protected: &[u64],
+) {
+    let count = |state: &NetworkState| {
+        let (i, e) = state.link_counts();
+        if internal {
+            i
+        } else {
+            e
+        }
+    };
+    let eligible_pairs = |state: &NetworkState| -> Vec<(String, String)> {
+        state
+            .groups
+            .iter()
+            .filter(|g| {
+                let kind_matches = {
+                    let both_routers = state.nodes[g.a].kind == wm_model::NodeKind::Router
+                        && state.nodes[g.b].kind == wm_model::NodeKind::Router;
+                    both_routers == internal
+                };
+                kind_matches && g.links.len() >= 2 && !protected.contains(&g.id)
+            })
+            .map(|g| (state.nodes[g.a].name.clone(), state.nodes[g.b].name.clone()))
+            .collect()
+    };
+    // Safety valve: each iteration changes the count by one, so the loop
+    // terminates unless no group is eligible.
+    for _ in 0..100_000 {
+        let current = count(state);
+        if current == target {
+            return;
+        }
+        let mut pairs = eligible_pairs(state);
+        if pairs.is_empty() {
+            return; // Nothing adjustable; accept the approximation.
+        }
+        pairs.shuffle(rng);
+        let (a, b) = pairs[0].clone();
+        let event = if current < target {
+            Event::AddLink { a, b, active: true }
+        } else {
+            // Keep at least two links so the group stays "parallel".
+            let group = state.group_between(&pairs[0].0, &pairs[0].1).expect("listed");
+            if group.links.len() <= 2 {
+                // Try another group next round; mark by skipping.
+                continue;
+            }
+            Event::RemoveLink { a, b }
+        };
+        state.apply(&event).expect("calibration event is valid");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::targets;
+
+    fn europe(scale: f64) -> Genesis {
+        build(MapKind::Europe, &targets(MapKind::Europe, scale), &[], 42)
+    }
+
+    #[test]
+    fn europe_full_scale_hits_table_1_counts() {
+        let g = europe(1.0);
+        let t = targets(MapKind::Europe, 1.0);
+        assert_eq!(g.state.routers().count(), t.routers);
+        let (internal, external) = g.state.link_counts();
+        assert_eq!(internal, t.internal_links);
+        assert_eq!(external, t.external_links);
+        assert_eq!(g.state.peerings().count(), t.peerings);
+    }
+
+    #[test]
+    fn all_maps_build_at_full_and_small_scale() {
+        for map in [MapKind::Europe, MapKind::NorthAmerica, MapKind::AsiaPacific] {
+            for scale in [1.0, 0.2] {
+                let t = targets(map, scale);
+                let g = build(map, &t, &[], 7);
+                assert_eq!(g.state.routers().count(), t.routers, "{map} scale {scale}");
+                let (i, e) = g.state.link_counts();
+                assert_eq!(i, t.internal_links, "{map} scale {scale} internal");
+                assert_eq!(e, t.external_links, "{map} scale {scale} external");
+            }
+        }
+    }
+
+    #[test]
+    fn world_map_uses_gateways_and_has_no_peerings() {
+        let gws: Vec<(String, String)> = (0..16)
+            .map(|i| (router_name("rbx", i), "rbx".to_owned()))
+            .collect();
+        let t = targets(MapKind::World, 1.0);
+        let g = build(MapKind::World, &t, &gws, 9);
+        assert_eq!(g.state.routers().count(), 16);
+        assert_eq!(g.state.peerings().count(), 0);
+        let (i, e) = g.state.link_counts();
+        assert_eq!(i, t.internal_links);
+        assert_eq!(e, 0);
+    }
+
+    #[test]
+    fn leaf_routers_have_exactly_one_link() {
+        let g = europe(1.0);
+        for leaf in &g.leaf_routers {
+            let idx = g.state.node_idx(leaf).unwrap();
+            let degree: usize = g
+                .state
+                .groups
+                .iter()
+                .filter(|grp| grp.a == idx || grp.b == idx)
+                .map(|grp| grp.links.len())
+                .sum();
+            assert_eq!(degree, 1, "leaf {leaf} has degree {degree}");
+        }
+        // And they are >20 % of the routers (Fig. 4c).
+        assert!(g.leaf_routers.len() * 5 > g.state.routers().count());
+    }
+
+    #[test]
+    fn scenario_group_is_four_links_to_ams_ix() {
+        let g = europe(1.0);
+        let (router, peering) = g.scenario_group.clone().expect("Europe hosts the scenario");
+        assert_eq!(peering, "AMS-IX");
+        let group = g.state.group_between(&router, &peering).expect("exists");
+        assert_eq!(group.links.len(), 4);
+        assert_eq!(group.capacity_gbps, 100);
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        let a = europe(0.3);
+        let b = europe(0.3);
+        assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let t = targets(MapKind::Europe, 0.3);
+        let a = build(MapKind::Europe, &t, &[], 1);
+        let b = build(MapKind::Europe, &t, &[], 2);
+        assert_ne!(a.state, b.state);
+    }
+
+    #[test]
+    fn core_routers_are_heavily_connected_at_full_scale() {
+        let g = europe(1.0);
+        let heavy = g
+            .state
+            .routers()
+            .filter(|r| {
+                let idx = g.state.node_idx(&r.name).unwrap();
+                let degree: usize = g
+                    .state
+                    .groups
+                    .iter()
+                    .filter(|grp| grp.a == idx || grp.b == idx)
+                    .map(|grp| grp.links.len())
+                    .sum();
+                degree > 20
+            })
+            .count();
+        // Fig. 4c: more than 20 % of routers have more than 20 links.
+        assert!(heavy * 5 > g.state.routers().count(), "only {heavy} heavy routers");
+    }
+}

@@ -1,0 +1,595 @@
+//! 2-D placement of the weathermap.
+//!
+//! The extraction algorithms recover topology purely from geometry, so the
+//! layout engine must uphold three invariants that make Algorithm 2's
+//! greedy attribution provably correct:
+//!
+//! 1. **Disjoint boxes** — node boxes never overlap, and every link end
+//!    lies exactly on its own node's box boundary, so the nearest box to
+//!    an end (by box-distance) is always the true endpoint.
+//! 2. **Port separation** — every physical link gets its own *port*: a
+//!    dedicated stretch of its node's box perimeter, [`LANE_STEP`] wide,
+//!    with extra clearance between different link groups. Link ends are
+//!    therefore pairwise farther apart than a link end is from its own
+//!    label, so the closest label to any end is always its own.
+//! 3. **Labels hug their ends** — `#n` labels sit a fixed short distance
+//!    from the link end they describe, which is also the threshold the
+//!    extraction sanity check enforces.
+//!
+//! Nodes are placed on a site-grouped grid: routers cluster by site like
+//! the real map's geographic clusters, peerings fill the trailing cells.
+
+use wm_geometry::{Point, Rect, Segment, Vec2};
+
+use crate::state::{NetworkState, NodeIdx};
+
+/// Distance between adjacent parallel lanes, in SVG units.
+pub const LANE_STEP: f64 = 18.0;
+/// Distance from a link end to the centre of its `#n` label box.
+pub const LABEL_DISTANCE: f64 = 8.0;
+/// Link-label box size (fits `#16`, kept small so a label box can only
+/// ever intersect its own lane's carrier line — see invariant 2 above).
+pub const LABEL_BOX: (f64, f64) = (14.0, 7.0);
+/// Free space around node boxes within a grid cell.
+const CELL_PADDING: (f64, f64) = (150.0, 90.0);
+/// Canvas margin.
+const MARGIN: f64 = 60.0;
+
+/// Geometry of one node box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeLayout {
+    /// Index into [`NetworkState::nodes`].
+    pub idx: NodeIdx,
+    /// The white box.
+    pub rect: Rect,
+    /// Anchor of the name text (baseline start, inside the box).
+    pub name_anchor: Point,
+}
+
+/// Geometry of one parallel lane (one physical link).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneLayout {
+    /// Index into [`NetworkState::groups`].
+    pub group: usize,
+    /// Index into the group's link vector.
+    pub slot: usize,
+    /// Link end on node `a`'s box boundary.
+    pub end_a: Point,
+    /// Link end on node `b`'s box boundary.
+    pub end_b: Point,
+    /// Distance from `end_a` to the centre of its `#n` label
+    /// (starts at [`LABEL_DISTANCE`], may be reduced by the fix-up pass).
+    pub label_d_a: f64,
+    /// Distance from `end_b` to the centre of its `#n` label.
+    pub label_d_b: f64,
+}
+
+impl LaneLayout {
+    /// The lane as a segment from `a` to `b`.
+    #[must_use]
+    pub fn segment(&self) -> Segment {
+        Segment::new(self.end_a, self.end_b)
+    }
+}
+
+/// The complete placed map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapLayout {
+    /// Canvas width.
+    pub width: f64,
+    /// Canvas height.
+    pub height: f64,
+    /// Placed nodes (present nodes only), in state order.
+    pub nodes: Vec<NodeLayout>,
+    /// Placed lanes, in `(group, slot)` order.
+    pub lanes: Vec<LaneLayout>,
+}
+
+impl MapLayout {
+    /// The layout of a node by state index.
+    #[must_use]
+    pub fn node(&self, idx: NodeIdx) -> Option<&NodeLayout> {
+        self.nodes.iter().find(|n| n.idx == idx)
+    }
+}
+
+/// Clearance between the port intervals of different link groups on one
+/// box perimeter.
+const GROUP_GAP: f64 = 14.0;
+
+/// Places a network state on the canvas.
+#[must_use]
+pub fn layout(state: &NetworkState) -> MapLayout {
+    // --- Box sizing --------------------------------------------------------
+    // Each node's box perimeter must fit one port (LANE_STEP wide) per
+    // physical link, plus inter-group clearance.
+    let mut required_perimeter: Vec<f64> = vec![0.0; state.nodes.len()];
+    for group in &state.groups {
+        let width = group.links.len() as f64 * LANE_STEP + GROUP_GAP;
+        required_perimeter[group.a] += width;
+        required_perimeter[group.b] += width;
+    }
+    let box_size = |idx: NodeIdx| -> (f64, f64) {
+        let name_len = state.nodes[idx].name.len() as f64;
+        let mut width = name_len * 7.5 + 14.0;
+        let mut height = 26.0;
+        let deficit = required_perimeter[idx] / 2.0 - (width + height);
+        if deficit > 0.0 {
+            width += deficit / 2.0;
+            height += deficit / 2.0;
+        }
+        (width, height)
+    };
+
+    // --- Grid placement ------------------------------------------------------
+    // Present routers grouped by site, then peerings.
+    let mut order: Vec<NodeIdx> = Vec::new();
+    let mut sites: Vec<&str> = Vec::new();
+    for node in state.nodes.iter().filter(|n| n.present) {
+        if !sites.contains(&node.site.as_str()) {
+            sites.push(&node.site);
+        }
+    }
+    for site in &sites {
+        for (idx, node) in state.nodes.iter().enumerate() {
+            if node.present && node.site == *site && node.kind == wm_model::NodeKind::Router {
+                order.push(idx);
+            }
+        }
+    }
+    for (idx, node) in state.nodes.iter().enumerate() {
+        if node.present && node.kind == wm_model::NodeKind::Peering {
+            order.push(idx);
+        }
+    }
+
+    let n = order.len().max(1);
+    let cols = ((n as f64).sqrt() * 1.3).ceil() as usize;
+    let cols = cols.max(1);
+    let max_dims = order
+        .iter()
+        .map(|&i| box_size(i))
+        .fold((0.0f64, 0.0f64), |(mw, mh), (w, h)| (mw.max(w), mh.max(h)));
+    let cell_w = max_dims.0 + CELL_PADDING.0;
+    let cell_h = max_dims.1 + CELL_PADDING.1;
+
+    let mut nodes: Vec<NodeLayout> = Vec::with_capacity(order.len());
+    for (slot, &idx) in order.iter().enumerate() {
+        let col = slot % cols;
+        let row = slot / cols;
+        let center = Point::new(
+            MARGIN + col as f64 * cell_w + cell_w / 2.0,
+            MARGIN + row as f64 * cell_h + cell_h / 2.0,
+        );
+        let (w, h) = box_size(idx);
+        let rect = Rect::new(center.x - w / 2.0, center.y - h / 2.0, w, h);
+        nodes.push(NodeLayout {
+            idx,
+            rect,
+            name_anchor: Point::new(rect.x + 6.0, rect.y + rect.height / 2.0 + 3.5),
+        });
+    }
+    // Keep node layouts addressable by state index.
+    let rect_of = |idx: NodeIdx| -> Rect {
+        nodes.iter().find(|nl| nl.idx == idx).map(|nl| nl.rect).expect("placed node")
+    };
+
+    // --- Port allocation ------------------------------------------------------
+    // For every node, each attached group claims a contiguous stretch of
+    // the box perimeter near the direction of its far endpoint; each lane
+    // of the group gets its own LANE_STEP-wide port within that stretch.
+    let mut ports: Vec<Vec<(usize, Vec<Point>)>> = vec![Vec::new(); state.nodes.len()];
+    {
+        // Gather requests per node: (group index, lane count, ideal coord).
+        let mut requests: Vec<Vec<(usize, usize, f64)>> = vec![Vec::new(); state.nodes.len()];
+        for (gi, group) in state.groups.iter().enumerate() {
+            let rect_a = rect_of(group.a);
+            let rect_b = rect_of(group.b);
+            let k = group.links.len();
+            requests[group.a].push((gi, k, perimeter_coord_towards(&rect_a, rect_b.center())));
+            requests[group.b].push((gi, k, perimeter_coord_towards(&rect_b, rect_a.center())));
+        }
+        for (idx, mut reqs) in requests.into_iter().enumerate() {
+            if reqs.is_empty() {
+                continue;
+            }
+            let rect = rect_of(idx);
+            let perimeter = 2.0 * (rect.width + rect.height);
+            reqs.sort_by(|a, b| a.2.total_cmp(&b.2));
+            let widths: Vec<f64> =
+                reqs.iter().map(|(_, k, _)| *k as f64 * LANE_STEP + GROUP_GAP).collect();
+            let total: f64 = widths.iter().sum();
+            // Greedy placement near the ideal coordinates…
+            let mut starts: Vec<f64> = Vec::with_capacity(reqs.len());
+            let mut cursor = f64::NEG_INFINITY;
+            for (i, (_, _, ideal)) in reqs.iter().enumerate() {
+                let start = (ideal - widths[i] / 2.0).max(cursor);
+                starts.push(start);
+                cursor = start + widths[i];
+            }
+            let span = cursor - starts[0];
+            if span > perimeter - 1e-6 {
+                // …or uniform packing around the ring when they crowd.
+                let slack = (perimeter - total).max(0.0) / reqs.len() as f64;
+                let mut s = reqs[0].2 - widths[0] / 2.0;
+                starts.clear();
+                for width in &widths {
+                    starts.push(s);
+                    s += width + slack;
+                }
+            }
+            for (i, (gi, k, _)) in reqs.iter().enumerate() {
+                let points: Vec<Point> = (0..*k)
+                    .map(|j| {
+                        let p = starts[i] + GROUP_GAP / 2.0 + (j as f64 + 0.5) * LANE_STEP;
+                        perimeter_point(&rect, p)
+                    })
+                    .collect();
+                ports[idx].push((*gi, points));
+            }
+        }
+    }
+    let ports_of = |idx: NodeIdx, gi: usize| -> &[Point] {
+        ports[idx]
+            .iter()
+            .find(|(g, _)| *g == gi)
+            .map(|(_, pts)| pts.as_slice())
+            .expect("port allocated")
+    };
+
+    // --- Lanes ---------------------------------------------------------------
+    let mut lanes: Vec<LaneLayout> = Vec::new();
+    for (gi, group) in state.groups.iter().enumerate() {
+        let ports_a = ports_of(group.a, gi);
+        let ports_b = ports_of(group.b, gi);
+        let k = group.links.len();
+        // Pair ports in the orientation that keeps lanes near-parallel
+        // (straight pairing vs reversed, whichever is shorter overall).
+        let straight: f64 = (0..k).map(|j| ports_a[j].distance_squared(ports_b[j])).sum();
+        let reversed: f64 =
+            (0..k).map(|j| ports_a[j].distance_squared(ports_b[k - 1 - j])).sum();
+        for (li, _slot) in group.links.iter().enumerate() {
+            let end_a = ports_a[li];
+            let end_b = if straight <= reversed { ports_b[li] } else { ports_b[k - 1 - li] };
+            lanes.push(LaneLayout {
+                group: gi,
+                slot: li,
+                end_a,
+                end_b,
+                label_d_a: LABEL_DISTANCE,
+                label_d_b: LABEL_DISTANCE,
+            });
+        }
+    }
+
+    fix_label_conflicts(state, &mut lanes);
+
+    let rows = order.len().div_ceil(cols);
+    MapLayout {
+        width: MARGIN * 2.0 + cols as f64 * cell_w,
+        height: MARGIN * 2.0 + rows.max(1) as f64 * cell_h,
+        nodes,
+        lanes,
+    }
+}
+
+/// The axis-aligned label box centred `distance` along the lane from the
+/// given end.
+fn label_rect(end: Point, other_end: Point, distance: f64) -> Rect {
+    let dir = (other_end - end).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    let c = end + dir * distance;
+    Rect::new(c.x - LABEL_BOX.0 / 2.0, c.y - LABEL_BOX.1 / 2.0, LABEL_BOX.0, LABEL_BOX.1)
+}
+
+/// Verifies, per node box, that every link end's nearest label is its own;
+/// conflicts (possible when a port fan spans a box corner) are resolved by
+/// pulling the involved labels closer to their own ends.
+fn fix_label_conflicts(state: &NetworkState, lanes: &mut [LaneLayout]) {
+    // Ends grouped by the node they sit on: (lane index, which end).
+    let mut ends_by_node: std::collections::BTreeMap<usize, Vec<(usize, bool)>> =
+        std::collections::BTreeMap::new();
+    for (i, lane) in lanes.iter().enumerate() {
+        let group = &state.groups[lane.group];
+        ends_by_node.entry(group.a).or_default().push((i, true));
+        ends_by_node.entry(group.b).or_default().push((i, false));
+    }
+    for ends in ends_by_node.values() {
+        for _round in 0..8 {
+            let mut conflicts = 0;
+            for &(i, a_side) in ends {
+                let end = if a_side { lanes[i].end_a } else { lanes[i].end_b };
+                // Nearest label among all ends on this node.
+                let mut best: Option<((usize, bool), f64)> = None;
+                for &(j, ja) in ends {
+                    let lane = &lanes[j];
+                    let rect = if ja {
+                        label_rect(lane.end_a, lane.end_b, lane.label_d_a)
+                    } else {
+                        label_rect(lane.end_b, lane.end_a, lane.label_d_b)
+                    };
+                    let d = rect.distance_to_point(end);
+                    if best.is_none() || d < best.expect("set").1 {
+                        best = Some(((j, ja), d));
+                    }
+                }
+                let ((j, ja), _) = best.expect("at least the own label exists");
+                if (j, ja) != (i, a_side) {
+                    conflicts += 1;
+                    // Pull both labels towards their own ends.
+                    for &(k, ka) in &[(i, a_side), (j, ja)] {
+                        let d = if ka { &mut lanes[k].label_d_a } else { &mut lanes[k].label_d_b };
+                        *d = (*d - 1.5).max(4.0);
+                    }
+                }
+            }
+            if conflicts == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// The point at perimeter coordinate `p` on the rect boundary.
+///
+/// Coordinates run clockwise from the top-left corner: top edge, right
+/// edge, bottom edge (right to left), left edge (bottom to top); `p` is
+/// taken modulo the perimeter length.
+fn perimeter_point(rect: &Rect, p: f64) -> Point {
+    let perimeter = 2.0 * (rect.width + rect.height);
+    let mut p = p.rem_euclid(perimeter);
+    if p < rect.width {
+        return Point::new(rect.x + p, rect.y);
+    }
+    p -= rect.width;
+    if p < rect.height {
+        return Point::new(rect.right(), rect.y + p);
+    }
+    p -= rect.height;
+    if p < rect.width {
+        return Point::new(rect.right() - p, rect.bottom());
+    }
+    p -= rect.width;
+    Point::new(rect.x, rect.bottom() - p)
+}
+
+/// The perimeter coordinate of the boundary point where the ray from the
+/// rect centre towards `target` exits the box.
+fn perimeter_coord_towards(rect: &Rect, target: Point) -> f64 {
+    let center = rect.center();
+    let d = target - center;
+    let (hw, hh) = (rect.width / 2.0, rect.height / 2.0);
+    // Scale the direction so the exit lands on the boundary.
+    let scale = {
+        let sx = if d.x.abs() > f64::EPSILON { hw / d.x.abs() } else { f64::INFINITY };
+        let sy = if d.y.abs() > f64::EPSILON { hh / d.y.abs() } else { f64::INFINITY };
+        let s = sx.min(sy);
+        if s.is_finite() {
+            s
+        } else {
+            return 0.0; // Target at the centre: arbitrary but deterministic.
+        }
+    };
+    let q = center + d * scale;
+    // Convert the boundary point to a perimeter coordinate.
+    let eps = 1e-9;
+    if (q.y - rect.y).abs() < eps {
+        return (q.x - rect.x).clamp(0.0, rect.width);
+    }
+    if (q.x - rect.right()).abs() < eps {
+        return rect.width + (q.y - rect.y).clamp(0.0, rect.height);
+    }
+    if (q.y - rect.bottom()).abs() < eps {
+        return rect.width + rect.height + (rect.right() - q.x).clamp(0.0, rect.width);
+    }
+    rect.width + rect.height + rect.width + (rect.bottom() - q.y).clamp(0.0, rect.height)
+}
+
+/// Positions of the two `#n` label-box centres of a lane: near end `a` and
+/// near end `b`, at the lane's (possibly fix-up-adjusted) distances.
+#[must_use]
+pub fn label_centers(lane: &LaneLayout) -> (Point, Point) {
+    let seg = lane.segment();
+    let dir = seg.direction().normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    (lane.end_a + dir * lane.label_d_a, lane.end_b - dir * lane.label_d_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::targets;
+    use crate::genesis;
+    use wm_model::MapKind;
+
+    fn small_state() -> NetworkState {
+        genesis::build(MapKind::Europe, &targets(MapKind::Europe, 0.2), &[], 3).state
+    }
+
+    #[test]
+    fn boxes_are_disjoint() {
+        let state = small_state();
+        let l = layout(&state);
+        for (i, a) in l.nodes.iter().enumerate() {
+            for b in &l.nodes[i + 1..] {
+                assert!(
+                    !a.rect.inflated(-0.5).intersects_rect(&b.rect.inflated(-0.5)),
+                    "boxes overlap: {:?} vs {:?}",
+                    a.rect,
+                    b.rect
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_present_node_is_placed_within_canvas() {
+        let state = small_state();
+        let l = layout(&state);
+        let present = state.nodes.iter().filter(|n| n.present).count();
+        assert_eq!(l.nodes.len(), present);
+        for node in &l.nodes {
+            assert!(node.rect.x >= 0.0 && node.rect.y >= 0.0);
+            assert!(node.rect.right() <= l.width && node.rect.bottom() <= l.height);
+            assert!(node.rect.contains(node.name_anchor));
+        }
+    }
+
+    #[test]
+    fn lane_ends_lie_on_their_own_boxes() {
+        let state = small_state();
+        let l = layout(&state);
+        for lane in &l.lanes {
+            let group = &state.groups[lane.group];
+            let rect_a = l.node(group.a).unwrap().rect;
+            let rect_b = l.node(group.b).unwrap().rect;
+            assert!(
+                rect_a.distance_to_point(lane.end_a) < 1e-6,
+                "end_a {} not on box {:?}",
+                lane.end_a,
+                rect_a
+            );
+            assert!(rect_b.distance_to_point(lane.end_b) < 1e-6);
+            // And an end is strictly closer to its own box than to any
+            // other node box — the Algorithm 2 attribution invariant.
+            for other in &l.nodes {
+                if other.idx != group.a {
+                    assert!(other.rect.distance_to_point(lane.end_a) > 1.0);
+                }
+                if other.idx != group.b {
+                    assert!(other.rect.distance_to_point(lane.end_b) > 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_lane_per_physical_link() {
+        let state = small_state();
+        let l = layout(&state);
+        let total_links: usize = state.groups.iter().map(|g| g.links.len()).sum();
+        assert_eq!(l.lanes.len(), total_links);
+    }
+
+    #[test]
+    fn link_ends_on_a_box_are_pairwise_separated() {
+        let state = small_state();
+        let l = layout(&state);
+        // Collect every link end per node and check pairwise separation —
+        // the port-allocation invariant.
+        let mut ends_by_node: std::collections::BTreeMap<usize, Vec<wm_geometry::Point>> =
+            std::collections::BTreeMap::new();
+        for lane in &l.lanes {
+            let group = &state.groups[lane.group];
+            ends_by_node.entry(group.a).or_default().push(lane.end_a);
+            ends_by_node.entry(group.b).or_default().push(lane.end_b);
+        }
+        for (node, ends) in ends_by_node {
+            for (i, a) in ends.iter().enumerate() {
+                for b in &ends[i + 1..] {
+                    // Same-edge ports are LANE_STEP apart; corner-adjacent
+                    // ports at least LANE_STEP/√2.
+                    assert!(
+                        a.distance(*b) > LANE_STEP / 2.0_f64.sqrt() - 0.5,
+                        "ends {a} and {b} on node {node} are too close"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_link_end_is_closest_to_its_own_label() {
+        // The invariant that makes Algorithm 2's greedy label attribution
+        // exact: for every link end, the nearest label box on the whole
+        // map is the end's own label.
+        let state = small_state();
+        let l = layout(&state);
+        let mut labels: Vec<(usize, Rect)> = Vec::new(); // (lane index, box)
+        for (i, lane) in l.lanes.iter().enumerate() {
+            let (ca, cb) = label_centers(lane);
+            for c in [ca, cb] {
+                labels.push((
+                    i,
+                    Rect::new(
+                        c.x - LABEL_BOX.0 / 2.0,
+                        c.y - LABEL_BOX.1 / 2.0,
+                        LABEL_BOX.0,
+                        LABEL_BOX.1,
+                    ),
+                ));
+            }
+        }
+        for (i, lane) in l.lanes.iter().enumerate() {
+            for (which, end) in [(0usize, lane.end_a), (1, lane.end_b)] {
+                let nearest = labels
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (_, ra)), (_, (_, rb))| {
+                        ra.distance_to_point(end).total_cmp(&rb.distance_to_point(end))
+                    })
+                    .map(|(label_idx, (lane_idx, _))| (label_idx, *lane_idx))
+                    .expect("labels exist");
+                assert_eq!(
+                    nearest.1, i,
+                    "end {which} of lane {i} is closer to a foreign label"
+                );
+                assert_eq!(nearest.0, i * 2 + which, "wrong end's label");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_hug_their_ends() {
+        let state = small_state();
+        let l = layout(&state);
+        for lane in &l.lanes {
+            let (la, lb) = label_centers(lane);
+            assert!((la.distance(lane.end_a) - lane.label_d_a).abs() < 1e-6);
+            assert!((lb.distance(lane.end_b) - lane.label_d_b).abs() < 1e-6);
+            assert!(lane.label_d_a <= LABEL_DISTANCE && lane.label_d_a >= 4.0);
+            // The label box intersects its own carrier line.
+            let own_box = Rect::new(
+                la.x - LABEL_BOX.0 / 2.0,
+                la.y - LABEL_BOX.1 / 2.0,
+                LABEL_BOX.0,
+                LABEL_BOX.1,
+            );
+            assert!(own_box.intersects_line(&lane.segment().carrier_line()));
+        }
+    }
+
+    #[test]
+    fn perimeter_point_round_trips() {
+        let rect = Rect::new(10.0, 20.0, 100.0, 40.0);
+        // Walk the whole perimeter; every point must lie on the boundary.
+        let perimeter = 2.0 * (rect.width + rect.height);
+        let mut p = 0.0;
+        while p < perimeter {
+            let q = perimeter_point(&rect, p);
+            assert!(rect.distance_to_point(q) < 1e-9, "{q} off boundary at p={p}");
+            p += 7.3;
+        }
+        // Wrapping works.
+        let a = perimeter_point(&rect, 5.0);
+        let b = perimeter_point(&rect, 5.0 + perimeter);
+        assert!(a.approx_eq(b));
+    }
+
+    #[test]
+    fn perimeter_coord_towards_faces_the_target() {
+        let rect = Rect::new(0.0, 0.0, 100.0, 40.0);
+        // A target to the right should exit on the right edge.
+        let p = perimeter_coord_towards(&rect, wm_geometry::Point::new(500.0, 20.0));
+        let q = perimeter_point(&rect, p);
+        assert!((q.x - rect.right()).abs() < 1e-6, "exit {q} not on right edge");
+        // A target above exits on the top edge.
+        let p = perimeter_coord_towards(&rect, wm_geometry::Point::new(50.0, -300.0));
+        let q = perimeter_point(&rect, p);
+        assert!((q.y - rect.y).abs() < 1e-6, "exit {q} not on top edge");
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let state = small_state();
+        assert_eq!(layout(&state), layout(&state));
+    }
+}

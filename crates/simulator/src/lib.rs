@@ -1,0 +1,50 @@
+//! A synthetic OVH-like backbone and its weathermap — the data-source
+//! substitute of the reproduction.
+//!
+//! The paper's raw material is two years of five-minute SVG snapshots
+//! scraped from the public OVH Network Weathermap. That data source cannot
+//! be re-scraped here, so this crate builds the closest synthetic
+//! equivalent exercising the same downstream code paths:
+//!
+//! * [`genesis`] — an OVH-shaped four-map backbone (sites, core/agg/leaf
+//!   router roles, parallel-link groups, peerings) calibrated so the
+//!   September 2022 state matches the paper's Table 1 exactly;
+//! * [`evolution`] — the scripted two-year history §5 narrates
+//!   (make-before-break router adds, June 2021 removals, the August 2021
+//!   dip, step-wise internal growth with the November 2021 event, gradual
+//!   external growth, and Fig. 6's AMS-IX upgrade);
+//! * [`traffic`] — a deterministic, random-access traffic model shaped to
+//!   Fig. 5's diurnal cycle, load CDF and ECMP imbalance distributions;
+//! * [`layout`] and [`render`] — a 2-D placement engine and SVG renderer
+//!   reproducing the flat element structure the extraction algorithms
+//!   re-discover geometrically;
+//! * [`collector`] — the collection process with Fig. 2/3's availability
+//!   segments, short gaps and the May 2022 fix;
+//! * [`faults`] — the rare corrupted files of Table 2.
+//!
+//! Entry point: [`Simulation`], a deterministic world keyed by one
+//! [`SimulationConfig`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod config;
+pub mod evolution;
+pub mod faults;
+pub mod genesis;
+pub mod layout;
+pub mod names;
+pub mod render;
+pub mod rng;
+pub mod sim;
+pub mod state;
+pub mod traffic;
+
+pub use collector::CollectionPlan;
+pub use config::{targets, MapTargets, SimulationConfig};
+pub use evolution::{PeeringDbRecord, Timeline, UpgradeScenario};
+pub use faults::FaultKind;
+pub use render::RenderedSnapshot;
+pub use sim::{CorpusFile, CorpusIter, Simulation};
+pub use traffic::{Direction, TrafficModel};

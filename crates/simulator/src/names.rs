@@ -1,0 +1,118 @@
+//! OVH-flavoured name generation.
+//!
+//! Router names follow the convention visible on the real weathermap
+//! (`fra-fr5-pb6-nc5`: site, building, pod, device); peerings carry the
+//! UPPERCASE names of transit providers and internet exchanges. The
+//! extraction pipeline classifies nodes by the lowercase/UPPERCASE
+//! convention, so generated names must respect it strictly.
+
+use wm_model::MapKind;
+
+/// Site (point-of-presence) codes per map, ordered roughly by importance.
+///
+/// European codes mirror real OVH sites (Roubaix, Gravelines, Strasbourg,
+/// Frankfurt, …); the other regions use plausible IATA-style codes.
+#[must_use]
+pub fn site_codes(map: MapKind) -> &'static [&'static str] {
+    match map {
+        MapKind::Europe => &[
+            "rbx", "gra", "sbg", "par", "fra", "lon", "ams", "waw", "mil", "mad", "vie", "pra",
+            "bru", "zur", "dub", "lim", "eri",
+        ],
+        MapKind::NorthAmerica => &[
+            "bhs", "nwk", "ash", "chi", "dal", "lax", "sea", "mia", "tor", "hil", "vin",
+        ],
+        MapKind::AsiaPacific => &["sgp", "syd", "tyo", "hkg", "mum", "sel"],
+        // The World map's routers come from the other maps; these codes
+        // are only used when a synthetic standalone World map is built.
+        MapKind::World => &["rbx", "gra", "nwk", "ash", "sgp", "syd", "fra", "lon"],
+    }
+}
+
+/// Peering names per map (transit providers and IXPs).
+#[must_use]
+pub fn peering_names(map: MapKind) -> &'static [&'static str] {
+    match map {
+        MapKind::Europe => &[
+            "AMS-IX", "DE-CIX", "FRANCE-IX", "LINX", "ARELION", "VODAFONE", "OMANTEL", "COGENT",
+            "LUMEN", "TELIA", "GTT", "ORANGE", "NTT", "TATA", "ZAYO", "EQUINIX-IX", "ESPANIX",
+            "MIX", "NETNOD", "VIX", "PLIX", "SWISSIX", "BNIX", "INEX", "LU-CIX", "TELEFONICA",
+            "DTAG", "SEABONE", "RETN", "CORE-BACKBONE",
+        ],
+        MapKind::NorthAmerica => &[
+            "EQUINIX-IX", "TORIX", "SIX", "ANY2", "NYIIX", "COGENT", "LUMEN", "ARELION", "GTT",
+            "ZAYO", "TATA", "NTT", "TELIA", "HE", "COMCAST", "VERIZON", "ATT", "QIX", "DECIX-NY",
+            "FL-IX",
+        ],
+        MapKind::AsiaPacific => &[
+            "SGIX", "EQUINIX-IX", "JPNAP", "BBIX", "HKIX", "MEGAPORT", "NTT", "TATA", "SINGTEL",
+            "TELSTRA", "PCCW", "KDDI",
+        ],
+        MapKind::World => &[],
+    }
+}
+
+/// Builds a router name: `site-<building><n>-<device>`.
+///
+/// `building` and `device` indices give the fleet realistic-looking
+/// diversity (`rbx-g1-nc5`, `fra-fr5-pb6`, …) while staying unique per
+/// `(site, index)` pair.
+#[must_use]
+pub fn router_name(site: &str, index: usize) -> String {
+    // Cycle through a few device-class suffixes so names vary like the
+    // real map's mix of chassis generations.
+    const BUILDINGS: [&str; 4] = ["g", "fr", "pb", "a"];
+    const DEVICES: [&str; 3] = ["nc", "bb", "sdr"];
+    let building = BUILDINGS[index % BUILDINGS.len()];
+    let device = DEVICES[(index / 2) % DEVICES.len()];
+    format!("{site}-{building}{}-{device}{}", index % 9 + 1, index + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::NodeKind;
+
+    #[test]
+    fn router_names_classify_as_routers() {
+        for site in site_codes(MapKind::Europe) {
+            for i in 0..20 {
+                let name = router_name(site, i);
+                assert_eq!(NodeKind::classify(&name), NodeKind::Router, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn peering_names_classify_as_peerings() {
+        for map in MapKind::ALL {
+            for name in peering_names(map) {
+                assert_eq!(NodeKind::classify(name), NodeKind::Peering, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn router_names_are_unique_per_site() {
+        let names: Vec<String> = (0..50).map(|i| router_name("rbx", i)).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn world_map_has_no_peerings() {
+        assert!(peering_names(MapKind::World).is_empty());
+    }
+
+    #[test]
+    fn site_pools_are_distinct_within_a_map() {
+        for map in MapKind::ALL {
+            let mut codes = site_codes(map).to_vec();
+            codes.sort_unstable();
+            codes.dedup();
+            assert_eq!(codes.len(), site_codes(map).len());
+        }
+    }
+}

@@ -1,0 +1,321 @@
+//! The top-level simulation facade.
+
+use wm_model::{MapKind, Timestamp, TopologySnapshot};
+
+use crate::collector::CollectionPlan;
+use crate::config::SimulationConfig;
+use crate::evolution::{Timeline, TimelineCursor, UpgradeScenario};
+use crate::faults::{corrupt, fault_for, FaultKind};
+use crate::layout::{layout, MapLayout};
+use crate::render::{render, RenderedSnapshot};
+use crate::traffic::TrafficModel;
+
+/// One file of the simulated corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusFile {
+    /// The map the snapshot belongs to.
+    pub map: MapKind,
+    /// The snapshot instant.
+    pub timestamp: Timestamp,
+    /// The SVG bytes as collected (possibly corrupted).
+    pub svg: String,
+    /// The corruption applied, if any.
+    pub fault: Option<FaultKind>,
+    /// The ground truth of the *uncorrupted* snapshot.
+    pub truth: TopologySnapshot,
+}
+
+/// A complete simulated weathermap world: four maps, their evolution,
+/// traffic, collection gaps and file corruption — all deterministic
+/// functions of one [`SimulationConfig`].
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimulationConfig,
+    timelines: [Timeline; 4],
+    plans: [CollectionPlan; 4],
+    traffic: TrafficModel,
+}
+
+impl Simulation {
+    /// Builds the world. The World map's gateway routers are borrowed from
+    /// the continental maps' cores, so router names overlap across maps
+    /// exactly as the paper's Table 1 dedup note describes.
+    #[must_use]
+    pub fn new(config: SimulationConfig) -> Simulation {
+        let europe = Timeline::build(MapKind::Europe, &config, &[]);
+        let na = Timeline::build(MapKind::NorthAmerica, &config, &[]);
+        let apac = Timeline::build(MapKind::AsiaPacific, &config, &[]);
+
+        let mut gateways: Vec<(String, String)> = Vec::new();
+        let mut add_gateways = |timeline: &Timeline, count: usize| {
+            for name in timeline.genesis.core_routers.iter().take(count) {
+                let state = &timeline.genesis.state;
+                let idx = state.node_idx(name).expect("core exists");
+                gateways.push((name.clone(), state.nodes[idx].site.clone()));
+            }
+        };
+        add_gateways(&europe, 8);
+        add_gateways(&na, 7);
+        add_gateways(&apac, 5);
+        let world = Timeline::build(MapKind::World, &config, &gateways);
+
+        let plans = [
+            CollectionPlan::new(MapKind::Europe, &config),
+            CollectionPlan::new(MapKind::World, &config),
+            CollectionPlan::new(MapKind::NorthAmerica, &config),
+            CollectionPlan::new(MapKind::AsiaPacific, &config),
+        ];
+        let traffic = TrafficModel::new(config.seed);
+        Simulation { config, timelines: [europe, world, na, apac], plans, traffic }
+    }
+
+    fn map_slot(map: MapKind) -> usize {
+        match map {
+            MapKind::Europe => 0,
+            MapKind::World => 1,
+            MapKind::NorthAmerica => 2,
+            MapKind::AsiaPacific => 3,
+        }
+    }
+
+    /// The configuration this world was built from.
+    #[must_use]
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The evolution timeline of a map.
+    #[must_use]
+    pub fn timeline(&self, map: MapKind) -> &Timeline {
+        &self.timelines[Self::map_slot(map)]
+    }
+
+    /// The collection plan of a map.
+    #[must_use]
+    pub fn collection_plan(&self, map: MapKind) -> &CollectionPlan {
+        &self.plans[Self::map_slot(map)]
+    }
+
+    /// The traffic model.
+    #[must_use]
+    pub fn traffic(&self) -> &TrafficModel {
+        &self.traffic
+    }
+
+    /// The Fig. 6 upgrade scenario, when the scale admits it.
+    #[must_use]
+    pub fn scenario(&self) -> Option<&UpgradeScenario> {
+        self.timelines[Self::map_slot(MapKind::Europe)].scenario.as_ref()
+    }
+
+    /// Renders the clean (never corrupted) snapshot of `map` at `t`.
+    ///
+    /// Random access costs one event replay plus one layout; sequential
+    /// consumers should use [`Simulation::corpus_between`].
+    #[must_use]
+    pub fn snapshot(&self, map: MapKind, t: Timestamp) -> RenderedSnapshot {
+        let state = self.timeline(map).state_at(t);
+        let l = layout(&state);
+        render(&state, &l, &self.traffic, t)
+    }
+
+    /// The corpus file of `map` at grid instant `t`, or `None` when the
+    /// collector missed that snapshot.
+    #[must_use]
+    pub fn collected_snapshot(&self, map: MapKind, t: Timestamp) -> Option<CorpusFile> {
+        if !self.collection_plan(map).collected(t) {
+            return None;
+        }
+        let rendered = self.snapshot(map, t);
+        Some(self.package(map, t, rendered))
+    }
+
+    fn package(&self, map: MapKind, t: Timestamp, rendered: RenderedSnapshot) -> CorpusFile {
+        let fault = fault_for(self.config.seed, map, t);
+        let svg = match fault {
+            Some(kind) => corrupt(&rendered.svg, kind, self.config.seed),
+            None => rendered.svg,
+        };
+        CorpusFile { map, timestamp: t, svg, fault, truth: rendered.truth }
+    }
+
+    /// Sequentially generates every collected corpus file of `map` within
+    /// `[from, to)`, amortising evolution replay and layout across
+    /// snapshots.
+    #[must_use]
+    pub fn corpus_between(&self, map: MapKind, from: Timestamp, to: Timestamp) -> CorpusIter<'_> {
+        CorpusIter {
+            sim: self,
+            map,
+            times: self
+                .collection_plan(map)
+                .collected_times_between(from, to)
+                .collect::<Vec<_>>()
+                .into_iter(),
+            cursor: self.timeline(map).cursor(),
+            cached_layout: None,
+        }
+    }
+}
+
+/// Sequential corpus generator returned by [`Simulation::corpus_between`].
+pub struct CorpusIter<'s> {
+    sim: &'s Simulation,
+    map: MapKind,
+    times: std::vec::IntoIter<Timestamp>,
+    cursor: TimelineCursor<'s>,
+    /// Layout cache, invalidated when the state fingerprint changes.
+    cached_layout: Option<(u64, MapLayout)>,
+}
+
+impl Iterator for CorpusIter<'_> {
+    type Item = CorpusFile;
+
+    fn next(&mut self) -> Option<CorpusFile> {
+        let t = self.times.next()?;
+        let state = self.cursor.advance_to(t).clone();
+        let fingerprint = state_fingerprint(&state);
+        let needs_layout = match &self.cached_layout {
+            Some((cached, _)) => *cached != fingerprint,
+            None => true,
+        };
+        if needs_layout {
+            self.cached_layout = Some((fingerprint, layout(&state)));
+        }
+        let (_, l) = self.cached_layout.as_ref().expect("just ensured");
+        let rendered = render(&state, l, &self.sim.traffic, t);
+        Some(self.sim.package(self.map, t, rendered))
+    }
+}
+
+/// Cheap structural fingerprint of a state: changes whenever nodes or
+/// links change (loads don't matter — layout is topology-only).
+fn state_fingerprint(state: &crate::state::NetworkState) -> u64 {
+    use crate::rng::mix;
+    let mut h = 0xFEED_FACE_u64;
+    for node in state.nodes.iter().filter(|n| n.present) {
+        h = mix(h ^ node.name.len() as u64 ^ (node.name.as_bytes()[0] as u64) << 8);
+    }
+    for group in &state.groups {
+        h = mix(h ^ group.id ^ (group.links.len() as u64) << 32);
+        for link in &group.links {
+            h = mix(h ^ link.id ^ u64::from(link.active) << 63);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::Duration;
+
+    fn small_sim() -> Simulation {
+        Simulation::new(SimulationConfig::scaled(11, 0.12))
+    }
+
+    #[test]
+    fn snapshot_produces_svg_and_truth() {
+        let sim = small_sim();
+        let snap = sim.snapshot(MapKind::Europe, Timestamp::from_ymd(2021, 5, 5));
+        assert!(snap.svg.starts_with("<?xml"));
+        assert!(snap.truth.router_count() > 0);
+        assert!(!snap.truth.links.is_empty());
+    }
+
+    #[test]
+    fn world_routers_overlap_with_continental_maps() {
+        let sim = small_sim();
+        let t = Timestamp::from_ymd(2022, 9, 12);
+        let world: Vec<String> = sim
+            .timeline(MapKind::World)
+            .state_at(t)
+            .routers()
+            .map(|r| r.name.clone())
+            .collect();
+        let mut continental: Vec<String> = Vec::new();
+        for map in [MapKind::Europe, MapKind::NorthAmerica, MapKind::AsiaPacific] {
+            continental.extend(sim.timeline(map).state_at(t).routers().map(|r| r.name.clone()));
+        }
+        let overlapping = world.iter().filter(|w| continental.contains(w)).count();
+        assert_eq!(overlapping, world.len(), "every World router exists elsewhere");
+    }
+
+    #[test]
+    fn corpus_iteration_matches_random_access() {
+        let sim = small_sim();
+        let from = Timestamp::from_ymd(2021, 2, 1);
+        let to = from + Duration::from_hours(3);
+        let sequential: Vec<CorpusFile> =
+            sim.corpus_between(MapKind::Europe, from, to).collect();
+        assert!(!sequential.is_empty());
+        for file in &sequential {
+            let direct = sim
+                .collected_snapshot(MapKind::Europe, file.timestamp)
+                .expect("collected both ways");
+            assert_eq!(direct.svg, file.svg, "divergence at {}", file.timestamp);
+            assert_eq!(direct.truth, file.truth);
+        }
+    }
+
+    #[test]
+    fn corpus_respects_collection_gaps() {
+        let sim = small_sim();
+        // The non-Europe hole: no files in March 2021.
+        let files: Vec<CorpusFile> = sim
+            .corpus_between(
+                MapKind::NorthAmerica,
+                Timestamp::from_ymd(2021, 3, 1),
+                Timestamp::from_ymd(2021, 3, 7),
+            )
+            .collect();
+        assert!(files.is_empty());
+    }
+
+    #[test]
+    fn corpus_contains_faulted_files_at_scale() {
+        let sim = small_sim();
+        // Find an instant the fault process corrupts (cheap hash scan),
+        // then verify the corpus actually delivers the corrupted file.
+        let mut t = Timestamp::from_ymd(2021, 1, 1);
+        let end = Timestamp::from_ymd(2022, 9, 1);
+        let faulted_at = loop {
+            assert!(t < end, "no fault scheduled in 20 months — rate too low");
+            if crate::faults::fault_for(sim.config().seed, MapKind::Europe, t).is_some()
+                && sim.collection_plan(MapKind::Europe).collected(t)
+            {
+                break t;
+            }
+            t += Duration::from_minutes(5);
+        };
+        let file = sim
+            .collected_snapshot(MapKind::Europe, faulted_at)
+            .expect("collected");
+        assert!(file.fault.is_some());
+        assert_ne!(file.svg, sim.snapshot(MapKind::Europe, faulted_at).svg);
+    }
+
+    #[test]
+    fn simulation_is_reproducible() {
+        let a = small_sim();
+        let b = small_sim();
+        let t = Timestamp::from_ymd(2021, 8, 15);
+        assert_eq!(a.snapshot(MapKind::Europe, t).svg, b.snapshot(MapKind::Europe, t).svg);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_worlds() {
+        let a = Simulation::new(SimulationConfig::scaled(1, 0.12));
+        let b = Simulation::new(SimulationConfig::scaled(2, 0.12));
+        let t = Timestamp::from_ymd(2021, 8, 15);
+        assert_ne!(a.snapshot(MapKind::Europe, t).svg, b.snapshot(MapKind::Europe, t).svg);
+    }
+
+    #[test]
+    fn scenario_exists_at_paper_scale_only_for_europe() {
+        let sim = Simulation::new(SimulationConfig::scaled(3, 0.5));
+        let sc = sim.scenario().expect("scenario at half scale");
+        assert_eq!(sc.peering, "AMS-IX");
+        assert!(sim.timeline(MapKind::NorthAmerica).scenario.is_none());
+    }
+}

@@ -1,0 +1,491 @@
+//! The evolving network state and its event algebra.
+//!
+//! A [`NetworkState`] is the simulator's model of one backbone map at one
+//! instant: nodes (routers/peerings) and parallel-link groups. Evolution
+//! is expressed as [`Event`]s applied in time order by the timeline in
+//! [`crate::evolution`]; the traffic model in [`crate::traffic`] then
+//! prices every link of the state at a query instant.
+
+use wm_model::{MapKind, NodeKind};
+
+/// Stable handle of a node within one state (survives removals —
+/// removed nodes become tombstones so indices never shift).
+pub type NodeIdx = usize;
+
+/// A node of the simulated map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimNode {
+    /// Display name (`fra-fr5-pb6-nc5`, `AMS-IX`).
+    pub name: String,
+    /// Router or peering.
+    pub kind: NodeKind,
+    /// Site code for routers, the peering name itself for peerings.
+    pub site: String,
+    /// `false` once removed from the map (tombstone).
+    pub present: bool,
+}
+
+/// One physical link inside a parallel group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSlot {
+    /// Globally unique id within the simulation, used as a noise label so
+    /// each link has its own stable traffic personality.
+    pub id: u64,
+    /// Inactive links are drawn with `0 %` in both directions — the
+    /// weathermap convention for an installed-but-disabled link.
+    pub active: bool,
+    /// `#n` label at the `a` end.
+    pub label_a: String,
+    /// `#n` label at the `b` end.
+    pub label_b: String,
+}
+
+/// A set of parallel links between two nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkGroup {
+    /// Globally unique id, used as a noise label for group-level traffic.
+    pub id: u64,
+    /// First endpoint.
+    pub a: NodeIdx,
+    /// Second endpoint.
+    pub b: NodeIdx,
+    /// The parallel links, in installation order.
+    pub links: Vec<LinkSlot>,
+    /// Per-link capacity in Gbps — all parallel links share one capacity
+    /// (§5 argues exactly this from the low imbalances; Fig. 6's PeeringDB
+    /// correlation infers 100 Gbps per link).
+    pub capacity_gbps: u32,
+    /// The reference parallelism the group's demand is expressed against:
+    /// per-link load = demand × `base_links` / active links. Adding and
+    /// activating a link therefore dilutes per-link load, which is exactly
+    /// the Fig. 6 upgrade signature.
+    pub base_links: f64,
+}
+
+impl LinkGroup {
+    /// Number of active links.
+    #[must_use]
+    pub fn active_links(&self) -> usize {
+        self.links.iter().filter(|l| l.active).count()
+    }
+}
+
+/// An evolution event. Node-pair-addressed events use display names, which
+/// are unique per map.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A router appears on the map.
+    AddRouter {
+        /// Display name.
+        name: String,
+        /// Site code.
+        site: String,
+    },
+    /// A router disappears from the map together with all its groups.
+    RemoveRouter {
+        /// Display name.
+        name: String,
+    },
+    /// A peering box appears on the map.
+    AddPeering {
+        /// Display name.
+        name: String,
+    },
+    /// A new parallel-link group appears.
+    AddGroup {
+        /// First endpoint name (must exist).
+        a: String,
+        /// Second endpoint name (must exist).
+        b: String,
+        /// Number of parallel links installed immediately.
+        links: usize,
+        /// Per-link capacity in Gbps.
+        capacity_gbps: u32,
+    },
+    /// One more parallel link is installed in an existing group.
+    AddLink {
+        /// First endpoint name.
+        a: String,
+        /// Second endpoint name.
+        b: String,
+        /// Whether the link carries traffic immediately (`false` renders
+        /// as `0 %` until a later [`Event::ActivateLinks`]).
+        active: bool,
+    },
+    /// All inactive links of a group start carrying traffic, diluting the
+    /// per-link load (the Fig. 6 arrow *C* moment).
+    ActivateLinks {
+        /// First endpoint name.
+        a: String,
+        /// Second endpoint name.
+        b: String,
+    },
+    /// The most recently installed link of a group is removed.
+    RemoveLink {
+        /// First endpoint name.
+        a: String,
+        /// Second endpoint name.
+        b: String,
+    },
+}
+
+/// A state-application problem; the timeline treats these as fatal
+/// (the script is wrong) rather than recoverable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// An event referenced a node that does not exist (or was removed).
+    UnknownNode(String),
+    /// An event referenced a group between two nodes that have none.
+    UnknownGroup(String, String),
+    /// A node was added twice.
+    DuplicateNode(String),
+    /// A second group between the same pair was requested.
+    DuplicateGroup(String, String),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            StateError::UnknownGroup(a, b) => write!(f, "no link group between {a:?} and {b:?}"),
+            StateError::DuplicateNode(n) => write!(f, "node {n:?} already exists"),
+            StateError::DuplicateGroup(a, b) => {
+                write!(f, "group between {a:?} and {b:?} already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// The simulated map state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkState {
+    /// Which map this state models.
+    pub map: MapKind,
+    /// Node table; removed nodes stay as tombstones.
+    pub nodes: Vec<SimNode>,
+    /// Parallel-link groups between present nodes.
+    pub groups: Vec<LinkGroup>,
+    next_link_id: u64,
+    next_group_id: u64,
+}
+
+impl NetworkState {
+    /// Creates an empty state for a map.
+    ///
+    /// Ids are namespaced by map so the same logical group on two maps has
+    /// distinct traffic personalities.
+    #[must_use]
+    pub fn new(map: MapKind) -> NetworkState {
+        let ns = match map {
+            MapKind::Europe => 0u64,
+            MapKind::World => 1,
+            MapKind::NorthAmerica => 2,
+            MapKind::AsiaPacific => 3,
+        } << 56;
+        NetworkState {
+            map,
+            nodes: Vec::new(),
+            groups: Vec::new(),
+            next_link_id: ns,
+            next_group_id: ns,
+        }
+    }
+
+    /// Index of a present node by name.
+    #[must_use]
+    pub fn node_idx(&self, name: &str) -> Option<NodeIdx> {
+        self.nodes.iter().position(|n| n.present && n.name == name)
+    }
+
+    /// The group connecting two named nodes, if both exist and a group
+    /// does.
+    #[must_use]
+    pub fn group_between(&self, a: &str, b: &str) -> Option<&LinkGroup> {
+        let ia = self.node_idx(a)?;
+        let ib = self.node_idx(b)?;
+        self.groups
+            .iter()
+            .find(|g| (g.a == ia && g.b == ib) || (g.a == ib && g.b == ia))
+    }
+
+    fn group_between_mut(&mut self, a: &str, b: &str) -> Option<&mut LinkGroup> {
+        let ia = self.node_idx(a)?;
+        let ib = self.node_idx(b)?;
+        self.groups
+            .iter_mut()
+            .find(|g| (g.a == ia && g.b == ib) || (g.a == ib && g.b == ia))
+    }
+
+    /// Present routers.
+    pub fn routers(&self) -> impl Iterator<Item = &SimNode> {
+        self.nodes.iter().filter(|n| n.present && n.kind == NodeKind::Router)
+    }
+
+    /// Present peerings.
+    pub fn peerings(&self) -> impl Iterator<Item = &SimNode> {
+        self.nodes.iter().filter(|n| n.present && n.kind == NodeKind::Peering)
+    }
+
+    /// Count of links by group kind: `(internal, external)`.
+    #[must_use]
+    pub fn link_counts(&self) -> (usize, usize) {
+        let mut internal = 0;
+        let mut external = 0;
+        for g in &self.groups {
+            let both_routers = self.nodes[g.a].kind == NodeKind::Router
+                && self.nodes[g.b].kind == NodeKind::Router;
+            if both_routers {
+                internal += g.links.len();
+            } else {
+                external += g.links.len();
+            }
+        }
+        (internal, external)
+    }
+
+    /// Applies one event, mutating the state.
+    pub fn apply(&mut self, event: &Event) -> Result<(), StateError> {
+        match event {
+            Event::AddRouter { name, site } => self.add_node(name, site, NodeKind::Router),
+            Event::AddPeering { name } => self.add_node(name, name, NodeKind::Peering),
+            Event::RemoveRouter { name } => {
+                let idx = self
+                    .node_idx(name)
+                    .ok_or_else(|| StateError::UnknownNode(name.clone()))?;
+                self.nodes[idx].present = false;
+                self.groups.retain(|g| g.a != idx && g.b != idx);
+                Ok(())
+            }
+            Event::AddGroup { a, b, links, capacity_gbps } => {
+                if self.group_between(a, b).is_some() {
+                    return Err(StateError::DuplicateGroup(a.clone(), b.clone()));
+                }
+                let ia = self
+                    .node_idx(a)
+                    .ok_or_else(|| StateError::UnknownNode(a.clone()))?;
+                let ib = self
+                    .node_idx(b)
+                    .ok_or_else(|| StateError::UnknownNode(b.clone()))?;
+                let id = self.next_group_id;
+                self.next_group_id += 1;
+                let mut group = LinkGroup {
+                    id,
+                    a: ia,
+                    b: ib,
+                    links: Vec::new(),
+                    capacity_gbps: *capacity_gbps,
+                    base_links: (*links).max(1) as f64,
+                };
+                // A few groups carry non-unique labels, like the parallel
+                // links connecting the VODAFONE peering in the paper's
+                // Fig. 1 — labels have no identity semantics downstream.
+                let legacy_labels = crate::rng::mix(id).is_multiple_of(16);
+                for _ in 0..*links {
+                    let position = group.links.len();
+                    let mut slot = self.new_slot(position, true);
+                    if legacy_labels {
+                        slot.label_a = "#1".to_owned();
+                        slot.label_b = "#1".to_owned();
+                    }
+                    group.links.push(slot);
+                }
+                self.groups.push(group);
+                Ok(())
+            }
+            Event::AddLink { a, b, active } => {
+                let slot_template = (self.next_link_id, *active);
+                let group = self
+                    .group_between_mut(a, b)
+                    .ok_or_else(|| StateError::UnknownGroup(a.clone(), b.clone()))?;
+                let n = group.links.len();
+                let (id, active) = slot_template;
+                group.links.push(LinkSlot {
+                    id,
+                    active,
+                    label_a: format!("#{}", n + 1),
+                    label_b: format!("#{}", n + 1),
+                });
+                self.next_link_id += 1;
+                Ok(())
+            }
+            Event::ActivateLinks { a, b } => {
+                let group = self
+                    .group_between_mut(a, b)
+                    .ok_or_else(|| StateError::UnknownGroup(a.clone(), b.clone()))?;
+                for link in &mut group.links {
+                    link.active = true;
+                }
+                Ok(())
+            }
+            Event::RemoveLink { a, b } => {
+                let group = self
+                    .group_between_mut(a, b)
+                    .ok_or_else(|| StateError::UnknownGroup(a.clone(), b.clone()))?;
+                group.links.pop();
+                let emptied = group.links.is_empty();
+                if emptied {
+                    let (ia, ib) = (group.a, group.b);
+                    self.groups.retain(|g| !(g.a == ia && g.b == ib));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn add_node(&mut self, name: &str, site: &str, kind: NodeKind) -> Result<(), StateError> {
+        if self.node_idx(name).is_some() {
+            return Err(StateError::DuplicateNode(name.to_owned()));
+        }
+        self.nodes.push(SimNode {
+            name: name.to_owned(),
+            kind,
+            site: site.to_owned(),
+            present: true,
+        });
+        Ok(())
+    }
+
+    fn new_slot(&mut self, position: usize, active: bool) -> LinkSlot {
+        let id = self.next_link_id;
+        self.next_link_id += 1;
+        LinkSlot {
+            id,
+            active,
+            label_a: format!("#{}", position + 1),
+            label_b: format!("#{}", position + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_state() -> NetworkState {
+        let mut s = NetworkState::new(MapKind::Europe);
+        s.apply(&Event::AddRouter { name: "rbx-g1-nc1".into(), site: "rbx".into() }).unwrap();
+        s.apply(&Event::AddRouter { name: "fra-fr1-nc1".into(), site: "fra".into() }).unwrap();
+        s.apply(&Event::AddPeering { name: "AMS-IX".into() }).unwrap();
+        s.apply(&Event::AddGroup {
+            a: "rbx-g1-nc1".into(),
+            b: "fra-fr1-nc1".into(),
+            links: 3,
+            capacity_gbps: 100,
+        })
+        .unwrap();
+        s.apply(&Event::AddGroup {
+            a: "fra-fr1-nc1".into(),
+            b: "AMS-IX".into(),
+            links: 4,
+            capacity_gbps: 100,
+        })
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn genesis_counts() {
+        let s = base_state();
+        assert_eq!(s.routers().count(), 2);
+        assert_eq!(s.peerings().count(), 1);
+        assert_eq!(s.link_counts(), (3, 4));
+    }
+
+    #[test]
+    fn duplicate_nodes_and_groups_rejected() {
+        let mut s = base_state();
+        assert_eq!(
+            s.apply(&Event::AddRouter { name: "rbx-g1-nc1".into(), site: "rbx".into() }),
+            Err(StateError::DuplicateNode("rbx-g1-nc1".into()))
+        );
+        assert!(matches!(
+            s.apply(&Event::AddGroup {
+                a: "fra-fr1-nc1".into(),
+                b: "rbx-g1-nc1".into(),
+                links: 1,
+                capacity_gbps: 100
+            }),
+            Err(StateError::DuplicateGroup(_, _))
+        ));
+    }
+
+    #[test]
+    fn add_link_grows_group_with_sequential_labels() {
+        let mut s = base_state();
+        s.apply(&Event::AddLink { a: "fra-fr1-nc1".into(), b: "AMS-IX".into(), active: false })
+            .unwrap();
+        let g = s.group_between("fra-fr1-nc1", "AMS-IX").unwrap();
+        assert_eq!(g.links.len(), 5);
+        assert_eq!(g.active_links(), 4);
+        assert_eq!(g.links[4].label_a, "#5");
+        // base_links keeps the pre-upgrade reference.
+        assert!((g.base_links - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activation_enables_all_links() {
+        let mut s = base_state();
+        s.apply(&Event::AddLink { a: "fra-fr1-nc1".into(), b: "AMS-IX".into(), active: false })
+            .unwrap();
+        s.apply(&Event::ActivateLinks { a: "fra-fr1-nc1".into(), b: "AMS-IX".into() }).unwrap();
+        assert_eq!(s.group_between("fra-fr1-nc1", "AMS-IX").unwrap().active_links(), 5);
+    }
+
+    #[test]
+    fn router_removal_drops_its_groups() {
+        let mut s = base_state();
+        s.apply(&Event::RemoveRouter { name: "fra-fr1-nc1".into() }).unwrap();
+        assert_eq!(s.routers().count(), 1);
+        assert!(s.groups.is_empty());
+        assert!(s.node_idx("fra-fr1-nc1").is_none());
+        // Re-adding the same name works (tombstones don't block reuse).
+        s.apply(&Event::AddRouter { name: "fra-fr1-nc1".into(), site: "fra".into() }).unwrap();
+    }
+
+    #[test]
+    fn remove_link_shrinks_then_drops_group() {
+        let mut s = base_state();
+        for _ in 0..2 {
+            s.apply(&Event::RemoveLink { a: "rbx-g1-nc1".into(), b: "fra-fr1-nc1".into() })
+                .unwrap();
+        }
+        assert_eq!(s.group_between("rbx-g1-nc1", "fra-fr1-nc1").unwrap().links.len(), 1);
+        s.apply(&Event::RemoveLink { a: "rbx-g1-nc1".into(), b: "fra-fr1-nc1".into() }).unwrap();
+        assert!(s.group_between("rbx-g1-nc1", "fra-fr1-nc1").is_none());
+        assert_eq!(s.link_counts(), (0, 4));
+    }
+
+    #[test]
+    fn unknown_references_error() {
+        let mut s = base_state();
+        assert!(matches!(
+            s.apply(&Event::RemoveRouter { name: "nope".into() }),
+            Err(StateError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            s.apply(&Event::ActivateLinks { a: "rbx-g1-nc1".into(), b: "AMS-IX".into() }),
+            Err(StateError::UnknownGroup(_, _))
+        ));
+    }
+
+    #[test]
+    fn group_lookup_is_symmetric() {
+        let s = base_state();
+        let g1 = s.group_between("rbx-g1-nc1", "fra-fr1-nc1").unwrap();
+        let g2 = s.group_between("fra-fr1-nc1", "rbx-g1-nc1").unwrap();
+        assert_eq!(g1.id, g2.id);
+    }
+
+    #[test]
+    fn link_ids_are_unique_and_map_namespaced() {
+        let s = base_state();
+        let mut ids: Vec<u64> = s.groups.iter().flat_map(|g| g.links.iter().map(|l| l.id)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+        let na = NetworkState::new(MapKind::NorthAmerica);
+        assert_ne!(na.next_link_id, NetworkState::new(MapKind::Europe).next_link_id);
+    }
+}

@@ -1,0 +1,440 @@
+//! The synthetic traffic model.
+//!
+//! Produces every link-load percentage shown on the weathermap as a pure
+//! function of `(seed, group, link, direction, time)` — random-access and
+//! deterministic (see [`crate::rng`]). The model is parameterised to land
+//! on the shapes of the paper's §5:
+//!
+//! * **Fig. 5a** — the median load follows a diurnal curve with its trough
+//!   between 2 and 4 a.m. and its peak between 7 and 9 p.m., and the
+//!   spread of the distribution grows when the network is loaded.
+//! * **Fig. 5b** — roughly 75 % of loads sit below 33 %, loads above 60 %
+//!   are rare, and external links run cooler than internal ones (the
+//!   peering headroom argument).
+//! * **Fig. 5c** — ECMP spreads traffic across parallel links so well that
+//!   most directed groups show an imbalance of at most one percentage
+//!   point, externals even tighter.
+//! * **Fig. 6** — per-link load equals group demand divided by the active
+//!   link count, so activating an added parallel link dilutes per-link
+//!   loads by exactly the capacity ratio.
+
+use wm_model::{Load, NodeKind, Timestamp};
+
+use crate::rng::{hash_labels, uniform, unit_f64, value_noise};
+use crate::state::{LinkGroup, LinkSlot, NetworkState};
+
+/// Which way across a group traffic flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From endpoint `a` towards endpoint `b`.
+    AtoB,
+    /// From endpoint `b` towards endpoint `a`.
+    BtoA,
+}
+
+impl Direction {
+    /// Both directions, for iteration.
+    pub const BOTH: [Direction; 2] = [Direction::AtoB, Direction::BtoA];
+
+    fn label(self) -> u64 {
+        match self {
+            Direction::AtoB => 0,
+            Direction::BtoA => 1,
+        }
+    }
+}
+
+/// Peak hour of the diurnal cycle (Fig. 5a: 7–9 p.m.).
+const PEAK_HOUR: f64 = 20.0;
+/// Trough hour of the diurnal cycle (Fig. 5a: 2–4 a.m.).
+const TROUGH_HOUR: f64 = 3.0;
+/// Relative amplitude of the diurnal swing.
+const DIURNAL_AMPLITUDE: f64 = 0.38;
+/// Weekend traffic damping.
+const WEEKEND_FACTOR: f64 = 0.92;
+/// Probability that a link spends a given day disabled for maintenance.
+const MAINTENANCE_DAILY_PROBABILITY: f64 = 0.012;
+
+/// The deterministic traffic model.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficModel {
+    seed: u64,
+}
+
+impl TrafficModel {
+    /// Creates a model; all draws derive from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> TrafficModel {
+        TrafficModel { seed: hash_labels(seed, &[0x007A_FF1C]) }
+    }
+
+    /// The diurnal multiplier at `t`, in
+    /// `[1 - DIURNAL_AMPLITUDE, 1 + DIURNAL_AMPLITUDE]`.
+    ///
+    /// The curve is a cosine warped so the rise (03 h → 20 h) takes 17
+    /// hours and the fall (20 h → 03 h) takes 7 — matching the asymmetric
+    /// day cycle visible in Fig. 5a rather than a plain 12-12 sinusoid.
+    #[must_use]
+    pub fn diurnal_multiplier(&self, t: Timestamp) -> f64 {
+        let h = t.fractional_hour();
+        let rise_span = (PEAK_HOUR - TROUGH_HOUR + 24.0) % 24.0; // 17 h
+        let fall_span = 24.0 - rise_span; // 7 h
+        let since_trough = (h - TROUGH_HOUR + 24.0) % 24.0;
+        let shape = if since_trough < rise_span {
+            // Climbing from trough (-1) to peak (+1).
+            -(std::f64::consts::PI * since_trough / rise_span).cos()
+        } else {
+            let since_peak = since_trough - rise_span;
+            (std::f64::consts::PI * since_peak / fall_span).cos()
+        };
+        1.0 + DIURNAL_AMPLITUDE * shape
+    }
+
+    /// The weekly multiplier at `t` (weekends run cooler).
+    #[must_use]
+    pub fn weekly_multiplier(&self, t: Timestamp) -> f64 {
+        if t.weekday().is_weekend() {
+            WEEKEND_FACTOR
+        } else {
+            1.0
+        }
+    }
+
+    /// Mean utilisation (fraction of one link's capacity) of a group in
+    /// one direction, before diurnal/weekly/noise modulation.
+    ///
+    /// Internal links are drawn hotter than external ones; the shaping
+    /// exponent skews the population towards low loads so the overall CDF
+    /// reproduces Fig. 5b.
+    #[must_use]
+    pub fn base_utilisation(&self, group: &LinkGroup, direction: Direction, internal: bool) -> f64 {
+        let u = uniform(self.seed, &[1, group.id, direction.label()]);
+        let shaped = u.powf(1.25);
+        if internal {
+            0.06 + 0.55 * shaped
+        } else {
+            0.04 + 0.42 * shaped
+        }
+    }
+
+    /// The ECMP imbalance scale of a group in one direction.
+    ///
+    /// Most groups are nearly perfectly balanced (Fig. 5c: more than 60 %
+    /// of imbalance values are ≤ 1 %); externals are tighter than
+    /// internals (> 90 % within 2 %).
+    #[must_use]
+    pub fn ecmp_sigma(&self, group: &LinkGroup, direction: Direction, internal: bool) -> f64 {
+        let u = uniform(self.seed, &[2, group.id, direction.label()]);
+        if internal {
+            match u {
+                u if u < 0.45 => 0.005,
+                u if u < 0.80 => 0.040,
+                _ => 0.120,
+            }
+        } else {
+            match u {
+                u if u < 0.70 => 0.004,
+                u if u < 0.92 => 0.020,
+                _ => 0.060,
+            }
+        }
+    }
+
+    /// Group demand at `t` in units of one link's capacity ×
+    /// `base_links`: dividing by the active link count yields per-link
+    /// utilisation.
+    #[must_use]
+    pub fn group_demand(
+        &self,
+        group: &LinkGroup,
+        direction: Direction,
+        internal: bool,
+        t: Timestamp,
+    ) -> f64 {
+        let base = self.base_utilisation(group, direction, internal);
+        let noise =
+            1.0 + 0.14 * value_noise(self.seed, &[3, group.id, direction.label()], t.unix(), 6 * 3_600);
+        let demand_per_link =
+            base * self.diurnal_multiplier(t) * self.weekly_multiplier(t) * noise;
+        demand_per_link * group.base_links
+    }
+
+    /// Whether a link spends the UTC day containing `t` in maintenance
+    /// (drawn at `0 %` in both directions).
+    #[must_use]
+    pub fn in_maintenance(&self, slot: &LinkSlot, t: Timestamp) -> bool {
+        let day = t.unix().div_euclid(86_400) as u64;
+        unit_f64(hash_labels(self.seed, &[4, slot.id, day])) < MAINTENANCE_DAILY_PROBABILITY
+    }
+
+    /// The displayed load of one link of a group in one direction at `t`.
+    ///
+    /// `internal` tells whether both endpoints are OVH routers (the caller
+    /// knows the node kinds; the group only stores indices).
+    #[must_use]
+    pub fn link_load(
+        &self,
+        group: &LinkGroup,
+        slot: &LinkSlot,
+        direction: Direction,
+        internal: bool,
+        t: Timestamp,
+    ) -> Load {
+        if !slot.active || self.in_maintenance(slot, t) {
+            return Load::ZERO;
+        }
+        let active = group.active_links().max(1) as f64;
+        let per_link = self.group_demand(group, direction, internal, t) / active;
+        // Quasi-static ECMP hash skew, drifting over ~a day.
+        let sigma = self.ecmp_sigma(group, direction, internal);
+        let skew =
+            1.0 + sigma * value_noise(self.seed, &[5, slot.id, direction.label()], t.unix(), 86_400);
+        Load::from_f64_clamped(per_link * skew * 100.0)
+    }
+
+    /// All loads of a state at `t`: `(group index, link index, load a→b,
+    /// load b→a)` in state order — the renderer's input.
+    #[must_use]
+    pub fn price_state(
+        &self,
+        state: &NetworkState,
+        t: Timestamp,
+    ) -> Vec<(usize, usize, Load, Load)> {
+        let mut out = Vec::new();
+        for (gi, group) in state.groups.iter().enumerate() {
+            let internal = state.nodes[group.a].kind == NodeKind::Router
+                && state.nodes[group.b].kind == NodeKind::Router;
+            for (li, slot) in group.links.iter().enumerate() {
+                let ab = self.link_load(group, slot, Direction::AtoB, internal, t);
+                let ba = self.link_load(group, slot, Direction::BtoA, internal, t);
+                out.push((gi, li, ab, ba));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_model::MapKind;
+
+    fn group(id: u64, links: usize) -> LinkGroup {
+        LinkGroup {
+            id,
+            a: 0,
+            b: 1,
+            links: (0..links)
+                .map(|i| LinkSlot {
+                    id: id * 100 + i as u64,
+                    active: true,
+                    label_a: format!("#{}", i + 1),
+                    label_b: format!("#{}", i + 1),
+                })
+                .collect(),
+            capacity_gbps: 100,
+            base_links: links as f64,
+        }
+    }
+
+    fn noon(day: i64) -> Timestamp {
+        Timestamp::from_unix(day * 86_400 + 12 * 3_600)
+    }
+
+    #[test]
+    fn diurnal_peak_and_trough_are_where_the_paper_says() {
+        let m = TrafficModel::new(1);
+        let at = |h: u8| m.diurnal_multiplier(Timestamp::from_ymd_hms(2021, 3, 10, h, 0, 0));
+        // Trough between 2 and 4 a.m., peak between 7 and 9 p.m.
+        let hours: Vec<f64> = (0..24).map(|h| at(h as u8)).collect();
+        let min_h = (0..24).min_by(|&a, &b| hours[a].total_cmp(&hours[b])).unwrap();
+        let max_h = (0..24).max_by(|&a, &b| hours[a].total_cmp(&hours[b])).unwrap();
+        assert!((2..=4).contains(&min_h), "trough at {min_h}");
+        assert!((19..=21).contains(&max_h), "peak at {max_h}");
+        // The curve is continuous across midnight.
+        let before = m.diurnal_multiplier(Timestamp::from_ymd_hms(2021, 3, 10, 23, 59, 0));
+        let after = m.diurnal_multiplier(Timestamp::from_ymd_hms(2021, 3, 11, 0, 1, 0));
+        assert!((before - after).abs() < 0.02);
+    }
+
+    #[test]
+    fn weekends_run_cooler() {
+        let m = TrafficModel::new(1);
+        let saturday = Timestamp::from_ymd_hms(2021, 3, 13, 12, 0, 0);
+        let wednesday = Timestamp::from_ymd_hms(2021, 3, 10, 12, 0, 0);
+        assert!(m.weekly_multiplier(saturday) < m.weekly_multiplier(wednesday));
+    }
+
+    #[test]
+    fn load_population_matches_fig_5b() {
+        let m = TrafficModel::new(99);
+        let mut internal_loads: Vec<f64> = Vec::new();
+        let mut external_loads: Vec<f64> = Vec::new();
+        for gid in 0..300u64 {
+            let g = group(gid, 4);
+            for day in 0..6 {
+                for hour in [2, 8, 14, 20] {
+                    let t = Timestamp::from_unix(day * 86_400 + hour * 3_600);
+                    for slot in &g.links {
+                        let li = m.link_load(&g, slot, Direction::AtoB, true, t).as_f64();
+                        let le = m.link_load(&g, slot, Direction::AtoB, false, t).as_f64();
+                        if li > 0.0 {
+                            internal_loads.push(li);
+                        }
+                        if le > 0.0 {
+                            external_loads.push(le);
+                        }
+                    }
+                }
+            }
+        }
+        let pct = |v: &mut Vec<f64>, q: f64| {
+            v.sort_by(f64::total_cmp);
+            v[((v.len() - 1) as f64 * q) as usize]
+        };
+        let mut all: Vec<f64> = internal_loads.iter().chain(&external_loads).copied().collect();
+        let p75 = pct(&mut all, 0.75);
+        assert!(p75 < 38.0, "75th percentile too hot: {p75}");
+        let p99 = pct(&mut all, 0.99);
+        assert!(p99 < 75.0, "99th percentile too hot: {p99}");
+        // Externals cooler than internals on average.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&external_loads) < mean(&internal_loads),
+            "external {} !< internal {}",
+            mean(&external_loads),
+            mean(&internal_loads)
+        );
+    }
+
+    #[test]
+    fn imbalance_population_matches_fig_5c() {
+        let m = TrafficModel::new(7);
+        let imbalances = |internal: bool| -> Vec<f64> {
+            let mut out = Vec::new();
+            for gid in 0..400u64 {
+                let g = group(gid + if internal { 0 } else { 10_000 }, 4);
+                let t = noon(gid as i64 % 30);
+                let loads: Vec<f64> = g
+                    .links
+                    .iter()
+                    .map(|s| m.link_load(&g, s, Direction::AtoB, internal, t).as_f64())
+                    .filter(|l| *l > 1.0)
+                    .collect();
+                if loads.len() >= 2 {
+                    let max = loads.iter().copied().fold(f64::MIN, f64::max);
+                    let min = loads.iter().copied().fold(f64::MAX, f64::min);
+                    out.push(max - min);
+                }
+            }
+            out
+        };
+        let internal = imbalances(true);
+        let frac_le = |v: &[f64], x: f64| v.iter().filter(|i| **i <= x).count() as f64 / v.len() as f64;
+        assert!(
+            frac_le(&internal, 1.0) > 0.55,
+            "only {:.2} of internal imbalances ≤ 1 %",
+            frac_le(&internal, 1.0)
+        );
+        let external = imbalances(false);
+        assert!(
+            frac_le(&external, 2.0) > 0.88,
+            "only {:.2} of external imbalances ≤ 2 %",
+            frac_le(&external, 2.0)
+        );
+    }
+
+    #[test]
+    fn inactive_links_read_zero() {
+        let m = TrafficModel::new(1);
+        let mut g = group(5, 3);
+        g.links[2].active = false;
+        let t = noon(10);
+        assert_eq!(m.link_load(&g, &g.links[2], Direction::AtoB, true, t), Load::ZERO);
+        assert_ne!(m.link_load(&g, &g.links[0], Direction::AtoB, true, t), Load::ZERO);
+    }
+
+    #[test]
+    fn activation_dilutes_per_link_load() {
+        let m = TrafficModel::new(21);
+        let mut g = group(9, 4);
+        // Install a fifth link, initially inactive.
+        g.links.push(LinkSlot {
+            id: 999,
+            active: false,
+            label_a: "#5".into(),
+            label_b: "#5".into(),
+        });
+        let t = noon(42);
+        let before: f64 = g.links[..4]
+            .iter()
+            .map(|s| m.link_load(&g, s, Direction::AtoB, false, t).as_f64())
+            .sum::<f64>()
+            / 4.0;
+        g.links[4].active = true;
+        let after: f64 = g
+            .links
+            .iter()
+            .map(|s| m.link_load(&g, s, Direction::AtoB, false, t).as_f64())
+            .sum::<f64>()
+            / 5.0;
+        let ratio = after / before;
+        assert!((ratio - 0.8).abs() < 0.08, "dilution ratio {ratio}, expected ≈ 4/5");
+    }
+
+    #[test]
+    fn maintenance_days_are_rare_and_whole_day() {
+        let m = TrafficModel::new(3);
+        let slot = LinkSlot { id: 77, active: true, label_a: "#1".into(), label_b: "#1".into() };
+        let mut days_in_maintenance = 0;
+        for day in 0..2_000 {
+            let morning = Timestamp::from_unix(day * 86_400 + 3_600);
+            let evening = Timestamp::from_unix(day * 86_400 + 23 * 3_600);
+            assert_eq!(
+                m.in_maintenance(&slot, morning),
+                m.in_maintenance(&slot, evening),
+                "maintenance must cover the whole day"
+            );
+            if m.in_maintenance(&slot, morning) {
+                days_in_maintenance += 1;
+            }
+        }
+        let rate = f64::from(days_in_maintenance) / 2_000.0;
+        assert!(rate > 0.001 && rate < 0.05, "maintenance rate {rate}");
+    }
+
+    #[test]
+    fn loads_are_deterministic_and_direction_dependent() {
+        let m = TrafficModel::new(5);
+        let g = group(11, 2);
+        let t = noon(100);
+        let ab = m.link_load(&g, &g.links[0], Direction::AtoB, true, t);
+        assert_eq!(ab, m.link_load(&g, &g.links[0], Direction::AtoB, true, t));
+        let ba = m.link_load(&g, &g.links[0], Direction::BtoA, true, t);
+        // Different direction draws a different base almost surely.
+        assert_ne!((ab, 1), (ba, 2), "sanity");
+    }
+
+    #[test]
+    fn price_state_covers_every_link() {
+        let mut state = NetworkState::new(MapKind::Europe);
+        state
+            .apply(&crate::state::Event::AddRouter { name: "rbx-g1".into(), site: "rbx".into() })
+            .unwrap();
+        state
+            .apply(&crate::state::Event::AddRouter { name: "fra-g1".into(), site: "fra".into() })
+            .unwrap();
+        state
+            .apply(&crate::state::Event::AddGroup {
+                a: "rbx-g1".into(),
+                b: "fra-g1".into(),
+                links: 3,
+                capacity_gbps: 100,
+            })
+            .unwrap();
+        let m = TrafficModel::new(1);
+        let priced = m.price_state(&state, noon(5));
+        assert_eq!(priced.len(), 3);
+        assert!(priced.iter().all(|(gi, _, _, _)| *gi == 0));
+    }
+}

@@ -1,0 +1,165 @@
+//! The flat element model.
+
+use wm_geometry::{Point, Polygon, Rect, Segment};
+
+/// Typed geometry of an SVG element relevant to weathermap extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// `<rect>` — router boxes and label boxes.
+    Rect(Rect),
+    /// `<polygon>` — link arrows.
+    Polygon(Polygon),
+    /// `<line>` — occasionally used for decorations; kept for
+    /// completeness.
+    Line(Segment),
+    /// `<text>` (with any nested `tspan` content concatenated) — node
+    /// names, link labels and load percentages.
+    Text {
+        /// The text anchor position (SVG `x`/`y`).
+        anchor: Point,
+        /// The concatenated character data.
+        content: String,
+    },
+    /// Any other element (`style`, `defs`, gradients, …) whose geometry
+    /// the pipeline does not use.
+    Other,
+}
+
+/// One element of the flattened document, in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Element {
+    /// Tag name (`rect`, `polygon`, `text`, …).
+    pub tag: String,
+    /// The `class` attribute, when present. Weathermaps use classes to
+    /// mark semantics: `object` boxes, `labellink` load texts, `node`
+    /// label parts.
+    pub class: Option<String>,
+    /// The `id` attribute, when present.
+    pub id: Option<String>,
+    /// Parsed geometry.
+    pub shape: Shape,
+}
+
+impl Element {
+    /// `true` when the element's class starts with `prefix` — the test
+    /// Algorithm 1 applies (`elem.class starts with object`).
+    #[must_use]
+    pub fn class_starts_with(&self, prefix: &str) -> bool {
+        self.class.as_deref().is_some_and(|c| c.starts_with(prefix))
+    }
+
+    /// `true` when the element's class equals `name` exactly.
+    #[must_use]
+    pub fn class_is(&self, name: &str) -> bool {
+        self.class.as_deref() == Some(name)
+    }
+
+    /// The rectangle, when this element is a `<rect>`.
+    #[must_use]
+    pub fn as_rect(&self) -> Option<&Rect> {
+        match &self.shape {
+            Shape::Rect(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The polygon, when this element is a `<polygon>`.
+    #[must_use]
+    pub fn as_polygon(&self) -> Option<&Polygon> {
+        match &self.shape {
+            Shape::Polygon(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The text content, when this element is a `<text>`.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match &self.shape {
+            Shape::Text { content, .. } => Some(content),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed SVG document: canvas size plus the flat element list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document {
+    /// Canvas width in user units (0 when unspecified).
+    pub width: f64,
+    /// Canvas height in user units (0 when unspecified).
+    pub height: f64,
+    /// All drawable elements in document order, transforms applied,
+    /// groups flattened.
+    pub elements: Vec<Element>,
+}
+
+impl Document {
+    /// Iterates elements whose class starts with `prefix`.
+    pub fn elements_with_class_prefix<'d>(
+        &'d self,
+        prefix: &'d str,
+    ) -> impl Iterator<Item = &'d Element> {
+        self.elements.iter().filter(move |e| e.class_starts_with(prefix))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text_element(class: Option<&str>, content: &str) -> Element {
+        Element {
+            tag: "text".into(),
+            class: class.map(str::to_owned),
+            id: None,
+            shape: Shape::Text { anchor: Point::new(0.0, 0.0), content: content.into() },
+        }
+    }
+
+    #[test]
+    fn class_predicates() {
+        let e = text_element(Some("object router"), "x");
+        assert!(e.class_starts_with("object"));
+        assert!(!e.class_starts_with("labellink"));
+        assert!(!e.class_is("object"));
+        assert!(e.class_is("object router"));
+        let none = text_element(None, "x");
+        assert!(!none.class_starts_with(""));
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let t = text_element(None, "42 %");
+        assert_eq!(t.as_text(), Some("42 %"));
+        assert!(t.as_rect().is_none());
+        assert!(t.as_polygon().is_none());
+
+        let r = Element {
+            tag: "rect".into(),
+            class: None,
+            id: None,
+            shape: Shape::Rect(Rect::new(0.0, 0.0, 1.0, 1.0)),
+        };
+        assert!(r.as_rect().is_some());
+        assert!(r.as_text().is_none());
+    }
+
+    #[test]
+    fn class_prefix_iteration() {
+        let doc = Document {
+            width: 10.0,
+            height: 10.0,
+            elements: vec![
+                text_element(Some("object"), "a"),
+                text_element(Some("labellink"), "b"),
+                text_element(Some("object peer"), "c"),
+            ],
+        };
+        let names: Vec<&str> = doc
+            .elements_with_class_prefix("object")
+            .filter_map(Element::as_text)
+            .collect();
+        assert_eq!(names, ["a", "c"]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Parsing SVG numeric attribute grammars.
+
+use wm_geometry::Point;
+
+/// Parses an SVG length attribute: a float optionally suffixed by a unit
+/// (`px` is the only unit weathermaps use; others are accepted and their
+/// numeric part taken verbatim).
+///
+/// Returns `None` for non-numeric input.
+#[must_use]
+pub fn parse_length(raw: &str) -> Option<f64> {
+    let trimmed = raw.trim();
+    let mut numeric_end = 0;
+    for (i, c) in trimmed.char_indices() {
+        let is_exponent_char = (c == 'e' || c == 'E')
+            && trimmed[i + 1..].starts_with(|n: char| n.is_ascii_digit() || n == '-' || n == '+');
+        if c.is_ascii_digit() || matches!(c, '.' | '-' | '+') || is_exponent_char {
+            numeric_end = i + c.len_utf8();
+        } else {
+            break;
+        }
+    }
+    if numeric_end == 0 {
+        return None;
+    }
+    let numeric = &trimmed[..numeric_end];
+    let value: f64 = numeric.parse().ok()?;
+    value.is_finite().then_some(value)
+}
+
+/// Parses an SVG `points` attribute (`polygon`/`polyline`): coordinate
+/// pairs separated by whitespace and/or commas, e.g. `"10,20 30,40"` or
+/// `"10 20, 30 40"`.
+///
+/// Returns `None` when the coordinate count is odd or a token is not a
+/// number — the extraction pipeline maps that to a malformed-SVG error.
+#[must_use]
+pub fn parse_points(raw: &str) -> Option<Vec<Point>> {
+    let mut coords = Vec::new();
+    for token in raw.split(|c: char| c.is_ascii_whitespace() || c == ',') {
+        if token.is_empty() {
+            continue;
+        }
+        let value: f64 = token.parse().ok()?;
+        if !value.is_finite() {
+            return None;
+        }
+        coords.push(value);
+    }
+    if coords.len() % 2 != 0 {
+        return None;
+    }
+    Some(coords.chunks_exact(2).map(|c| Point::new(c[0], c[1])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_with_and_without_units() {
+        assert_eq!(parse_length("42"), Some(42.0));
+        assert_eq!(parse_length("42.5px"), Some(42.5));
+        assert_eq!(parse_length("-3.25"), Some(-3.25));
+        assert_eq!(parse_length("  7 "), Some(7.0));
+        assert_eq!(parse_length("1e3"), Some(1000.0));
+    }
+
+    #[test]
+    fn bad_lengths_are_none() {
+        assert_eq!(parse_length(""), None);
+        assert_eq!(parse_length("px"), None);
+        assert_eq!(parse_length("abc"), None);
+    }
+
+    #[test]
+    fn points_with_commas_and_spaces() {
+        let pts = parse_points("10,20 30,40").unwrap();
+        assert_eq!(pts, vec![Point::new(10.0, 20.0), Point::new(30.0, 40.0)]);
+        let pts = parse_points(" 1 2 , 3 4 ").unwrap();
+        assert_eq!(pts, vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        assert_eq!(parse_points("").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn odd_or_bad_points_are_none() {
+        assert!(parse_points("1 2 3").is_none());
+        assert!(parse_points("1 x").is_none());
+        assert!(parse_points("nan nan").is_none());
+    }
+
+    #[test]
+    fn negative_and_fractional_points() {
+        let pts = parse_points("-1.5,2.25 0,-3").unwrap();
+        assert_eq!(pts, vec![Point::new(-1.5, 2.25), Point::new(0.0, -3.0)]);
+    }
+}

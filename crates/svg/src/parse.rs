@@ -1,0 +1,403 @@
+//! Parsing SVG text into the flat [`Document`] model.
+
+use std::fmt;
+
+use wm_geometry::{Point, Polygon, Rect, Segment};
+use wm_xml::{Event, Reader};
+
+use crate::element::{Document, Element, Shape};
+use crate::numbers::{parse_length, parse_points};
+
+/// An error turning SVG text into a [`Document`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The underlying XML was malformed.
+    Xml(wm_xml::Error),
+    /// An element's geometry attributes could not be interpreted.
+    BadGeometry {
+        /// Tag of the offending element.
+        tag: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// The document's root element is not `<svg>`.
+    NotSvg,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Xml(e) => write!(f, "malformed XML: {e}"),
+            ParseError::BadGeometry { tag, message } => {
+                write!(f, "bad geometry on <{tag}>: {message}")
+            }
+            ParseError::NotSvg => write!(f, "root element is not <svg>"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Xml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wm_xml::Error> for ParseError {
+    fn from(e: wm_xml::Error) -> Self {
+        ParseError::Xml(e)
+    }
+}
+
+/// A 2-D affine transform (the SVG `transform` attribute model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Affine {
+    a: f64,
+    b: f64,
+    c: f64,
+    d: f64,
+    e: f64,
+    f: f64,
+}
+
+impl Affine {
+    const IDENTITY: Affine = Affine { a: 1.0, b: 0.0, c: 0.0, d: 1.0, e: 0.0, f: 0.0 };
+
+    fn translate(tx: f64, ty: f64) -> Affine {
+        Affine { e: tx, f: ty, ..Affine::IDENTITY }
+    }
+
+    fn scale(sx: f64, sy: f64) -> Affine {
+        Affine { a: sx, d: sy, ..Affine::IDENTITY }
+    }
+
+    /// `self` applied after `rhs` (standard matrix composition).
+    fn then(self, rhs: Affine) -> Affine {
+        Affine {
+            a: self.a * rhs.a + self.c * rhs.b,
+            b: self.b * rhs.a + self.d * rhs.b,
+            c: self.a * rhs.c + self.c * rhs.d,
+            d: self.b * rhs.c + self.d * rhs.d,
+            e: self.a * rhs.e + self.c * rhs.f + self.e,
+            f: self.b * rhs.e + self.d * rhs.f + self.f,
+        }
+    }
+
+    fn apply(&self, p: Point) -> Point {
+        Point::new(self.a * p.x + self.c * p.y + self.e, self.b * p.x + self.d * p.y + self.f)
+    }
+}
+
+/// Parses a `transform` attribute value. Unknown operations (rotate, skew)
+/// are ignored — weathermaps never use them, and leniency here means a
+/// cosmetic oddity cannot make an entire snapshot unprocessable.
+fn parse_transform(raw: &str) -> Affine {
+    let mut result = Affine::IDENTITY;
+    let mut rest = raw;
+    while let Some(open) = rest.find('(') {
+        let op = rest[..open].trim().trim_start_matches(',').trim();
+        let Some(close) = rest[open..].find(')') else { break };
+        let args: Vec<f64> = rest[open + 1..open + close]
+            .split(|c: char| c.is_ascii_whitespace() || c == ',')
+            .filter(|t| !t.is_empty())
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        let step = match (op, args.as_slice()) {
+            ("translate", [tx]) => Some(Affine::translate(*tx, 0.0)),
+            ("translate", [tx, ty]) => Some(Affine::translate(*tx, *ty)),
+            ("scale", [s]) => Some(Affine::scale(*s, *s)),
+            ("scale", [sx, sy]) => Some(Affine::scale(*sx, *sy)),
+            ("matrix", [a, b, c, d, e, f]) => {
+                Some(Affine { a: *a, b: *b, c: *c, d: *d, e: *e, f: *f })
+            }
+            _ => None,
+        };
+        if let Some(step) = step {
+            result = result.then(step);
+        }
+        rest = &rest[open + close + 1..];
+    }
+    result
+}
+
+impl Document {
+    /// Parses SVG text into the flat element model.
+    ///
+    /// Groups (`<g>`) are flattened and their transforms applied to child
+    /// geometry; elements the pipeline does not use are kept as
+    /// [`Shape::Other`] placeholders so document order stays faithful.
+    pub fn parse(text: &str) -> Result<Document, ParseError> {
+        let mut reader = Reader::new(text);
+        let mut doc = Document { width: 0.0, height: 0.0, elements: Vec::new() };
+        // Transform stack entries: (transform, tag) pushed per open element.
+        let mut stack: Vec<(Affine, String)> = Vec::new();
+        let mut seen_svg = false;
+        // In-progress <text> element: (element index, depth at open).
+        let mut open_text: Option<usize> = None;
+        // Depth of an open element whose text content must be ignored.
+        let mut skip_text_depth: Option<usize> = None;
+
+        while let Some(event) = reader.next_event()? {
+            match event {
+                Event::StartElement { name, attributes, self_closing } => {
+                    if !seen_svg {
+                        if name != "svg" {
+                            return Err(ParseError::NotSvg);
+                        }
+                        seen_svg = true;
+                    }
+                    let attr =
+                        |key: &str| attributes.iter().find(|a| a.name == key).map(|a| &a.value);
+                    let parent = stack.last().map_or(Affine::IDENTITY, |(t, _)| *t);
+                    let local = attr("transform").map_or(Affine::IDENTITY, |t| parse_transform(t));
+                    let transform = parent.then(local);
+
+                    if name == "svg" && stack.is_empty() {
+                        doc.width = attr("width").and_then(|v| parse_length(v)).unwrap_or(0.0);
+                        doc.height = attr("height").and_then(|v| parse_length(v)).unwrap_or(0.0);
+                    }
+
+                    let class = attr("class").cloned();
+                    let id = attr("id").cloned();
+                    let get = |key: &str| attr(key).and_then(|v| parse_length(v));
+
+                    let shape = match name.as_str() {
+                        "rect" => {
+                            let x = get("x").unwrap_or(0.0);
+                            let y = get("y").unwrap_or(0.0);
+                            let w = get("width").unwrap_or(0.0);
+                            let h = get("height").unwrap_or(0.0);
+                            if !(x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite())
+                            {
+                                return Err(bad(&name, "non-finite rect coordinates"));
+                            }
+                            let p1 = transform.apply(Point::new(x, y));
+                            let p2 = transform.apply(Point::new(x + w, y + h));
+                            Some(Shape::Rect(Rect::from_corners(p1, p2)))
+                        }
+                        "polygon" | "polyline" => {
+                            let raw = attr("points")
+                                .ok_or_else(|| bad(&name, "missing points attribute"))?;
+                            let pts = parse_points(raw)
+                                .ok_or_else(|| bad(&name, "unparsable points attribute"))?;
+                            let pts: Vec<Point> =
+                                pts.into_iter().map(|p| transform.apply(p)).collect();
+                            Some(Shape::Polygon(Polygon::new(pts)))
+                        }
+                        "line" => {
+                            let x1 = get("x1").unwrap_or(0.0);
+                            let y1 = get("y1").unwrap_or(0.0);
+                            let x2 = get("x2").unwrap_or(0.0);
+                            let y2 = get("y2").unwrap_or(0.0);
+                            Some(Shape::Line(Segment::new(
+                                transform.apply(Point::new(x1, y1)),
+                                transform.apply(Point::new(x2, y2)),
+                            )))
+                        }
+                        "text" => {
+                            let x = get("x").unwrap_or(0.0);
+                            let y = get("y").unwrap_or(0.0);
+                            Some(Shape::Text {
+                                anchor: transform.apply(Point::new(x, y)),
+                                content: String::new(),
+                            })
+                        }
+                        "tspan" => None, // Content folds into the open <text>.
+                        "svg" | "g" => None,
+                        _ => Some(Shape::Other),
+                    };
+
+                    if let Some(shape) = shape {
+                        let is_text = matches!(shape, Shape::Text { .. });
+                        let records_text = is_text && !self_closing;
+                        doc.elements.push(Element { tag: name.clone(), class, id, shape });
+                        if records_text {
+                            open_text = Some(doc.elements.len() - 1);
+                        } else if !self_closing && !is_text {
+                            // E.g. <style> bodies must not leak into text.
+                            skip_text_depth = skip_text_depth.or(Some(stack.len()));
+                        }
+                    }
+                    if !self_closing {
+                        stack.push((transform, name));
+                    }
+                }
+                Event::EndElement { name } => {
+                    stack.pop();
+                    if name == "text" {
+                        open_text = None;
+                    }
+                    if let Some(depth) = skip_text_depth {
+                        if stack.len() <= depth {
+                            skip_text_depth = None;
+                        }
+                    }
+                }
+                Event::Text(t) | Event::CData(t) => {
+                    if skip_text_depth.is_some() {
+                        continue;
+                    }
+                    if let Some(idx) = open_text {
+                        if let Shape::Text { content, .. } = &mut doc.elements[idx].shape {
+                            content.push_str(&t);
+                        }
+                    }
+                }
+                Event::Declaration(_)
+                | Event::Doctype(_)
+                | Event::Comment(_)
+                | Event::ProcessingInstruction(_) => {}
+            }
+        }
+        if !seen_svg {
+            return Err(ParseError::NotSvg);
+        }
+        Ok(doc)
+    }
+}
+
+fn bad(tag: &str, message: &str) -> ParseError {
+    ParseError::BadGeometry { tag: tag.to_owned(), message: message.to_owned() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_svg() {
+        let doc = Document::parse(r#"<svg width="100" height="50"></svg>"#).unwrap();
+        assert_eq!(doc.width, 100.0);
+        assert_eq!(doc.height, 50.0);
+        assert!(doc.elements.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_svg_root() {
+        assert_eq!(Document::parse("<html></html>").unwrap_err(), ParseError::NotSvg);
+        assert!(matches!(Document::parse(""), Err(ParseError::NotSvg)));
+    }
+
+    #[test]
+    fn propagates_xml_errors() {
+        assert!(matches!(Document::parse("<svg><rect</svg>"), Err(ParseError::Xml(_))));
+    }
+
+    #[test]
+    fn parses_rect_with_defaults() {
+        let doc = Document::parse(r#"<svg><rect width="10" height="5"/></svg>"#).unwrap();
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(0.0, 0.0, 10.0, 5.0)));
+    }
+
+    #[test]
+    fn parses_classed_rect() {
+        let svg = r#"<svg><rect class="object" x="5" y="6" width="10" height="5"/></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert!(doc.elements[0].class_is("object"));
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(5.0, 6.0, 10.0, 5.0)));
+    }
+
+    #[test]
+    fn parses_polygon_points() {
+        let svg = r#"<svg><polygon class="link" points="0,0 10,0 5,8"/></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        let poly = doc.elements[0].as_polygon().unwrap();
+        assert_eq!(poly.len(), 3);
+        assert_eq!(poly.vertices()[2], Point::new(5.0, 8.0));
+    }
+
+    #[test]
+    fn rejects_bad_polygon_points() {
+        let svg = r#"<svg><polygon points="1 2 3"/></svg>"#;
+        assert!(matches!(Document::parse(svg), Err(ParseError::BadGeometry { .. })));
+        let svg = r#"<svg><polygon/></svg>"#;
+        assert!(matches!(Document::parse(svg), Err(ParseError::BadGeometry { .. })));
+    }
+
+    #[test]
+    fn parses_text_with_tspans() {
+        let svg = r#"<svg><text x="3" y="4" class="labellink">42<tspan> %</tspan></text></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        match &doc.elements[0].shape {
+            Shape::Text { anchor, content } => {
+                assert_eq!(*anchor, Point::new(3.0, 4.0));
+                assert_eq!(content, "42 %");
+            }
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn style_bodies_do_not_become_text() {
+        let svg = r#"<svg><style>.object { fill: white; }</style><text x="0" y="0">hi</text></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert_eq!(doc.elements.len(), 2);
+        assert_eq!(doc.elements[0].shape, Shape::Other);
+        assert_eq!(doc.elements[1].as_text(), Some("hi"));
+    }
+
+    #[test]
+    fn group_translate_applies_to_children() {
+        let svg = r#"<svg><g transform="translate(10, 20)"><rect x="1" y="2" width="3" height="4"/><polygon points="0,0 2,0 1,2"/></g></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(11.0, 22.0, 3.0, 4.0)));
+        assert_eq!(doc.elements[1].as_polygon().unwrap().vertices()[0], Point::new(10.0, 20.0));
+    }
+
+    #[test]
+    fn nested_group_transforms_compose() {
+        let svg = r#"<svg><g transform="translate(10,0)"><g transform="translate(0,5)"><line x1="0" y1="0" x2="1" y2="1"/></g></g></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        match &doc.elements[0].shape {
+            Shape::Line(seg) => {
+                assert_eq!(seg.start, Point::new(10.0, 5.0));
+                assert_eq!(seg.end, Point::new(11.0, 6.0));
+            }
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_and_matrix_transforms() {
+        let svg = r#"<svg><g transform="scale(2)"><rect x="1" y="1" width="2" height="2"/></g><g transform="matrix(1 0 0 1 5 5)"><rect x="0" y="0" width="1" height="1"/></g></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(2.0, 2.0, 4.0, 4.0)));
+        assert_eq!(doc.elements[1].as_rect(), Some(&Rect::new(5.0, 5.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn element_transform_attribute_applies_to_itself() {
+        let svg = r#"<svg><rect transform="translate(100,0)" x="0" y="0" width="1" height="1"/></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(100.0, 0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn unknown_transform_ops_are_ignored() {
+        let svg = r#"<svg><g transform="rotate(45) translate(3,4)"><rect x="0" y="0" width="1" height="1"/></g></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(3.0, 4.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn document_order_is_preserved() {
+        let svg = r#"<svg><rect width="1" height="1"/><text x="0" y="0">a</text><polygon points="0,0 1,0 0,1"/></svg>"#;
+        let doc = Document::parse(svg).unwrap();
+        let tags: Vec<&str> = doc.elements.iter().map(|e| e.tag.as_str()).collect();
+        assert_eq!(tags, ["rect", "text", "polygon"]);
+    }
+
+    #[test]
+    fn self_closing_text_is_empty() {
+        let doc = Document::parse(r#"<svg><text x="1" y="2"/></svg>"#).unwrap();
+        assert_eq!(doc.elements[0].as_text(), Some(""));
+    }
+
+    #[test]
+    fn width_height_with_units() {
+        let doc = Document::parse(r#"<svg width="1024px" height="768px"></svg>"#).unwrap();
+        assert_eq!((doc.width, doc.height), (1024.0, 768.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Parse-error taxonomy with byte positions.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An XML parse or write error.
+///
+/// Carries the byte offset at which the problem was detected so the
+/// extraction pipeline can pinpoint corruption inside multi-megabyte SVG
+/// snapshots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    kind: ErrorKind,
+    /// Byte offset into the input at which the error was detected.
+    offset: usize,
+}
+
+/// The category of an [`Error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Input ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser was reading when input ran out.
+        context: &'static str,
+    },
+    /// A character that is not valid at this position.
+    UnexpectedChar {
+        /// The offending character.
+        found: char,
+        /// What was expected instead.
+        expected: &'static str,
+    },
+    /// An element name is empty or contains forbidden characters.
+    InvalidName,
+    /// `</a>` closed an element opened as `<b>`, or closed nothing at all.
+    MismatchedCloseTag {
+        /// Name in the close tag.
+        found: String,
+        /// Name of the innermost open element, if any.
+        expected: Option<String>,
+    },
+    /// The document ended while elements were still open.
+    UnclosedElements {
+        /// How many elements were still open.
+        depth: usize,
+    },
+    /// An entity reference (`&...;`) could not be decoded.
+    InvalidEntity {
+        /// The raw entity text, without `&` and `;`.
+        entity: String,
+    },
+    /// The same attribute appeared twice on one element.
+    DuplicateAttribute {
+        /// The repeated attribute name.
+        name: String,
+    },
+    /// Markup (e.g. a second root element or text) after the document root.
+    TrailingContent,
+}
+
+impl Error {
+    /// Creates an error of `kind` detected at byte `offset`.
+    #[must_use]
+    pub fn new(kind: ErrorKind, offset: usize) -> Self {
+        Self { kind, offset }
+    }
+
+    /// The category of this error.
+    #[must_use]
+    pub fn kind(&self) -> &ErrorKind {
+        &self.kind
+    }
+
+    /// Byte offset into the input at which the error was detected.
+    #[must_use]
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::UnexpectedEof { context } => {
+                write!(f, "unexpected end of input while reading {context}")
+            }
+            ErrorKind::UnexpectedChar { found, expected } => {
+                write!(f, "unexpected character {found:?}, expected {expected}")
+            }
+            ErrorKind::InvalidName => write!(f, "invalid XML name"),
+            ErrorKind::MismatchedCloseTag { found, expected } => match expected {
+                Some(expected) => {
+                    write!(f, "close tag </{found}> does not match open element <{expected}>")
+                }
+                None => write!(f, "close tag </{found}> with no open element"),
+            },
+            ErrorKind::UnclosedElements { depth } => {
+                write!(f, "document ended with {depth} unclosed element(s)")
+            }
+            ErrorKind::InvalidEntity { entity } => {
+                write!(f, "invalid entity reference &{entity};")
+            }
+            ErrorKind::DuplicateAttribute { name } => {
+                write!(f, "duplicate attribute {name:?}")
+            }
+            ErrorKind::TrailingContent => write!(f, "content after document root"),
+        }?;
+        write!(f, " at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_context() {
+        let e = Error::new(ErrorKind::UnexpectedEof { context: "a tag" }, 17);
+        let msg = e.to_string();
+        assert!(msg.contains("a tag"), "{msg}");
+        assert!(msg.contains("byte 17"), "{msg}");
+    }
+
+    #[test]
+    fn mismatched_close_tag_messages() {
+        let with = Error::new(
+            ErrorKind::MismatchedCloseTag {
+                found: "a".into(),
+                expected: Some("b".into()),
+            },
+            0,
+        );
+        assert!(with.to_string().contains("</a>"));
+        assert!(with.to_string().contains("<b>"));
+        let without = Error::new(
+            ErrorKind::MismatchedCloseTag { found: "a".into(), expected: None },
+            0,
+        );
+        assert!(without.to_string().contains("no open element"));
+    }
+
+    #[test]
+    fn accessors() {
+        let e = Error::new(ErrorKind::TrailingContent, 5);
+        assert_eq!(e.offset(), 5);
+        assert_eq!(*e.kind(), ErrorKind::TrailingContent);
+    }
+}

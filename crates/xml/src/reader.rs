@@ -1,0 +1,527 @@
+//! The streaming pull parser.
+
+use crate::escape::unescape;
+use crate::{Error, ErrorKind, Result};
+
+/// One attribute of an element, with entities already decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name, verbatim (namespace prefixes are kept as written).
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+}
+
+/// One parse event produced by [`Reader::next_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// The `<?xml ... ?>` declaration, raw content between the markers.
+    Declaration(String),
+    /// A `<!DOCTYPE ...>` definition, raw content (not interpreted).
+    Doctype(String),
+    /// A processing instruction other than the XML declaration.
+    ProcessingInstruction(String),
+    /// A `<!-- ... -->` comment, without the markers.
+    Comment(String),
+    /// A `<![CDATA[ ... ]]>` section, verbatim.
+    CData(String),
+    /// An opening tag. For self-closing tags no matching
+    /// [`Event::EndElement`] is produced and `self_closing` is `true`.
+    StartElement {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attributes: Vec<Attribute>,
+        /// Whether the tag was written `<name ... />`.
+        self_closing: bool,
+    },
+    /// A closing tag.
+    EndElement {
+        /// Element name.
+        name: String,
+    },
+    /// Character data with entities decoded.
+    ///
+    /// Whitespace-only runs between markup are *not* reported; weathermap
+    /// data never encodes information in inter-element whitespace.
+    Text(String),
+}
+
+impl Event {
+    /// For a start element, looks up an attribute value by name.
+    #[must_use]
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        match self {
+            Event::StartElement { attributes, .. } => attributes
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.value.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A streaming XML pull parser over an in-memory document.
+///
+/// Call [`Reader::next_event`] repeatedly; it returns `Ok(None)` at the end
+/// of a well-formed document and `Err` on the first syntax error.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    input: &'a [u8],
+    text: &'a str,
+    pos: usize,
+    stack: Vec<String>,
+    seen_root: bool,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over a complete document held in memory.
+    #[must_use]
+    pub fn new(text: &'a str) -> Self {
+        Self { input: text.as_bytes(), text, pos: 0, stack: Vec::new(), seen_root: false }
+    }
+
+    /// Current byte offset into the input.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Depth of currently open elements.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Produces the next event, `Ok(None)` at a well-formed end of input.
+    pub fn next_event(&mut self) -> Result<Option<Event>> {
+        loop {
+            if self.pos >= self.input.len() {
+                if !self.stack.is_empty() {
+                    return Err(Error::new(
+                        ErrorKind::UnclosedElements { depth: self.stack.len() },
+                        self.pos,
+                    ));
+                }
+                return Ok(None);
+            }
+            if self.input[self.pos] == b'<' {
+                return self.read_markup().map(Some);
+            }
+            // Character data up to the next '<'.
+            let start = self.pos;
+            let end = memchr(self.input, b'<', self.pos).unwrap_or(self.input.len());
+            self.pos = end;
+            let raw = &self.text[start..end];
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                continue; // Skip inter-element whitespace.
+            }
+            if self.stack.is_empty() {
+                return Err(Error::new(ErrorKind::TrailingContent, start));
+            }
+            let decoded = unescape(raw, start)?;
+            return Ok(Some(Event::Text(decoded)));
+        }
+    }
+
+    /// Reads markup starting at `<`.
+    fn read_markup(&mut self) -> Result<Event> {
+        debug_assert_eq!(self.input[self.pos], b'<');
+        let at = self.pos;
+        match self.input.get(self.pos + 1) {
+            None => Err(Error::new(ErrorKind::UnexpectedEof { context: "a tag" }, at)),
+            Some(b'?') => self.read_pi(),
+            Some(b'!') => self.read_bang(),
+            Some(b'/') => self.read_close_tag(),
+            Some(_) => self.read_open_tag(),
+        }
+    }
+
+    /// Reads `<? ... ?>`.
+    fn read_pi(&mut self) -> Result<Event> {
+        let at = self.pos;
+        let body_start = self.pos + 2;
+        let end = find(self.input, b"?>", body_start).ok_or_else(|| {
+            Error::new(ErrorKind::UnexpectedEof { context: "a processing instruction" }, at)
+        })?;
+        let body = self.text[body_start..end].to_owned();
+        self.pos = end + 2;
+        if body.starts_with("xml") && body[3..].starts_with(|c: char| c.is_ascii_whitespace()) {
+            Ok(Event::Declaration(body[3..].trim().to_owned()))
+        } else {
+            Ok(Event::ProcessingInstruction(body))
+        }
+    }
+
+    /// Reads `<!-- -->`, `<![CDATA[ ]]>` or `<!DOCTYPE >`.
+    fn read_bang(&mut self) -> Result<Event> {
+        let at = self.pos;
+        let rest = &self.input[self.pos..];
+        if rest.starts_with(b"<!--") {
+            let end = find(self.input, b"-->", self.pos + 4)
+                .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof { context: "a comment" }, at))?;
+            let body = self.text[self.pos + 4..end].to_owned();
+            self.pos = end + 3;
+            return Ok(Event::Comment(body));
+        }
+        if rest.starts_with(b"<![CDATA[") {
+            let end = find(self.input, b"]]>", self.pos + 9).ok_or_else(|| {
+                Error::new(ErrorKind::UnexpectedEof { context: "a CDATA section" }, at)
+            })?;
+            let body = self.text[self.pos + 9..end].to_owned();
+            self.pos = end + 3;
+            if self.stack.is_empty() {
+                return Err(Error::new(ErrorKind::TrailingContent, at));
+            }
+            return Ok(Event::CData(body));
+        }
+        if rest.len() >= 9 && rest[2..9].eq_ignore_ascii_case(b"DOCTYPE") {
+            // DOCTYPE may nest brackets for an internal subset.
+            let mut depth = 0usize;
+            let mut i = self.pos + 2;
+            while i < self.input.len() {
+                match self.input[i] {
+                    b'[' => depth += 1,
+                    b']' => depth = depth.saturating_sub(1),
+                    b'>' if depth == 0 => {
+                        let body = self.text[self.pos + 9..i].trim().to_owned();
+                        self.pos = i + 1;
+                        return Ok(Event::Doctype(body));
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            return Err(Error::new(ErrorKind::UnexpectedEof { context: "a DOCTYPE" }, at));
+        }
+        Err(Error::new(
+            ErrorKind::UnexpectedChar { found: '!', expected: "a comment, CDATA or DOCTYPE" },
+            at + 1,
+        ))
+    }
+
+    /// Reads `</name>`.
+    fn read_close_tag(&mut self) -> Result<Event> {
+        let at = self.pos;
+        self.pos += 2; // consume "</"
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.expect(b'>', "'>' closing the tag")?;
+        match self.stack.pop() {
+            Some(open) if open == name => Ok(Event::EndElement { name }),
+            Some(open) => Err(Error::new(
+                ErrorKind::MismatchedCloseTag { found: name, expected: Some(open) },
+                at,
+            )),
+            None => {
+                Err(Error::new(ErrorKind::MismatchedCloseTag { found: name, expected: None }, at))
+            }
+        }
+    }
+
+    /// Reads `<name attr="v" ...>` or `<name ... />`.
+    fn read_open_tag(&mut self) -> Result<Event> {
+        let at = self.pos;
+        if self.seen_root && self.stack.is_empty() {
+            return Err(Error::new(ErrorKind::TrailingContent, at));
+        }
+        self.pos += 1; // consume '<'
+        let name = self.read_name()?;
+        let mut attributes: Vec<Attribute> = Vec::new();
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                None => {
+                    return Err(Error::new(ErrorKind::UnexpectedEof { context: "a tag" }, at));
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    self.stack.push(name.clone());
+                    self.seen_root = true;
+                    return Ok(Event::StartElement { name, attributes, self_closing: false });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>', "'>' after '/'")?;
+                    self.seen_root = true;
+                    return Ok(Event::StartElement { name, attributes, self_closing: true });
+                }
+                Some(_) => {
+                    let attr = self.read_attribute()?;
+                    if attributes.iter().any(|a| a.name == attr.name) {
+                        return Err(Error::new(
+                            ErrorKind::DuplicateAttribute { name: attr.name },
+                            self.pos,
+                        ));
+                    }
+                    attributes.push(attr);
+                }
+            }
+        }
+    }
+
+    /// Reads `name = "value"` (single or double quotes).
+    fn read_attribute(&mut self) -> Result<Attribute> {
+        let name = self.read_name()?;
+        self.skip_whitespace();
+        self.expect(b'=', "'=' after attribute name")?;
+        self.skip_whitespace();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            Some(other) => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedChar { found: other as char, expected: "a quote" },
+                    self.pos,
+                ));
+            }
+            None => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof { context: "an attribute value" },
+                    self.pos,
+                ));
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        let end = memchr(self.input, quote, self.pos).ok_or_else(|| {
+            Error::new(ErrorKind::UnexpectedEof { context: "an attribute value" }, start)
+        })?;
+        let value = unescape(&self.text[start..end], start)?;
+        self.pos = end + 1;
+        Ok(Attribute { name, value })
+    }
+
+    /// Reads an XML name at the current position.
+    fn read_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        let mut end = start;
+        while end < self.input.len() {
+            let b = self.input[end];
+            let ok = if end == start {
+                b.is_ascii_alphabetic() || b == b'_' || b == b':' || b >= 0x80
+            } else {
+                b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b':') || b >= 0x80
+            };
+            if !ok {
+                break;
+            }
+            end += 1;
+        }
+        if end == start {
+            return Err(Error::new(ErrorKind::InvalidName, start));
+        }
+        self.pos = end;
+        Ok(self.text[start..end].to_owned())
+    }
+
+    fn skip_whitespace(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8, expected: &'static str) -> Result<()> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(other) => Err(Error::new(
+                ErrorKind::UnexpectedChar { found: other as char, expected },
+                self.pos,
+            )),
+            None => Err(Error::new(ErrorKind::UnexpectedEof { context: expected }, self.pos)),
+        }
+    }
+}
+
+/// First position of `needle` at or after `from`.
+fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
+    haystack[from..].iter().position(|&b| b == needle).map(|i| from + i)
+}
+
+/// First position of the multi-byte `needle` at or after `from`.
+fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if from > haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| from + i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(xml: &str) -> Result<Vec<Event>> {
+        let mut r = Reader::new(xml);
+        let mut out = Vec::new();
+        while let Some(e) = r.next_event()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_simple_element() {
+        let evts = events("<a/>").unwrap();
+        assert_eq!(
+            evts,
+            [Event::StartElement { name: "a".into(), attributes: vec![], self_closing: true }]
+        );
+    }
+
+    #[test]
+    fn parses_nested_elements_with_text() {
+        let evts = events("<a><b>hi</b></a>").unwrap();
+        assert_eq!(evts.len(), 5);
+        assert_eq!(evts[2], Event::Text("hi".into()));
+        assert_eq!(evts[3], Event::EndElement { name: "b".into() });
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let evts = events(r#"<rect x="1.5" y='2'/>"#).unwrap();
+        assert_eq!(evts[0].attribute("x"), Some("1.5"));
+        assert_eq!(evts[0].attribute("y"), Some("2"));
+        assert_eq!(evts[0].attribute("missing"), None);
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_attributes() {
+        let evts = events(r#"<a name="x &amp; y">1 &lt; 2</a>"#).unwrap();
+        assert_eq!(evts[0].attribute("name"), Some("x & y"));
+        assert_eq!(evts[1], Event::Text("1 < 2".into()));
+    }
+
+    #[test]
+    fn skips_whitespace_only_text() {
+        let evts = events("<a>\n  <b/>\n</a>").unwrap();
+        assert!(evts.iter().all(|e| !matches!(e, Event::Text(_))));
+    }
+
+    #[test]
+    fn declaration_comment_doctype_cdata() {
+        let xml = "<?xml version=\"1.0\"?><!DOCTYPE svg><!-- hello --><a><![CDATA[1<2]]></a>";
+        let evts = events(xml).unwrap();
+        assert_eq!(evts[0], Event::Declaration("version=\"1.0\"".into()));
+        assert_eq!(evts[1], Event::Doctype("svg".into()));
+        assert_eq!(evts[2], Event::Comment(" hello ".into()));
+        assert_eq!(evts[4], Event::CData("1<2".into()));
+    }
+
+    #[test]
+    fn processing_instruction_is_distinct_from_declaration() {
+        let evts = events("<?php echo ?><a/>").unwrap();
+        assert_eq!(evts[0], Event::ProcessingInstruction("php echo ".into()));
+    }
+
+    #[test]
+    fn rejects_mismatched_close_tag() {
+        let err = events("<a><b></a></b>").unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            ErrorKind::MismatchedCloseTag { found, expected: Some(e) }
+                if found == "a" && e == "b"
+        ));
+    }
+
+    #[test]
+    fn rejects_stray_close_tag() {
+        let err = events("<a/></a>").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::MismatchedCloseTag { expected: None, .. }));
+    }
+
+    #[test]
+    fn rejects_unclosed_elements_at_eof() {
+        let err = events("<a><b>").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnclosedElements { depth: 2 }));
+    }
+
+    #[test]
+    fn rejects_truncated_tag() {
+        let err = events("<a").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let err = events(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::DuplicateAttribute { name } if name == "x"));
+    }
+
+    #[test]
+    fn rejects_second_root_element() {
+        let err = events("<a/><b/>").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn rejects_text_outside_root() {
+        let err = events("<a/>junk").unwrap_err();
+        assert_eq!(*err.kind(), ErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        let err = events("<a><!-- oops</a>").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnexpectedEof { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_attribute_value() {
+        let err = events("<a x=1/>").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::UnexpectedChar { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_entity_with_position() {
+        let err = events("<a>&bogus;</a>").unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::InvalidEntity { entity } if entity == "bogus"));
+        assert_eq!(err.offset(), 3);
+    }
+
+    #[test]
+    fn attribute_whitespace_is_flexible() {
+        let evts = events("<a  x = \"1\"   y=\"2\" />").unwrap();
+        assert_eq!(evts[0].attribute("x"), Some("1"));
+        assert_eq!(evts[0].attribute("y"), Some("2"));
+    }
+
+    #[test]
+    fn unicode_names_and_text_survive() {
+        let evts = events("<réseau>déjà</réseau>").unwrap();
+        assert!(matches!(&evts[0], Event::StartElement { name, .. } if name == "réseau"));
+        assert_eq!(evts[1], Event::Text("déjà".into()));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let mut r = Reader::new("<a><b/></a>");
+        r.next_event().unwrap();
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap(); // self-closing <b/> does not change depth
+        assert_eq!(r.depth(), 1);
+        r.next_event().unwrap();
+        assert_eq!(r.depth(), 0);
+    }
+
+    #[test]
+    fn doctype_with_internal_subset() {
+        let xml = "<!DOCTYPE svg [ <!ENTITY x \"y\"> ]><a/>";
+        let evts = events(xml).unwrap();
+        assert!(matches!(&evts[0], Event::Doctype(d) if d.contains("ENTITY")));
+    }
+
+    #[test]
+    fn empty_input_is_valid() {
+        assert!(events("").unwrap().is_empty());
+        assert!(events("   \n  ").unwrap().is_empty());
+    }
+}

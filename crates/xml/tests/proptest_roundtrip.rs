@@ -1,0 +1,144 @@
+//! Property-based round-trip: any document the writer can produce must be
+//! parsed back to the same event structure by the reader.
+
+use proptest::prelude::*;
+use wm_xml::{escape_attribute, escape_text, unescape, Event, Reader, Writer};
+
+/// A randomly generated element tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Node> },
+    Text(String),
+}
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_.-]{0,10}").expect("valid regex")
+}
+
+/// Attribute values and text: printable characters including XML-special
+/// ones; no control characters (the writer does not escape those).
+fn content_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~àé€]{0,24}").expect("valid regex")
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        // Non-whitespace-only text (the reader deliberately skips
+        // whitespace-only runs).
+        content_strategy()
+            .prop_filter("text must not be whitespace-only", |s| !s.trim().is_empty())
+            .prop_map(Node::Text),
+        (name_strategy(), attrs_strategy())
+            .prop_map(|(name, attrs)| Node::Element { name, attrs, children: Vec::new() }),
+    ];
+    leaf.prop_recursive(3, 32, 5, |inner| {
+        (name_strategy(), attrs_strategy(), prop::collection::vec(inner, 0..4)).prop_map(
+            |(name, attrs, children)| Node::Element { name, attrs, children },
+        )
+    })
+}
+
+fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
+    prop::collection::vec((name_strategy(), content_strategy()), 0..4).prop_map(|attrs| {
+        let mut seen = std::collections::BTreeSet::new();
+        attrs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+    })
+}
+
+fn write_node(writer: &mut Writer, node: &Node) {
+    match node {
+        Node::Text(text) => writer.text(text).expect("inside an element"),
+        Node::Element { name, attrs, children } => {
+            let mut builder = writer.start_element(name);
+            for (k, v) in attrs {
+                builder = builder.attr(k, v);
+            }
+            if children.is_empty() {
+                builder.close().expect("valid element");
+            } else {
+                builder.finish().expect("valid element");
+                for child in children {
+                    write_node(writer, child);
+                }
+                writer.end_element(name).expect("balanced");
+            }
+        }
+    }
+}
+
+/// Flattens a tree into the expected event stream.
+fn expected_events(node: &Node, out: &mut Vec<Event>) {
+    match node {
+        Node::Text(text) => out.push(Event::Text(text.clone())),
+        Node::Element { name, attrs, children } => {
+            out.push(Event::StartElement {
+                name: name.clone(),
+                attributes: attrs
+                    .iter()
+                    .map(|(k, v)| wm_xml::Attribute { name: k.clone(), value: v.clone() })
+                    .collect(),
+                self_closing: children.is_empty(),
+            });
+            for child in children {
+                expected_events(child, out);
+            }
+            if !children.is_empty() {
+                out.push(Event::EndElement { name: name.clone() });
+            }
+        }
+    }
+}
+
+/// Merges adjacent text events (the writer concatenates adjacent text
+/// calls into one run, which the reader reports as a single event).
+fn merge_text(events: Vec<Event>) -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+    for event in events {
+        if let (Some(Event::Text(last)), Event::Text(new)) = (out.last_mut(), &event) {
+            last.push_str(new);
+            continue;
+        }
+        out.push(event);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn writer_reader_round_trip(root in node_strategy()) {
+        // Ensure a single element root (wrap text roots).
+        let root = match root {
+            e @ Node::Element { .. } => e,
+            text => Node::Element {
+                name: "root".into(),
+                attrs: Vec::new(),
+                children: vec![text],
+            },
+        };
+        let mut writer = Writer::new();
+        write_node(&mut writer, &root);
+        let xml = writer.into_string_checked().expect("well-formed by construction");
+
+        let mut expected = Vec::new();
+        expected_events(&root, &mut expected);
+        let expected = merge_text(expected);
+
+        let mut reader = Reader::new(&xml);
+        let mut actual = Vec::new();
+        while let Some(event) = reader.next_event().unwrap_or_else(|e| {
+            panic!("reader failed on writer output: {e}\n---\n{xml}")
+        }) {
+            actual.push(event);
+        }
+        let actual = merge_text(actual);
+        prop_assert_eq!(actual, expected, "xml was:\n{}", xml);
+    }
+
+    #[test]
+    fn escape_unescape_round_trip(s in content_strategy()) {
+        prop_assert_eq!(unescape(&escape_text(&s), 0).expect("valid"), s.clone());
+        prop_assert_eq!(unescape(&escape_attribute(&s), 0).expect("valid"), s);
+    }
+}

@@ -1,0 +1,54 @@
+//! YAML parse errors.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// A YAML parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    line: usize,
+    message: String,
+}
+
+impl Error {
+    /// Creates an error reported at 1-based `line`.
+    #[must_use]
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        Self { line, message: message.into() }
+    }
+
+    /// 1-based line number at which the error was detected.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    #[must_use]
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YAML error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_line_and_message() {
+        let e = Error::new(7, "bad indent");
+        assert_eq!(e.line(), 7);
+        assert_eq!(e.message(), "bad indent");
+        assert!(e.to_string().contains("line 7"));
+    }
+}

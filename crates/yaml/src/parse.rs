@@ -1,0 +1,480 @@
+//! Parsing YAML text into [`Value`] trees.
+
+use crate::{Error, Result, Value};
+
+/// Parses a YAML document into a [`Value`].
+///
+/// An empty (or comment-only) document parses as [`Value::Null`], matching
+/// how the snapshot tooling treats empty files.
+pub fn parse(text: &str) -> Result<Value> {
+    let lines = tokenize(text);
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut cursor = Cursor { lines, pos: 0 };
+    let root_indent = cursor.current().expect("non-empty").indent;
+    let value = parse_value(&mut cursor, root_indent)?;
+    if let Some(line) = cursor.current() {
+        return Err(Error::new(line.number, "content after the document root"));
+    }
+    Ok(value)
+}
+
+/// One significant input line.
+#[derive(Debug, Clone)]
+struct Line {
+    /// 1-based source line number.
+    number: usize,
+    /// Leading spaces.
+    indent: usize,
+    /// Content with indent and trailing comment stripped.
+    text: String,
+}
+
+/// Splits input into significant lines, dropping blanks and comments.
+fn tokenize(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let without_indent = raw.trim_start_matches(' ');
+        let indent = raw.len() - without_indent.len();
+        let content = strip_comment(without_indent).trim_end();
+        if content.is_empty() {
+            continue;
+        }
+        if content == "---" && out.is_empty() {
+            continue; // Tolerate a leading document marker.
+        }
+        out.push(Line { number: i + 1, indent, text: content.to_owned() });
+    }
+    out
+}
+
+/// Removes a trailing ` # comment`, respecting double-quoted spans.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_quotes => escaped = true,
+            b'"' => in_quotes = !in_quotes,
+            b'#' if !in_quotes && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+    }
+    line
+}
+
+/// A cursor over the significant lines, allowing in-place rewriting of the
+/// current line (used to parse compact `- key: value` sequence items).
+struct Cursor {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn current(&self) -> Option<&Line> {
+        self.lines.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Replaces the current line with `text` re-indented at `indent`.
+    fn reinject(&mut self, indent: usize, text: String) {
+        let number = self.lines[self.pos].number;
+        self.lines[self.pos] = Line { number, indent, text };
+    }
+}
+
+/// Parses the block value starting at the current line, expected at
+/// `indent` columns.
+fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+    let line = match cursor.current() {
+        Some(line) => line.clone(),
+        None => return Ok(Value::Null),
+    };
+    if line.indent != indent {
+        return Err(Error::new(
+            line.number,
+            format!("expected indentation of {} columns, found {}", indent, line.indent),
+        ));
+    }
+    if line.text == "-" || line.text.starts_with("- ") {
+        parse_sequence(cursor, indent)
+    } else if let Some((key_end, _)) = find_mapping_colon(&line.text, line.number)? {
+        let _ = key_end;
+        parse_mapping(cursor, indent)
+    } else {
+        cursor.advance();
+        parse_scalar(&line.text, line.number)
+    }
+}
+
+/// Parses consecutive `- item` lines at `indent`.
+fn parse_sequence(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+    let mut items = Vec::new();
+    while let Some(line) = cursor.current() {
+        if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+            break;
+        }
+        let number = line.number;
+        let rest = line.text[1..].trim_start().to_owned();
+        if rest.is_empty() {
+            // `-` alone: the item is the nested block on following lines.
+            cursor.advance();
+            match cursor.current() {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    items.push(parse_value(cursor, child_indent)?);
+                }
+                _ => items.push(Value::Null),
+            }
+        } else {
+            // Compact item: re-parse the rest as a virtual line two columns
+            // deeper (the column where `rest` actually starts).
+            let item_indent = indent + 2;
+            cursor.reinject(item_indent, rest);
+            let item = parse_value(cursor, item_indent)?;
+            let _ = number;
+            items.push(item);
+        }
+    }
+    Ok(Value::Seq(items))
+}
+
+/// Parses consecutive `key: value` lines at `indent`.
+fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+    let mut pairs: Vec<(String, Value)> = Vec::new();
+    while let Some(line) = cursor.current() {
+        if line.indent != indent {
+            break;
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            break;
+        }
+        let number = line.number;
+        let Some((key, rest)) = find_mapping_colon(&line.text, number)? else {
+            break;
+        };
+        if pairs.iter().any(|(k, _)| *k == key) {
+            return Err(Error::new(number, format!("duplicate mapping key {key:?}")));
+        }
+        cursor.advance();
+        let value = if rest.is_empty() {
+            // Value is the nested block, if any is indented deeper.
+            match cursor.current() {
+                Some(next) if next.indent > indent => {
+                    let child_indent = next.indent;
+                    parse_value(cursor, child_indent)?
+                }
+                _ => Value::Null,
+            }
+        } else if rest == "[]" {
+            Value::Seq(Vec::new())
+        } else if rest == "{}" {
+            Value::Map(Vec::new())
+        } else {
+            parse_scalar(&rest, number)?
+        };
+        pairs.push((key, value));
+    }
+    Ok(Value::Map(pairs))
+}
+
+/// Splits `key: value` at the first structural colon. Returns the decoded
+/// key and the (possibly empty) raw value text, or `None` when the line is
+/// not a mapping entry.
+fn find_mapping_colon(text: &str, line_number: usize) -> Result<Option<(String, String)>> {
+    if let Some(stripped) = text.strip_prefix('"') {
+        // Quoted key: find the closing quote first.
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    let after = &stripped[i + 1..];
+                    let Some(after_colon) = after.strip_prefix(':') else {
+                        return Ok(None);
+                    };
+                    if !after_colon.is_empty() && !after_colon.starts_with(' ') {
+                        return Ok(None);
+                    }
+                    let key = unquote(&text[..i + 2], line_number)?;
+                    return Ok(Some((key, after_colon.trim().to_owned())));
+                }
+                _ => {}
+            }
+        }
+        return Err(Error::new(line_number, "unterminated quoted key"));
+    }
+    // Plain key: first `:` that is followed by space or end-of-line.
+    let bytes = text.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+            let key = text[..i].trim().to_owned();
+            if key.is_empty() {
+                return Err(Error::new(line_number, "empty mapping key"));
+            }
+            return Ok(Some((key, text[i + 1..].trim().to_owned())));
+        }
+    }
+    Ok(None)
+}
+
+/// Parses a scalar token: quoted string or typed plain scalar.
+fn parse_scalar(text: &str, line_number: usize) -> Result<Value> {
+    if text == "[]" {
+        return Ok(Value::Seq(Vec::new()));
+    }
+    if text == "{}" {
+        return Ok(Value::Map(Vec::new()));
+    }
+    if text.starts_with('"') {
+        return unquote(text, line_number).map(Value::Str);
+    }
+    if text.starts_with('\'') {
+        // Single-quoted: only the '' escape exists.
+        let inner = text
+            .strip_prefix('\'')
+            .and_then(|t| t.strip_suffix('\''))
+            .ok_or_else(|| Error::new(line_number, "unterminated single-quoted scalar"))?;
+        return Ok(Value::Str(inner.replace("''", "'")));
+    }
+    Ok(plain_scalar(text))
+}
+
+/// Types a plain (unquoted) scalar.
+fn plain_scalar(text: &str) -> Value {
+    match text {
+        "null" | "~" => return Value::Null,
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        ".nan" => return Value::Float(f64::NAN),
+        ".inf" => return Value::Float(f64::INFINITY),
+        "-.inf" => return Value::Float(f64::NEG_INFINITY),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Value::Int(i);
+    }
+    // Only treat as float if it looks numeric (avoid "1e" oddities handled
+    // by parse() anyway; parse::<f64> accepts "inf"/"nan" which we gate).
+    if !text.eq_ignore_ascii_case("nan")
+        && !text.to_ascii_lowercase().contains("inf")
+        && text.parse::<f64>().is_ok()
+    {
+        return Value::Float(text.parse::<f64>().expect("checked"));
+    }
+    Value::Str(text.to_owned())
+}
+
+/// Decodes a double-quoted scalar with escapes.
+fn unquote(text: &str, line_number: usize) -> Result<String> {
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .ok_or_else(|| Error::new(line_number, "unterminated double-quoted scalar"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                return Err(Error::new(line_number, format!("unknown escape \\{other}")));
+            }
+            None => return Err(Error::new(line_number, "dangling escape at end of scalar")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("# only a comment\n\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn scalar_typing() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-3").unwrap(), Value::Int(-3));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("~").unwrap(), Value::Null);
+        assert_eq!(parse("hello").unwrap(), Value::from("hello"));
+    }
+
+    #[test]
+    fn quoted_scalars_stay_strings() {
+        assert_eq!(parse("\"42\"").unwrap(), Value::from("42"));
+        assert_eq!(parse("'it''s'").unwrap(), Value::from("it's"));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::from("a\nb"));
+    }
+
+    #[test]
+    fn flat_mapping() {
+        let v = parse("a: 1\nb: two\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), Some(&Value::from("two")));
+    }
+
+    #[test]
+    fn nested_mapping() {
+        let v = parse("outer:\n  inner: 1\n").unwrap();
+        assert_eq!(v.get("outer").unwrap().get("inner"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn mapping_with_null_value() {
+        let v = parse("a:\nb: 1\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn sequence_of_scalars() {
+        assert_eq!(
+            parse("- 1\n- 2\n").unwrap(),
+            Value::Seq(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn sequence_of_compact_mappings() {
+        let v = parse("- name: r1\n  links: 3\n- name: r2\n  links: 5\n").unwrap();
+        let items = v.as_seq().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("name"), Some(&Value::from("r1")));
+        assert_eq!(items[0].get("links"), Some(&Value::Int(3)));
+        assert_eq!(items[1].get("name"), Some(&Value::from("r2")));
+    }
+
+    #[test]
+    fn sequence_item_with_block_on_next_line() {
+        let v = parse("-\n  a: 1\n").unwrap();
+        assert_eq!(v.as_seq().unwrap()[0].get("a"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn lone_dash_is_null_item() {
+        let v = parse("-\n- 2\n").unwrap();
+        assert_eq!(v.as_seq().unwrap()[0], Value::Null);
+    }
+
+    #[test]
+    fn mapping_with_sequence_value() {
+        let v = parse("items:\n  - 1\n  - 2\n").unwrap();
+        assert_eq!(
+            v.get("items"),
+            Some(&Value::Seq(vec![Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn empty_flow_collections() {
+        let v = parse("seq: []\nmap: {}\n").unwrap();
+        assert_eq!(v.get("seq"), Some(&Value::Seq(vec![])));
+        assert_eq!(v.get("map"), Some(&Value::Map(vec![])));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let v = parse("# header\na: 1  # trailing\n\nb: 2\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn hash_inside_quotes_is_not_a_comment() {
+        let v = parse("label: \"#1\"\n").unwrap();
+        assert_eq!(v.get("label"), Some(&Value::from("#1")));
+    }
+
+    #[test]
+    fn quoted_keys() {
+        let v = parse("\"weird: key\": 1\n").unwrap();
+        assert_eq!(v.get("weird: key"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("a: 1\na: 2\n").unwrap_err();
+        assert!(err.message().contains("duplicate"));
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn bad_indentation_rejected() {
+        // A stray extra space of indentation cannot attach anywhere.
+        assert!(parse("a:\n  b: 1\n   c: 2\n").is_err());
+        // And an indent jump inside a fresh block is reported as such.
+        let err = parse("a:\n  - 1\n    - 2\n").unwrap_err();
+        assert_eq!(err.line(), 3);
+    }
+
+    #[test]
+    fn leading_document_marker_tolerated() {
+        let v = parse("---\na: 1\n").unwrap();
+        assert_eq!(v.get("a"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let v = parse("a:\n  b:\n    c:\n      - d: 4\n").unwrap();
+        let d = v
+            .get("a")
+            .and_then(|x| x.get("b"))
+            .and_then(|x| x.get("c"))
+            .and_then(Value::as_seq)
+            .map(|s| s[0].get("d").cloned());
+        assert_eq!(d, Some(Some(Value::Int(4))));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(parse("a: \"oops\n").is_err());
+    }
+
+    #[test]
+    fn special_floats_parse() {
+        assert!(matches!(parse(".nan").unwrap(), Value::Float(f) if f.is_nan()));
+        assert_eq!(parse(".inf").unwrap(), Value::Float(f64::INFINITY));
+        assert_eq!(parse("-.inf").unwrap(), Value::Float(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn colon_without_space_is_part_of_scalar() {
+        // "ab:cd" has no structural colon.
+        assert_eq!(parse("ab:cd").unwrap(), Value::from("ab:cd"));
+    }
+
+    #[test]
+    fn router_names_with_colons_in_values() {
+        let v = parse("name: fra-fr5:pb6\n").unwrap();
+        assert_eq!(v.get("name"), Some(&Value::from("fra-fr5:pb6")));
+    }
+}

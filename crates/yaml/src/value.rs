@@ -1,0 +1,181 @@
+//! The dynamically-typed YAML value model.
+
+use std::fmt;
+
+/// A YAML document node.
+///
+/// Mappings preserve insertion order (snapshot files are diffed and hashed
+/// in tests, so deterministic ordering matters more than lookup speed; maps
+/// in the schema have at most a dozen keys).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / `~` / empty scalar.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A 64-bit signed integer scalar.
+    Int(i64),
+    /// A floating-point scalar.
+    Float(f64),
+    /// A string scalar.
+    Str(String),
+    /// A block sequence.
+    Seq(Vec<Value>),
+    /// A block mapping with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds a mapping from `(key, value)` pairs.
+    #[must_use]
+    pub fn map<K: Into<String>>(pairs: Vec<(K, Value)>) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Looks up a key in a mapping.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string scalar, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, widening from `Int` only.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, accepting integer scalars too.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence slice, if it is one.
+    #[must_use]
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as mapping pairs, if it is one.
+    #[must_use]
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for `Null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Value {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Value {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    /// Displays the emitted YAML form (delegates to [`crate::to_string`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup() {
+        let m = Value::map(vec![("a", Value::from(1i64)), ("b", Value::from("x"))]);
+        assert_eq!(m.get("a").and_then(Value::as_i64), Some(1));
+        assert_eq!(m.get("b").and_then(Value::as_str), Some("x"));
+        assert!(m.get("c").is_none());
+        assert!(Value::from(3i64).get("a").is_none());
+    }
+
+    #[test]
+    fn accessor_type_discipline() {
+        assert_eq!(Value::from(2i64).as_f64(), Some(2.0));
+        assert_eq!(Value::from(2.5).as_i64(), None);
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from("s").as_bool(), None);
+        assert!(Value::Null.is_null());
+        assert!(!Value::from(0i64).is_null());
+    }
+
+    #[test]
+    fn seq_and_map_accessors() {
+        let s = Value::Seq(vec![Value::Null]);
+        assert_eq!(s.as_seq().map(<[Value]>::len), Some(1));
+        assert!(s.as_map().is_none());
+        let m = Value::map(vec![("k", Value::Null)]);
+        assert_eq!(m.as_map().map(<[(String, Value)]>::len), Some(1));
+        assert!(m.as_seq().is_none());
+    }
+}

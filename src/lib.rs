@@ -1,0 +1,8 @@
+//! Workspace umbrella of the `ovh-weather` reproduction.
+//!
+//! This root package exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface is
+//! a re-export of the facade crate. Depend on [`ovh_weather`] directly in
+//! downstream code.
+
+pub use ovh_weather;

@@ -1,0 +1,92 @@
+//! Robustness: the extraction pipeline must never panic, whatever bytes it
+//! is fed — corrupted snapshots are *classified* (Table 2's unprocessable
+//! files), not crashes. This drives randomly mutated real snapshots and
+//! raw garbage through `extract_svg`.
+
+use ovh_weather::prelude::*;
+use proptest::prelude::*;
+
+fn base_svg() -> String {
+    let sim = Simulation::new(SimulationConfig::scaled(5, 0.08));
+    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2021, 4, 1, 9, 0, 0)).svg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random single-region byte corruption of a valid snapshot.
+    #[test]
+    fn mutated_snapshots_never_panic(
+        offset_frac in 0.0f64..1.0,
+        length in 1usize..64,
+        fill in 0u8..=255,
+    ) {
+        let svg = base_svg();
+        let bytes = svg.as_bytes();
+        let offset = ((bytes.len() - 1) as f64 * offset_frac) as usize;
+        let end = (offset + length).min(bytes.len());
+        let mut mutated = bytes.to_vec();
+        for b in &mut mutated[offset..end] {
+            *b = fill;
+        }
+        // Feed it through regardless of UTF-8 validity.
+        if let Ok(text) = String::from_utf8(mutated) {
+            let config = ExtractConfig::default();
+            let _ = extract_svg(&text, MapKind::Europe, Timestamp::from_unix(0), &config);
+        }
+    }
+
+    /// Random element deletions: remove a contiguous slice of elements.
+    #[test]
+    fn truncated_element_runs_never_panic(start_frac in 0.0f64..1.0, count in 1usize..40) {
+        let svg = base_svg();
+        // Cut whole elements out by splitting on '<'.
+        let parts: Vec<&str> = svg.split_inclusive('<').collect();
+        let start = ((parts.len() - 1) as f64 * start_frac) as usize;
+        let end = (start + count).min(parts.len());
+        let text: String =
+            parts[..start].iter().chain(parts[end..].iter()).copied().collect();
+        let config = ExtractConfig::default();
+        let _ = extract_svg(&text, MapKind::Europe, Timestamp::from_unix(0), &config);
+    }
+
+    /// Pure garbage.
+    #[test]
+    fn garbage_never_panics(text in "[ -~<>/\"=%#]{0,400}") {
+        let config = ExtractConfig::default();
+        let _ = extract_svg(&text, MapKind::Europe, Timestamp::from_unix(0), &config);
+    }
+}
+
+#[test]
+fn structured_hostile_documents_are_classified() {
+    let config = ExtractConfig::default();
+    let t = Timestamp::from_unix(0);
+    // Documents engineered at the weathermap layer rather than byte level.
+    let hostile = [
+        // A load with no arrows at all.
+        r#"<svg><text class="labellink" x="1" y="1">5 %</text></svg>"#.to_owned(),
+        // One-armed link at the end of the document.
+        r#"<svg><polygon points="0,0 4,0 2,3"/></svg>"#.to_owned(),
+        // A label box that never gets its text.
+        r#"<svg><rect class="node" x="0" y="0" width="4" height="4"/></svg>"#.to_owned(),
+        // Arrows and loads but zero routers.
+        r#"<svg><polygon points="0,0 40,0 20,6"/><polygon points="100,0 60,0 80,6"/>
+           <text class="labellink" x="1" y="1">5 %</text>
+           <text class="labellink" x="9" y="1">6 %</text></svg>"#
+            .to_owned(),
+        // Huge coordinates.
+        r#"<svg><rect class="object" x="1e300" y="-1e300" width="1e300" height="2"/></svg>"#
+            .to_owned(),
+    ];
+    for (i, doc) in hostile.iter().enumerate() {
+        let result = extract_svg(doc, MapKind::Europe, t, &config);
+        assert!(result.is_err(), "hostile document {i} should be refused, got {result:?}");
+    }
+
+    // Deeply nested empty groups are *valid* (they carry no weathermap
+    // content) and extract as an empty topology, like `<svg/>` itself.
+    let nested = format!("<svg>{}{}</svg>", "<g>".repeat(200), "</g>".repeat(200));
+    let snapshot = extract_svg(&nested, MapKind::Europe, t, &config).expect("valid empty map");
+    assert!(snapshot.nodes.is_empty() && snapshot.links.is_empty());
+}

@@ -1,0 +1,78 @@
+//! The keystone correctness property of the repository: for any seed,
+//! scale, map and instant, blind extraction of a rendered weathermap SVG
+//! recovers the simulator's ground-truth topology exactly.
+
+use ovh_weather::prelude::*;
+use proptest::prelude::*;
+
+fn verify(seed: u64, scale: f64, map: MapKind, t: Timestamp) -> Result<(), String> {
+    let pipeline = Pipeline::new(SimulationConfig::scaled(seed, scale));
+    pipeline.verify_roundtrip(map, t)
+}
+
+#[test]
+fn roundtrip_across_maps_and_years() {
+    let pipeline = Pipeline::new(SimulationConfig::scaled(7, 0.15));
+    for map in MapKind::ALL {
+        for (year, month) in [(2020, 8), (2021, 2), (2021, 11), (2022, 6), (2022, 9)] {
+            let t = Timestamp::from_ymd_hms(year, month, 9, 20, 15, 0);
+            pipeline
+                .verify_roundtrip(map, t)
+                .unwrap_or_else(|e| panic!("{map} at {year}-{month}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn roundtrip_during_evolution_events() {
+    // Instants straddling the scripted Europe storyline: MBB window,
+    // removals, the November 2021 step, and the AMS-IX scenario.
+    let pipeline = Pipeline::new(SimulationConfig::scaled(7, 0.3));
+    for t in [
+        Timestamp::from_ymd_hms(2020, 9, 20, 12, 0, 0),  // MBB peak
+        Timestamp::from_ymd_hms(2020, 10, 31, 12, 0, 0), // after MBB removals
+        Timestamp::from_ymd_hms(2021, 6, 30, 12, 0, 0),  // after June removals
+        Timestamp::from_ymd_hms(2021, 8, 15, 12, 0, 0),  // during the dip
+        Timestamp::from_ymd_hms(2021, 11, 20, 12, 0, 0), // after the big step
+        Timestamp::from_ymd_hms(2022, 3, 10, 12, 0, 0),  // link added, inactive
+        Timestamp::from_ymd_hms(2022, 3, 25, 12, 0, 0),  // link activated
+    ] {
+        pipeline
+            .verify_roundtrip(MapKind::Europe, t)
+            .unwrap_or_else(|e| panic!("at {t}: {e}"));
+    }
+}
+
+#[test]
+fn roundtrip_at_full_paper_scale() {
+    // One full-size Europe snapshot (113 routers, ~1 000 links).
+    let pipeline = Pipeline::new(SimulationConfig::paper(42));
+    let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
+    pipeline.verify_roundtrip(MapKind::Europe, t).expect("full-scale round trip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised sweep over the whole stack: any seed/scale/map/instant
+    /// must round-trip exactly.
+    #[test]
+    fn roundtrip_holds_for_arbitrary_worlds(
+        seed in 0u64..1_000,
+        scale_pct in 5u32..35,
+        map_idx in 0usize..4,
+        day in 0i64..780,
+        minute_slot in 0i64..288,
+    ) {
+        let map = MapKind::ALL[map_idx];
+        let t = Timestamp::from_ymd(2020, 7, 15)
+            + Duration::from_days(day)
+            + Duration::from_minutes(minute_slot * 5);
+        let scale = f64::from(scale_pct) / 100.0;
+        prop_assert!(
+            verify(seed, scale, map, t).is_ok(),
+            "seed {seed} scale {scale} {map} {t}: {:?}",
+            verify(seed, scale, map, t)
+        );
+    }
+}
