@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: build, test, lint, format. Run from the repo root.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy -- -D warnings
+cargo fmt --check

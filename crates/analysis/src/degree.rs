@@ -15,9 +15,14 @@ impl DegreeAnalysis {
     /// Computes the distribution from a snapshot.
     #[must_use]
     pub fn of(snapshot: &TopologySnapshot) -> DegreeAnalysis {
-        let degrees: Vec<f64> =
-            snapshot.router_degrees().into_iter().map(|d| d as f64).collect();
-        DegreeAnalysis { dist: Distribution::new(degrees) }
+        let degrees: Vec<f64> = snapshot
+            .router_degrees()
+            .into_iter()
+            .map(|d| d as f64)
+            .collect();
+        DegreeAnalysis {
+            dist: Distribution::new(degrees),
+        }
     }
 
     /// The underlying distribution.

@@ -65,7 +65,11 @@ pub fn detect_changes(
         let before = metric(&pair[0]);
         let after = metric(&pair[1]);
         if before.abs_diff(after) >= min_delta {
-            events.push(ChangeEvent { at: pair[1].timestamp, before, after });
+            events.push(ChangeEvent {
+                at: pair[1].timestamp,
+                before,
+                after,
+            });
         }
     }
     events
@@ -112,7 +116,10 @@ mod tests {
             )
         };
         for i in 0..internal {
-            s.links.push(link(format!("r-{}", i % routers), format!("r-{}", (i + 1) % routers)));
+            s.links.push(link(
+                format!("r-{}", i % routers),
+                format!("r-{}", (i + 1) % routers),
+            ));
         }
         for _ in 0..external {
             s.links.push(link("r-0".into(), "PEER".into()));
@@ -147,16 +154,25 @@ mod tests {
 
     #[test]
     fn small_wiggles_are_ignored() {
-        let snaps: Vec<TopologySnapshot> =
-            (0..6).map(|i| snapshot(i * 300, 5, 10 + (i % 2) as usize, 1)).collect();
+        let snaps: Vec<TopologySnapshot> = (0..6)
+            .map(|i| snapshot(i * 300, 5, 10 + (i % 2) as usize, 1))
+            .collect();
         let series = evolution_series(&snaps);
         assert!(detect_changes(&series, |p| p.internal_links, 3).is_empty());
     }
 
     #[test]
     fn pattern_classification() {
-        let up = ChangeEvent { at: Timestamp::from_unix(0), before: 10, after: 14 };
-        let down = ChangeEvent { at: Timestamp::from_unix(600), before: 14, after: 11 };
+        let up = ChangeEvent {
+            at: Timestamp::from_unix(0),
+            before: 10,
+            after: 14,
+        };
+        let down = ChangeEvent {
+            at: Timestamp::from_unix(600),
+            before: 14,
+            after: 11,
+        };
         assert_eq!(classify_pair(&up, &down), EventPattern::MakeBeforeBreak);
         assert_eq!(classify_pair(&down, &up), EventPattern::MaintenanceDip);
         assert_eq!(classify_pair(&up, &up), EventPattern::Monotonic);

@@ -110,7 +110,11 @@ mod tests {
     /// with prescribed per-direction loads.
     fn snapshot(loads: &[(u8, u8)], external: bool) -> TopologySnapshot {
         let mut s = TopologySnapshot::new(MapKind::Europe, Timestamp::from_unix(0));
-        let other = if external { Node::peering("PEER") } else { Node::router("r-b") };
+        let other = if external {
+            Node::peering("PEER")
+        } else {
+            Node::router("r-b")
+        };
         s.nodes.push(Node::router("r-a"));
         s.nodes.push(other.clone());
         for (la, lb) in loads {

@@ -34,11 +34,11 @@ pub mod timeframe;
 pub mod upgrades;
 
 pub use degree::DegreeAnalysis;
-pub use maintenance::{disabled_fraction, maintenance_windows, LinkKey, MaintenanceWindow};
-pub use sites::{site_counts, site_growth, SiteCounts, SiteGrowth};
 pub use evolution::{detect_changes, evolution_series, ChangeEvent, EvolutionPoint};
 pub use imbalance::{group_imbalances, GroupImbalance, ImbalanceCdf};
 pub use loads::{HourlyLoads, LoadCdf};
+pub use maintenance::{disabled_fraction, maintenance_windows, LinkKey, MaintenanceWindow};
+pub use sites::{site_counts, site_growth, SiteCounts, SiteGrowth};
 pub use stats::{Distribution, WhiskerSummary};
 pub use tables::{table1, Table1, Table1Row};
 pub use timeframe::{coverage_segments, CoverageSegment, GapDistribution};

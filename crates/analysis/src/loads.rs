@@ -135,7 +135,11 @@ mod tests {
         s.nodes.push(Node::router("r-b"));
         s.nodes.push(Node::peering("PEER"));
         for (la, lb, internal) in loads {
-            let other = if *internal { Node::router("r-b") } else { Node::peering("PEER") };
+            let other = if *internal {
+                Node::router("r-b")
+            } else {
+                Node::peering("PEER")
+            };
             s.links.push(Link::new(
                 LinkEnd::new(Node::router("r-a"), None, Load::new(*la).unwrap()),
                 LinkEnd::new(other, None, Load::new(*lb).unwrap()),

@@ -63,14 +63,24 @@ pub fn maintenance_windows(snapshots: &[TopologySnapshot]) -> Vec<MaintenanceWin
                     })
                     .or_insert((snapshot.timestamp, snapshot.timestamp, 1));
             } else if let Some((start, last, count)) = open.remove(&key) {
-                closed.push(MaintenanceWindow { link: key, start, end: last, snapshots: count });
+                closed.push(MaintenanceWindow {
+                    link: key,
+                    start,
+                    end: last,
+                    snapshots: count,
+                });
                 let _ = (start, count);
             }
         }
     }
     // Windows still open at the end of the series.
     for (key, (start, last, count)) in open {
-        closed.push(MaintenanceWindow { link: key, start, end: last, snapshots: count });
+        closed.push(MaintenanceWindow {
+            link: key,
+            start,
+            end: last,
+            snapshots: count,
+        });
     }
     closed.sort_by(|x, y| x.start.cmp(&y.start).then_with(|| x.link.cmp(&y.link)));
     closed
@@ -108,7 +118,12 @@ fn key_of(link: &wm_model::Link) -> LinkKey {
     } else {
         (link.b.label.clone(), link.a.label.clone())
     };
-    LinkKey { a, b, label_a, label_b }
+    LinkKey {
+        a,
+        b,
+        label_a,
+        label_b,
+    }
 }
 
 #[cfg(test)]
@@ -127,8 +142,16 @@ mod tests {
                 s.nodes.push(Node::router("r-a"));
                 s.nodes.push(Node::router("r-b"));
                 s.links.push(Link::new(
-                    LinkEnd::new(Node::router("r-a"), Some("#1".into()), Load::new(*la).unwrap()),
-                    LinkEnd::new(Node::router("r-b"), Some("#1".into()), Load::new(*lb).unwrap()),
+                    LinkEnd::new(
+                        Node::router("r-a"),
+                        Some("#1".into()),
+                        Load::new(*la).unwrap(),
+                    ),
+                    LinkEnd::new(
+                        Node::router("r-b"),
+                        Some("#1".into()),
+                        Load::new(*lb).unwrap(),
+                    ),
                 ));
                 s
             })

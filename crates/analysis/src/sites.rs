@@ -100,7 +100,11 @@ pub fn site_growth(snapshots: &[TopologySnapshot]) -> Vec<SiteGrowth> {
         }
     }
     let mut out: Vec<SiteGrowth> = growth.into_values().collect();
-    out.sort_by(|a, b| b.link_growth().cmp(&a.link_growth()).then(a.site.cmp(&b.site)));
+    out.sort_by(|a, b| {
+        b.link_growth()
+            .cmp(&a.link_growth())
+            .then(a.site.cmp(&b.site))
+    });
     out
 }
 
@@ -130,8 +134,20 @@ mod tests {
     fn counts_group_by_prefix() {
         let s = snapshot(0, &[("rbx", 3), ("gra", 1)]);
         let counts = site_counts(&s);
-        assert_eq!(counts["rbx"], SiteCounts { routers: 3, link_ends: 3 });
-        assert_eq!(counts["gra"], SiteCounts { routers: 1, link_ends: 1 });
+        assert_eq!(
+            counts["rbx"],
+            SiteCounts {
+                routers: 3,
+                link_ends: 3
+            }
+        );
+        assert_eq!(
+            counts["gra"],
+            SiteCounts {
+                routers: 1,
+                link_ends: 1
+            }
+        );
         assert!(!counts.contains_key("HUB"), "peerings have no site");
     }
 

@@ -55,7 +55,12 @@ pub fn table1(snapshots: &[TopologySnapshot]) -> Table1 {
             router_names.insert(router.name.as_str());
         }
     }
-    Table1 { rows, total_routers: router_names.len(), total_internal, total_external }
+    Table1 {
+        rows,
+        total_routers: router_names.len(),
+        total_internal,
+        total_external,
+    }
 }
 
 impl Table1 {
@@ -89,14 +94,22 @@ mod tests {
     use super::*;
     use wm_model::{Link, LinkEnd, Load, Node, Timestamp};
 
-    fn snapshot(map: MapKind, routers: &[&str], internal: usize, external: usize) -> TopologySnapshot {
+    fn snapshot(
+        map: MapKind,
+        routers: &[&str],
+        internal: usize,
+        external: usize,
+    ) -> TopologySnapshot {
         let mut s = TopologySnapshot::new(map, Timestamp::from_unix(0));
         for r in routers {
             s.nodes.push(Node::router(*r));
         }
         s.nodes.push(Node::peering("PEER"));
         let link = |a: Node, b: Node| {
-            Link::new(LinkEnd::new(a, None, Load::ZERO), LinkEnd::new(b, None, Load::ZERO))
+            Link::new(
+                LinkEnd::new(a, None, Load::ZERO),
+                LinkEnd::new(b, None, Load::ZERO),
+            )
         };
         for i in 0..internal {
             s.links.push(link(
@@ -105,7 +118,8 @@ mod tests {
             ));
         }
         for _ in 0..external {
-            s.links.push(link(Node::router(routers[0]), Node::peering("PEER")));
+            s.links
+                .push(link(Node::router(routers[0]), Node::peering("PEER")));
         }
         s
     }

@@ -62,9 +62,13 @@ impl GapDistribution {
     /// Builds the distribution from sorted snapshot instants.
     #[must_use]
     pub fn new(times: &[Timestamp]) -> GapDistribution {
-        let distances: Vec<f64> =
-            times.windows(2).map(|w| (w[1] - w[0]).as_secs() as f64).collect();
-        GapDistribution { distances: Distribution::new(distances) }
+        let distances: Vec<f64> = times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs() as f64)
+            .collect();
+        GapDistribution {
+            distances: Distribution::new(distances),
+        }
     }
 
     /// Fraction of gaps at exactly the five-minute resolution (the

@@ -41,9 +41,9 @@ pub fn observe_group(
     to: &str,
 ) -> Option<GroupObservation> {
     let groups = snapshot.parallel_groups();
-    let group = groups.iter().find(|g| {
-        (g.a == from && g.b == to) || (g.a == to && g.b == from)
-    })?;
+    let group = groups
+        .iter()
+        .find(|g| (g.a == from && g.b == to) || (g.a == to && g.b == from))?;
     let loads = snapshot.loads_from(group, from);
     let active: Vec<f64> = group
         .link_indices
@@ -184,8 +184,14 @@ mod tests {
             series.push(obs(day, 5, 5, 40.0));
         }
         let records = vec![
-            CapacityRecord { at: Timestamp::from_unix(-400 * 86_400), total_capacity_gbps: 400 },
-            CapacityRecord { at: Timestamp::from_unix(14 * 86_400), total_capacity_gbps: 500 },
+            CapacityRecord {
+                at: Timestamp::from_unix(-400 * 86_400),
+                total_capacity_gbps: 400,
+            },
+            CapacityRecord {
+                at: Timestamp::from_unix(14 * 86_400),
+                total_capacity_gbps: 500,
+            },
         ];
         (series, records)
     }
@@ -195,7 +201,10 @@ mod tests {
         let (series, records) = fig6_series();
         let report = detect_upgrade(&series, &records);
         assert_eq!(report.link_added, Some(Timestamp::from_unix(5 * 86_400)));
-        assert_eq!(report.link_activated, Some(Timestamp::from_unix(19 * 86_400)));
+        assert_eq!(
+            report.link_activated,
+            Some(Timestamp::from_unix(19 * 86_400))
+        );
         let record = report.capacity_update.clone().unwrap();
         assert_eq!(record.total_capacity_gbps, 500);
         assert_eq!(report.inferred_link_capacity_gbps, Some(100.0));
@@ -221,8 +230,7 @@ mod tests {
     #[test]
     fn activation_without_visible_addition_is_ignored() {
         // A link flapping back on is not an upgrade.
-        let series =
-            vec![obs(0, 4, 3, 50.0), obs(1, 4, 4, 45.0), obs(2, 4, 4, 45.0)];
+        let series = vec![obs(0, 4, 3, 50.0), obs(1, 4, 4, 45.0), obs(2, 4, 4, 45.0)];
         let report = detect_upgrade(&series, &[]);
         assert_eq!(report.link_added, None);
         assert_eq!(report.link_activated, None);

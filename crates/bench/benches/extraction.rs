@@ -9,7 +9,11 @@ use ovh_weather::svg::Document;
 
 fn rendered_svg(scale: f64) -> String {
     let sim = Simulation::new(SimulationConfig::scaled(42, scale));
-    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0)).svg
+    sim.snapshot(
+        MapKind::Europe,
+        Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0),
+    )
+    .svg
 }
 
 fn bench_extraction(c: &mut Criterion) {
@@ -47,7 +51,10 @@ fn bench_batch(c: &mut Criterion) {
     let from = Timestamp::from_ymd(2022, 2, 1);
     let inputs: Vec<ovh_weather::extract::BatchInput> = sim
         .corpus_between(MapKind::Europe, from, from + Duration::from_hours(1))
-        .map(|f| ovh_weather::extract::BatchInput { timestamp: f.timestamp, svg: f.svg })
+        .map(|f| ovh_weather::extract::BatchInput {
+            timestamp: f.timestamp,
+            svg: f.svg,
+        })
         .collect();
     let config = ExtractConfig::default();
     let mut group = c.benchmark_group("extraction/batch");

@@ -7,12 +7,21 @@ use ovh_weather::xml::{Event, Reader};
 
 fn sample_snapshot() -> TopologySnapshot {
     let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
-    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0)).truth
+    sim.snapshot(
+        MapKind::Europe,
+        Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0),
+    )
+    .truth
 }
 
 fn bench_xml(c: &mut Criterion) {
     let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
-    let svg = sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0)).svg;
+    let svg = sim
+        .snapshot(
+            MapKind::Europe,
+            Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0),
+        )
+        .svg;
     let mut group = c.benchmark_group("formats/xml");
     group.throughput(Throughput::Bytes(svg.len() as u64));
     group.bench_function("pull_parse", |b| {

@@ -1,0 +1,61 @@
+//! Static-chunk vs work-stealing batch scheduling under a *skewed*
+//! corpus: clean snapshots interleaved with simulator fault rejects.
+//! Rejects fail fast (a truncated file dies in the XML parser), so
+//! contiguous chunks have very uneven cost and static chunking leaves
+//! workers idle while one finishes the expensive tail; the shared-
+//! cursor runner absorbs the skew.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ovh_weather::prelude::*;
+use ovh_weather::simulator::faults::{corrupt, FaultKind};
+
+/// Two hours of Europe snapshots where a contiguous *run* of files is
+/// corrupted (cheap rejects clustered together), the worst case for
+/// static chunking.
+fn skewed_inputs() -> Vec<BatchInput> {
+    let sim = Simulation::new(SimulationConfig::scaled(42, 0.2));
+    let from = Timestamp::from_ymd(2022, 2, 1);
+    let mut inputs: Vec<BatchInput> = sim
+        .corpus_between(MapKind::Europe, from, from + Duration::from_hours(2))
+        .map(|f| BatchInput {
+            timestamp: f.timestamp,
+            svg: f.svg,
+        })
+        .collect();
+    // Corrupt the first half: its files all reject in microseconds,
+    // while the second half pays full extraction cost.
+    let half = inputs.len() / 2;
+    for (i, input) in inputs.iter_mut().take(half).enumerate() {
+        let fault = FaultKind::ALL[i % FaultKind::ALL.len()];
+        input.svg = corrupt(&input.svg, fault, i as u64);
+    }
+    inputs
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let inputs = skewed_inputs();
+    let config = ExtractConfig::default();
+    let mut group = c.benchmark_group("scheduling/skewed");
+    group.throughput(Throughput::Elements(inputs.len() as u64));
+    group.sample_size(15);
+    for threads in [2usize, 4, 8] {
+        for (label, scheduling) in [
+            ("static", Scheduling::StaticChunk),
+            ("stealing", Scheduling::WorkStealing),
+        ] {
+            group.bench_function(format!("{label}-t{threads}"), |b| {
+                b.iter_batched(
+                    || inputs.clone(),
+                    |inputs| {
+                        extract_batch_with(&inputs, MapKind::Europe, &config, threads, scheduling)
+                    },
+                    BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -34,7 +34,8 @@ fn bench_simulator(c: &mut Criterion) {
     group.throughput(Throughput::Elements(12));
     group.bench_function("one_hour_sequential", |b| {
         b.iter(|| {
-            sim.corpus_between(MapKind::Europe, t, t + Duration::from_hours(1)).count()
+            sim.corpus_between(MapKind::Europe, t, t + Duration::from_hours(1))
+                .count()
         });
     });
     group.finish();

@@ -31,17 +31,26 @@ fn main() {
         .corpus_between(MapKind::Europe, from, from + Duration::from_hours(24))
         .map(|f| (f.timestamp, f.svg))
         .collect();
-    println!("evaluation corpus: {} snapshots (Europe, one day)\n", files.len());
+    println!(
+        "evaluation corpus: {} snapshots (Europe, one day)\n",
+        files.len()
+    );
 
     // --- Ablation 1: geometry tolerance -----------------------------------
     println!("(1) geometry tolerance (candidate-box inflation):");
     for tolerance in [0.0, 0.05, 0.25, 1.0] {
-        let config = ExtractConfig { geometry_tolerance: tolerance, ..ExtractConfig::default() };
+        let config = ExtractConfig {
+            geometry_tolerance: tolerance,
+            ..ExtractConfig::default()
+        };
         let failures = files
             .iter()
             .filter(|(t, svg)| extract_svg(svg, MapKind::Europe, *t, &config).is_err())
             .count();
-        println!("    tolerance {tolerance:>5} px: {failures:>4} / {} snapshots refused", files.len());
+        println!(
+            "    tolerance {tolerance:>5} px: {failures:>4} / {} snapshots refused",
+            files.len()
+        );
     }
     println!(
         "    -> the baseline refusals are the fault injector's corrupted files;\n\
@@ -53,14 +62,23 @@ fn main() {
     // --- Ablation 2: label distance threshold -------------------------------
     println!("(2) label distance threshold (\"a few pixels\", §4):");
     for threshold in [2.0, 4.0, 8.0, 12.0, 24.0, 1e9] {
-        let config =
-            ExtractConfig { label_distance_threshold: threshold, ..ExtractConfig::default() };
+        let config = ExtractConfig {
+            label_distance_threshold: threshold,
+            ..ExtractConfig::default()
+        };
         let failures = files
             .iter()
             .filter(|(t, svg)| extract_svg(svg, MapKind::Europe, *t, &config).is_err())
             .count();
-        let label = if threshold >= 1e9 { "off".into() } else { format!("{threshold:>4} px") };
-        println!("    threshold {label}: {failures:>4} / {} snapshots refused", files.len());
+        let label = if threshold >= 1e9 {
+            "off".into()
+        } else {
+            format!("{threshold:>4} px")
+        };
+        println!(
+            "    threshold {label}: {failures:>4} / {} snapshots refused",
+            files.len()
+        );
     }
     println!("    -> too-tight thresholds refuse healthy maps; the check still");
     println!("       exists to catch mis-attributions on corrupted ones\n");

@@ -41,7 +41,10 @@ fn main() {
             }
         }
         if segments.len() > shown {
-            println!("    ... and {} shorter segments (outage splits)", segments.len() - shown);
+            println!(
+                "    ... and {} shorter segments (outage splits)",
+                segments.len() - shown
+            );
         }
         // The headline structure of the paper's figure.
         let availability = plan.segments();

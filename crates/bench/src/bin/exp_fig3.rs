@@ -16,8 +16,11 @@ fn main() {
     );
     let mut europe_at_5min = 0.0;
     for map in MapKind::ALL {
-        let times: Vec<Timestamp> =
-            pipeline.simulation().collection_plan(map).collected_times().collect();
+        let times: Vec<Timestamp> = pipeline
+            .simulation()
+            .collection_plan(map)
+            .collected_times()
+            .collect();
         let dist = GapDistribution::new(&times);
         if map == MapKind::Europe {
             europe_at_5min = dist.fraction_at_resolution();

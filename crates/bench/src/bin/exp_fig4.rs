@@ -8,19 +8,28 @@ use wm_bench::{compare_row, ExpOptions};
 
 fn main() {
     let options = ExpOptions::from_args(0.3);
-    options.banner("exp_fig4", "Fig. 4 (network infrastructure of the Europe map)");
+    options.banner(
+        "exp_fig4",
+        "Fig. 4 (network infrastructure of the Europe map)",
+    );
     let pipeline = options.pipeline();
     let config = pipeline.simulation().config().clone();
 
     // Weekly samples: 2 016 five-minute slots per week.
-    eprintln!("extracting weekly snapshots over two years (scale {})...", options.scale);
+    eprintln!(
+        "extracting weekly snapshots over two years (scale {})...",
+        options.scale
+    );
     let result = pipeline.run_window_sampled(MapKind::Europe, config.start, config.end, 2016);
     let series = evolution_series(&result.snapshots);
     println!("{} weekly snapshots extracted\n", series.len());
 
     // --- Fig. 4a/4b -------------------------------------------------------
     println!("(4a/4b) infrastructure series (every 4th sample):");
-    println!("{:<22} {:>8} {:>15} {:>15}", "date", "routers", "internal", "external");
+    println!(
+        "{:<22} {:>8} {:>15} {:>15}",
+        "date", "routers", "internal", "external"
+    );
     for point in series.iter().step_by(4) {
         println!(
             "{:<22} {:>8} {:>15} {:>15}",
@@ -34,7 +43,13 @@ fn main() {
     let router_events = detect_changes(&series, |p| p.routers, 1);
     println!("\n(4a) router-count events:");
     for event in &router_events {
-        println!("  {}: {} -> {} ({:+})", event.at, event.before, event.after, event.delta());
+        println!(
+            "  {}: {} -> {} ({:+})",
+            event.at,
+            event.before,
+            event.after,
+            event.delta()
+        );
     }
     println!(
         "{}",

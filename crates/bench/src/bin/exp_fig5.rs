@@ -13,7 +13,10 @@ fn main() {
 
     let from = Timestamp::from_ymd(2022, 1, 10);
     let to = Timestamp::from_ymd(2022, 2, 7);
-    eprintln!("extracting hourly snapshots over four weeks (scale {})...", options.scale);
+    eprintln!(
+        "extracting hourly snapshots over four weeks (scale {})...",
+        options.scale
+    );
     let result = pipeline.run_window_sampled(MapKind::Europe, from, to, 12);
     println!("{} snapshots extracted\n", result.snapshots.len());
 
@@ -28,7 +31,10 @@ fn main() {
 
     // --- Fig. 5a ------------------------------------------------------------
     println!("(5a) load percentiles by hour of day:");
-    println!("{:>5} {:>8} {:>8} {:>8} {:>8} {:>8}", "hour", "p1", "p25", "p50", "p75", "p99");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "hour", "p1", "p25", "p50", "p75", "p99"
+    );
     for hour in 0..24u8 {
         if let Some(w) = hourly.summary(hour) {
             println!(
@@ -38,10 +44,16 @@ fn main() {
         }
     }
     let (trough, peak) = hourly.extreme_hours().expect("data");
-    println!("{}", compare_row("median trough hour", "02-04 h", &format!("{trough:02} h")));
-    println!("{}", compare_row("median peak hour", "19-21 h", &format!("{peak:02} h")));
-    let iqr_ratio = hourly.summary(peak).expect("peak").iqr()
-        / hourly.summary(trough).expect("trough").iqr();
+    println!(
+        "{}",
+        compare_row("median trough hour", "02-04 h", &format!("{trough:02} h"))
+    );
+    println!(
+        "{}",
+        compare_row("median peak hour", "19-21 h", &format!("{peak:02} h"))
+    );
+    let iqr_ratio =
+        hourly.summary(peak).expect("peak").iqr() / hourly.summary(trough).expect("trough").iqr();
     println!(
         "{}",
         compare_row(
@@ -63,14 +75,25 @@ fn main() {
         );
     }
     let (p75, above60, delta) = cdf.headline().expect("data");
-    println!("{}", compare_row("75th percentile of loads", "~33 %", &format!("{p75:.1} %")));
     println!(
         "{}",
-        compare_row("loads above 60 %", "very few", &format!("{:.2} %", above60 * 100.0))
+        compare_row("75th percentile of loads", "~33 %", &format!("{p75:.1} %"))
     );
     println!(
         "{}",
-        compare_row("external mean - internal mean", "< 0", &format!("{delta:+.1} pts"))
+        compare_row(
+            "loads above 60 %",
+            "very few",
+            &format!("{:.2} %", above60 * 100.0)
+        )
+    );
+    println!(
+        "{}",
+        compare_row(
+            "external mean - internal mean",
+            "< 0",
+            &format!("{delta:+.1} pts")
+        )
     );
 
     // --- Fig. 5c ------------------------------------------------------------
@@ -89,7 +112,11 @@ fn main() {
     let (all_le_1, external_le_2) = imbalance.headline();
     println!(
         "{}",
-        compare_row("imbalance <= 1 point (all sets)", "> 60 %", &format!("{:.1} %", all_le_1 * 100.0))
+        compare_row(
+            "imbalance <= 1 point (all sets)",
+            "> 60 %",
+            &format!("{:.1} %", all_le_1 * 100.0)
+        )
     );
     println!(
         "{}",

@@ -8,7 +8,10 @@ use wm_bench::{compare_row, ExpOptions};
 
 fn main() {
     let options = ExpOptions::from_args(0.5);
-    options.banner("exp_fig6", "Fig. 6 (links load towards AMS-IX over March 2022)");
+    options.banner(
+        "exp_fig6",
+        "Fig. 6 (links load towards AMS-IX over March 2022)",
+    );
     let pipeline = options.pipeline();
     let scenario = pipeline
         .simulation()
@@ -24,7 +27,10 @@ fn main() {
         scenario.link_activated
     );
 
-    eprintln!("extracting 6-hourly snapshots over March 2022 (scale {})...", options.scale);
+    eprintln!(
+        "extracting 6-hourly snapshots over March 2022 (scale {})...",
+        options.scale
+    );
     let result = pipeline.run_window_sampled(
         MapKind::Europe,
         Timestamp::from_ymd(2022, 3, 1),
@@ -38,7 +44,10 @@ fn main() {
         .collect();
     println!("{} observations\n", observations.len());
 
-    println!("{:<22} {:>6} {:>8} {:>12}", "date", "links", "active", "mean load %");
+    println!(
+        "{:<22} {:>6} {:>8} {:>12}",
+        "date", "links", "active", "mean load %"
+    );
     for o in observations.iter().step_by(4) {
         println!(
             "{:<22} {:>6} {:>8} {:>12.1}",
@@ -52,7 +61,10 @@ fn main() {
     let records: Vec<CapacityRecord> = scenario
         .peeringdb_records
         .iter()
-        .map(|r| CapacityRecord { at: r.at, total_capacity_gbps: r.total_capacity_gbps })
+        .map(|r| CapacityRecord {
+            at: r.at,
+            total_capacity_gbps: r.total_capacity_gbps,
+        })
         .collect();
     let report = detect_upgrade(&observations, &records);
 
@@ -62,7 +74,9 @@ fn main() {
         compare_row(
             "A: link added",
             "2022-03-05 (a new 0 % link)",
-            &report.link_added.map_or_else(|| "-".into(), |t| t.to_iso8601())
+            &report
+                .link_added
+                .map_or_else(|| "-".into(), |t| t.to_iso8601())
         )
     );
     println!(
@@ -81,7 +95,9 @@ fn main() {
         compare_row(
             "C: link activated",
             "2022-03-19 (two weeks after A)",
-            &report.link_activated.map_or_else(|| "-".into(), |t| t.to_iso8601())
+            &report
+                .link_activated
+                .map_or_else(|| "-".into(), |t| t.to_iso8601())
         )
     );
     println!(

@@ -35,7 +35,10 @@ fn main() {
             compare_row(
                 &format!("{} routers / internal / external", map.display_name()),
                 &format!("{routers}/{internal}/{external}"),
-                &format!("{}/{}/{}", row.routers, row.internal_links, row.external_links)
+                &format!(
+                    "{}/{}/{}",
+                    row.routers, row.internal_links, row.external_links
+                )
             )
         );
     }

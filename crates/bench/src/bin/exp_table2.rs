@@ -21,8 +21,13 @@ fn main() {
     println!("materialising two days ({from} .. {to}) of all maps...\n");
     let mut refused = std::collections::BTreeMap::new();
     for map in MapKind::ALL {
-        let result = pipeline.materialize_window(&store, map, from, to).expect("write corpus");
-        refused.insert(map, (result.stats.failed, result.stats.failures_by_kind.clone()));
+        let result = pipeline
+            .materialize_window(&store, map, from, to)
+            .expect("write corpus");
+        refused.insert(
+            map,
+            (result.stats.failed, result.stats.failures_by_kind.clone()),
+        );
     }
 
     let entries = store.entries().expect("scan corpus");
@@ -31,7 +36,12 @@ fn main() {
 
     println!("unprocessable files (paper: fewer than one hundred per map over two years):");
     for (map, (failed, kinds)) in &refused {
-        println!("  {:<15} {} refused {:?}", map.display_name(), failed, kinds);
+        println!(
+            "  {:<15} {} refused {:?}",
+            map.display_name(),
+            failed,
+            kinds
+        );
     }
 
     // Full-period projection: the paper's file counts x measured mean sizes.

@@ -26,7 +26,10 @@ impl ExpOptions {
     /// `default_scale` is the experiment's fast default.
     #[must_use]
     pub fn from_args(default_scale: f64) -> ExpOptions {
-        let mut options = ExpOptions { seed: 42, scale: default_scale };
+        let mut options = ExpOptions {
+            seed: 42,
+            scale: default_scale,
+        };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -43,11 +46,13 @@ impl ExpOptions {
                     options.scale = if value == "full" {
                         1.0
                     } else {
-                        value.parse().unwrap_or_else(|_| usage("--scale expects a float or 'full'"))
+                        value
+                            .parse()
+                            .unwrap_or_else(|_| usage("--scale expects a float or 'full'"))
                     };
                     i += 2;
                 }
-                "--help" | "-h" => usage("") ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown option {other:?}")),
             }
         }
@@ -63,7 +68,10 @@ impl ExpOptions {
     /// Prints the provenance header every experiment starts with.
     pub fn banner(&self, experiment: &str, paper_artifact: &str) {
         println!("=== {experiment} — reproduces {paper_artifact} ===");
-        println!("seed {} | scale {} | deterministic\n", self.seed, self.scale);
+        println!(
+            "seed {} | scale {} | deterministic\n",
+            self.seed, self.scale
+        );
     }
 }
 
@@ -90,7 +98,10 @@ mod tests {
         // from_args reads real argv; in tests that's the test harness
         // binary with no --seed/--scale, so defaults apply... except the
         // harness passes filter args. Construct directly instead.
-        let options = ExpOptions { seed: 42, scale: 0.25 };
+        let options = ExpOptions {
+            seed: 42,
+            scale: 0.25,
+        };
         let pipeline = options.pipeline();
         assert_eq!(pipeline.simulation().config().seed, 42);
     }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ovh-weather generate --out DIR --from DATE --to DATE [--map M] [--seed N] [--scale X]
-//! ovh-weather extract  --in DIR [--map M]
+//! ovh-weather extract  --in DIR [--map M] [--threads N] [--metrics]
 //! ovh-weather stats    --in DIR
 //! ovh-weather inspect  FILE.svg|FILE.yaml [--map M]
 //! ovh-weather validate FILE.yaml
@@ -19,7 +19,7 @@
 //! `analyze` runs the §5 analyses over a stored corpus; `diff` names the
 //! structural changes between two snapshots.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
 
 use ovh_weather::prelude::*;
@@ -59,7 +59,7 @@ ovh-weather — reproduce the OVH Weather dataset pipeline
 
 commands:
   generate --out DIR --from YYYY-MM-DD --to YYYY-MM-DD [--map M] [--seed N] [--scale X]
-  extract  --in DIR [--map M]
+  extract  --in DIR [--map M] [--threads N] [--metrics]
   stats    --in DIR
   inspect  FILE.svg|FILE.yaml [--map M]
   validate FILE.yaml
@@ -70,32 +70,62 @@ commands:
 common options:
   --seed N     simulation seed (default 42)
   --scale X    network scale, 1.0 = paper size (default 0.2)
-  --map M      europe|world|north-america|asia-pacific (default all/europe)";
+  --map M      europe|world|north-america|asia-pacific (default all/europe)
+  --threads N  batch extraction workers (default: available parallelism)
+  --metrics    print per-stage timing histograms and throughput";
 
-/// Parsed `--key value` options plus positional arguments.
+/// Options that are boolean switches rather than `--key value` pairs.
+const FLAG_KEYS: &[&str] = &["metrics"];
+
+/// Parsed `--key value` options, boolean `--flag`s and positionals.
 struct Options {
     values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
     positional: Vec<String>,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Options, String> {
         let mut values = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         let mut positional = Vec::new();
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
-                let value = args
-                    .get(i + 1)
-                    .ok_or_else(|| format!("--{key} expects a value"))?;
-                values.insert(key.to_owned(), value.clone());
-                i += 2;
+                if FLAG_KEYS.contains(&key) {
+                    flags.insert(key.to_owned());
+                    i += 1;
+                } else {
+                    let value = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{key} expects a value"))?;
+                    values.insert(key.to_owned(), value.clone());
+                    i += 2;
+                }
             } else {
                 positional.push(args[i].clone());
                 i += 1;
             }
         }
-        Ok(Options { values, positional })
+        Ok(Options {
+            values,
+            flags,
+            positional,
+        })
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    fn threads(&self) -> Result<usize, String> {
+        match self.values.get("threads") {
+            None => Ok(std::thread::available_parallelism().map_or(4, usize::from)),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(n),
+                _ => Err(format!("invalid --threads {v:?}")),
+            },
+        }
     }
 
     fn seed(&self) -> Result<u64, String> {
@@ -157,8 +187,9 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     let pipeline = Pipeline::new(SimulationConfig::scaled(options.seed()?, options.scale()?));
     let store = DatasetStore::open(out).map_err(|e| e.to_string())?;
     for map in options.maps()? {
-        let result =
-            pipeline.materialize_window(&store, map, from, to).map_err(|e| e.to_string())?;
+        let result = pipeline
+            .materialize_window(&store, map, from, to)
+            .map_err(|e| e.to_string())?;
         println!(
             "{:<15} wrote {} SVG files, extracted {} YAML files, {} refused",
             map.display_name(),
@@ -174,43 +205,60 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
 fn cmd_extract(args: &[String]) -> Result<(), String> {
     let options = Options::parse(args)?;
     let dir = options.required("in")?;
+    let threads = options.threads()?;
     let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
     let config = ExtractConfig::default();
+    let mut files_found = 0usize;
     for map in options.maps()? {
-        let entries = store.entries_of(map, FileKind::Svg).map_err(|e| e.to_string())?;
+        let entries = store
+            .entries_of(map, FileKind::Svg)
+            .map_err(|e| e.to_string())?;
         if entries.is_empty() {
             continue;
         }
-        let mut processed = 0usize;
-        let mut failures: BTreeMap<String, usize> = BTreeMap::new();
+        files_found += entries.len();
+        let mut inputs = Vec::with_capacity(entries.len());
         for entry in &entries {
             let bytes = store
                 .read(map, FileKind::Svg, entry.timestamp)
                 .map_err(|e| e.to_string())?;
-            let text = std::str::from_utf8(&bytes).map_err(|e| e.to_string())?;
-            match extract_svg(text, map, entry.timestamp, &config) {
-                Ok(snapshot) => {
-                    store
-                        .write(
-                            map,
-                            FileKind::Yaml,
-                            entry.timestamp,
-                            to_yaml_string(&snapshot).as_bytes(),
-                        )
-                        .map_err(|e| e.to_string())?;
-                    processed += 1;
-                }
-                Err(error) => *failures.entry(error.kind().to_owned()).or_default() += 1,
-            }
+            let svg = String::from_utf8(bytes).map_err(|e| e.to_string())?;
+            inputs.push(BatchInput {
+                timestamp: entry.timestamp,
+                svg,
+            });
+        }
+        let (snapshots, stats, mut metrics) =
+            extract_batch_with(&inputs, map, &config, threads, Scheduling::WorkStealing);
+        for snapshot in &snapshots {
+            let emit_started = std::time::Instant::now();
+            let yaml = to_yaml_string(snapshot);
+            metrics.record_stage(Stage::YamlEmit, emit_started.elapsed());
+            store
+                .write(map, FileKind::Yaml, snapshot.timestamp, yaml.as_bytes())
+                .map_err(|e| e.to_string())?;
         }
         println!(
             "{:<15} {} SVG files: {} extracted, {} refused {:?}",
             map.display_name(),
             entries.len(),
-            processed,
-            entries.len() - processed,
-            failures
+            stats.processed,
+            stats.failed,
+            stats.failures_by_kind
         );
+        if options.flag("metrics") {
+            print!(
+                "{}",
+                PipelineReport {
+                    map,
+                    stats,
+                    metrics
+                }
+            );
+        }
+    }
+    if files_found == 0 {
+        return Err(format!("no SVG files found under {dir}"));
     }
     Ok(())
 }
@@ -237,8 +285,13 @@ fn cmd_inspect(args: &[String]) -> Result<(), String> {
         from_yaml_str(&text).map_err(|e| e.to_string())?
     } else {
         let map = options.maps()?.first().copied().unwrap_or(MapKind::Europe);
-        extract_svg(&text, map, Timestamp::from_unix(0), &ExtractConfig::default())
-            .map_err(|e| e.to_string())?
+        extract_svg(
+            &text,
+            map,
+            Timestamp::from_unix(0),
+            &ExtractConfig::default(),
+        )
+        .map_err(|e| e.to_string())?
     };
     println!("map:            {}", snapshot.map.display_name());
     println!("timestamp:      {}", snapshot.timestamp);
@@ -265,7 +318,10 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
     let snapshot = from_yaml_str(&text).map_err(|e| e.to_string())?;
     let report = ovh_weather::extract::validate(&snapshot);
     for finding in &report.findings {
-        println!("{:?} [{}] {}", finding.severity, finding.code, finding.message);
+        println!(
+            "{:?} [{}] {}",
+            finding.severity, finding.code, finding.message
+        );
     }
     if report.is_acceptable() {
         println!("OK ({} warnings)", report.findings.len());
@@ -280,7 +336,9 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let dir = options.required("in")?;
     let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
     for map in options.maps()? {
-        let entries = store.entries_of(map, FileKind::Yaml).map_err(|e| e.to_string())?;
+        let entries = store
+            .entries_of(map, FileKind::Yaml)
+            .map_err(|e| e.to_string())?;
         if entries.is_empty() {
             continue;
         }
@@ -311,7 +369,10 @@ fn cmd_diff(args: &[String]) -> Result<(), String> {
     let newer = read(new_path)?;
     let d = ovh_weather::model::diff(&older, &newer);
     if d.is_empty() {
-        println!("no structural changes ({} -> {})", older.timestamp, newer.timestamp);
+        println!(
+            "no structural changes ({} -> {})",
+            older.timestamp, newer.timestamp
+        );
         return Ok(());
     }
     for node in &d.added_nodes {
@@ -341,7 +402,9 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         .date("at")?
         .unwrap_or_else(|| Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0));
     for map in options.maps()? {
-        pipeline.verify_roundtrip(map, at).map_err(|e| format!("{map}: {e}"))?;
+        pipeline
+            .verify_roundtrip(map, at)
+            .map_err(|e| format!("{map}: {e}"))?;
         println!("{:<15} round trip OK at {at}", map.display_name());
     }
     Ok(())

@@ -43,7 +43,7 @@
 mod pipeline;
 mod summary;
 
-pub use pipeline::{Pipeline, WindowResult};
+pub use pipeline::{Pipeline, PipelineReport, WindowResult};
 pub use summary::{summarize, CorpusSummary};
 
 pub use wm_analysis as analysis;
@@ -58,14 +58,17 @@ pub use wm_yaml as yaml;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
-    pub use crate::{summarize, CorpusSummary, Pipeline, WindowResult};
+    pub use crate::{summarize, CorpusSummary, Pipeline, PipelineReport, WindowResult};
     pub use wm_analysis::{
         coverage_segments, detect_changes, detect_upgrade, evolution_series, group_imbalances,
         observe_group, table1, CapacityRecord, DegreeAnalysis, Distribution, GapDistribution,
         HourlyLoads, ImbalanceCdf, LoadCdf, WhiskerSummary,
     };
     pub use wm_dataset::{CorpusStats, DatasetStore, FileKind};
-    pub use wm_extract::{extract_svg, from_yaml_str, to_yaml_string, ExtractConfig};
+    pub use wm_extract::{
+        extract_batch, extract_batch_with, extract_svg, from_yaml_str, to_yaml_string, BatchInput,
+        BatchMetrics, BatchStats, ExtractConfig, MetricsTotals, Scheduling, Stage,
+    };
     pub use wm_model::{
         Duration, Link, LinkEnd, LinkKind, Load, MapKind, Node, NodeKind, Timestamp,
         TopologySnapshot,

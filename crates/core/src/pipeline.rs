@@ -2,8 +2,14 @@
 
 use std::io;
 
+use std::fmt;
+use std::time::Instant;
+
 use wm_dataset::{DatasetStore, FileKind};
-use wm_extract::{extract_batch, to_yaml_string, BatchInput, BatchStats, ExtractConfig};
+use wm_extract::{
+    extract_batch_with, to_yaml_string, BatchInput, BatchMetrics, BatchStats, ExtractConfig,
+    Scheduling, Stage,
+};
 use wm_model::{MapKind, Timestamp, TopologySnapshot};
 use wm_simulator::{Simulation, SimulationConfig};
 
@@ -14,6 +20,47 @@ pub struct WindowResult {
     pub snapshots: Vec<TopologySnapshot>,
     /// Extraction bookkeeping (processed/failed per error kind).
     pub stats: BatchStats,
+    /// Per-stage timings and throughput counters of the run.
+    pub metrics: BatchMetrics,
+}
+
+impl WindowResult {
+    /// Packages this result as a displayable observability report.
+    #[must_use]
+    pub fn report(&self, map: MapKind) -> PipelineReport {
+        PipelineReport {
+            map,
+            stats: self.stats.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+/// The observability summary of one pipeline run: what was processed,
+/// what was rejected and why, and where the wall time went. Rendered by
+/// `ovh-weather extract --metrics`.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The map the window was extracted from.
+    pub map: MapKind,
+    /// Extraction bookkeeping (processed/failed per error kind).
+    pub stats: BatchStats,
+    /// Per-stage timings and throughput counters.
+    pub metrics: BatchMetrics,
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} processed, {} failed of {} files",
+            self.map,
+            self.stats.processed,
+            self.stats.failed,
+            self.stats.total()
+        )?;
+        write!(f, "{}", self.metrics)
+    }
 }
 
 /// The reproduction's end-to-end pipeline.
@@ -27,6 +74,8 @@ pub struct Pipeline {
     extract_config: ExtractConfig,
     /// Worker threads for batch extraction.
     pub threads: usize,
+    /// How batch work is distributed over the workers.
+    pub scheduling: Scheduling,
 }
 
 impl Pipeline {
@@ -37,6 +86,7 @@ impl Pipeline {
             simulation: Simulation::new(config),
             extract_config: ExtractConfig::default(),
             threads: std::thread::available_parallelism().map_or(4, usize::from),
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -59,11 +109,23 @@ impl Pipeline {
         let inputs: Vec<BatchInput> = self
             .simulation
             .corpus_between(map, from, to)
-            .map(|file| BatchInput { timestamp: file.timestamp, svg: file.svg })
+            .map(|file| BatchInput {
+                timestamp: file.timestamp,
+                svg: file.svg,
+            })
             .collect();
-        let (snapshots, stats) =
-            extract_batch(&inputs, map, &self.extract_config, self.threads);
-        WindowResult { snapshots, stats }
+        let (snapshots, stats, metrics) = extract_batch_with(
+            &inputs,
+            map,
+            &self.extract_config,
+            self.threads,
+            self.scheduling,
+        );
+        WindowResult {
+            snapshots,
+            stats,
+            metrics,
+        }
     }
 
     /// Generates and extracts a *sampled* window: every `stride`-th
@@ -90,12 +152,24 @@ impl Pipeline {
             .filter_map(|t| {
                 self.simulation
                     .collected_snapshot(map, *t)
-                    .map(|file| BatchInput { timestamp: file.timestamp, svg: file.svg })
+                    .map(|file| BatchInput {
+                        timestamp: file.timestamp,
+                        svg: file.svg,
+                    })
             })
             .collect();
-        let (snapshots, stats) =
-            extract_batch(&inputs, map, &self.extract_config, self.threads);
-        WindowResult { snapshots, stats }
+        let (snapshots, stats, metrics) = extract_batch_with(
+            &inputs,
+            map,
+            &self.extract_config,
+            self.threads,
+            self.scheduling,
+        );
+        WindowResult {
+            snapshots,
+            stats,
+            metrics,
+        }
     }
 
     /// Like [`Pipeline::run_window`], but also writes the collected SVG
@@ -111,19 +185,29 @@ impl Pipeline {
         let mut inputs = Vec::new();
         for file in self.simulation.corpus_between(map, from, to) {
             store.write(map, FileKind::Svg, file.timestamp, file.svg.as_bytes())?;
-            inputs.push(BatchInput { timestamp: file.timestamp, svg: file.svg });
+            inputs.push(BatchInput {
+                timestamp: file.timestamp,
+                svg: file.svg,
+            });
         }
-        let (snapshots, stats) =
-            extract_batch(&inputs, map, &self.extract_config, self.threads);
+        let (snapshots, stats, mut metrics) = extract_batch_with(
+            &inputs,
+            map,
+            &self.extract_config,
+            self.threads,
+            self.scheduling,
+        );
         for snapshot in &snapshots {
-            store.write(
-                map,
-                FileKind::Yaml,
-                snapshot.timestamp,
-                to_yaml_string(snapshot).as_bytes(),
-            )?;
+            let emit_started = Instant::now();
+            let yaml = to_yaml_string(snapshot);
+            metrics.record_stage(Stage::YamlEmit, emit_started.elapsed());
+            store.write(map, FileKind::Yaml, snapshot.timestamp, yaml.as_bytes())?;
         }
-        Ok(WindowResult { snapshots, stats })
+        Ok(WindowResult {
+            snapshots,
+            stats,
+            metrics,
+        })
     }
 
     /// Verifies the extraction round trip at one instant: renders the
@@ -131,9 +215,8 @@ impl Pipeline {
     /// truth.
     pub fn verify_roundtrip(&self, map: MapKind, t: Timestamp) -> Result<(), String> {
         let rendered = self.simulation.snapshot(map, t);
-        let mut extracted =
-            wm_extract::extract_svg(&rendered.svg, map, t, &self.extract_config)
-                .map_err(|e| format!("extraction failed: {e}"))?;
+        let mut extracted = wm_extract::extract_svg(&rendered.svg, map, t, &self.extract_config)
+            .map_err(|e| format!("extraction failed: {e}"))?;
         let mut truth = rendered.truth;
         extracted.canonicalize();
         truth.canonicalize();
@@ -167,7 +250,18 @@ mod tests {
         let result = p.run_window(MapKind::Europe, from, from + Duration::from_hours(2));
         assert!(result.stats.total() > 10);
         assert_eq!(result.snapshots.len(), result.stats.processed);
-        assert!(result.snapshots.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
+        assert!(result
+            .snapshots
+            .windows(2)
+            .all(|w| w[0].timestamp < w[1].timestamp));
+        assert_eq!(result.metrics.files_seen as usize, result.stats.total());
+        assert_eq!(
+            result.metrics.snapshots_out as usize,
+            result.stats.processed
+        );
+        let report = result.report(MapKind::Europe).to_string();
+        assert!(report.contains("processed"));
+        assert!(report.contains("xml-parse"));
     }
 
     #[test]
@@ -187,7 +281,8 @@ mod tests {
         for map in MapKind::ALL {
             for month in [8, 12] {
                 let t = Timestamp::from_ymd_hms(2020, month, 15, 18, 30, 0);
-                p.verify_roundtrip(map, t).unwrap_or_else(|e| panic!("{map} {t}: {e}"));
+                p.verify_roundtrip(map, t)
+                    .unwrap_or_else(|e| panic!("{map} {t}: {e}"));
             }
         }
     }
@@ -195,15 +290,20 @@ mod tests {
     #[test]
     fn materialize_writes_svg_and_yaml() {
         let p = pipeline();
-        let dir = std::env::temp_dir()
-            .join(format!("ovh-weather-pipeline-test-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ovh-weather-pipeline-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let store = DatasetStore::open(&dir).unwrap();
         // Within the Asia-Pacific availability window (it has a year-long
         // collection hole from late 2020 to late 2021).
         let from = Timestamp::from_ymd(2022, 2, 1);
         let result = p
-            .materialize_window(&store, MapKind::AsiaPacific, from, from + Duration::from_hours(1))
+            .materialize_window(
+                &store,
+                MapKind::AsiaPacific,
+                from,
+                from + Duration::from_hours(1),
+            )
             .unwrap();
         let entries = store.entries().unwrap();
         let svg_count = entries.iter().filter(|e| e.kind == FileKind::Svg).count();
@@ -212,10 +312,16 @@ mod tests {
         assert_eq!(yaml_count, result.stats.processed);
         // YAML files parse back to the extracted snapshots.
         let first = &result.snapshots[0];
-        let yaml =
-            store.read(MapKind::AsiaPacific, FileKind::Yaml, first.timestamp).unwrap();
+        let yaml = store
+            .read(MapKind::AsiaPacific, FileKind::Yaml, first.timestamp)
+            .unwrap();
         let parsed = wm_extract::from_yaml_str(std::str::from_utf8(&yaml).unwrap()).unwrap();
         assert_eq!(&parsed, first);
+        // The emitter records one YAML-emit timing per written snapshot.
+        assert_eq!(
+            result.metrics.stage(Stage::YamlEmit).count() as usize,
+            result.stats.processed
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

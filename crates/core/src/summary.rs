@@ -7,8 +7,8 @@
 use std::fmt;
 
 use wm_analysis::{
-    evolution_series, maintenance_windows, site_growth, EvolutionPoint, HourlyLoads,
-    ImbalanceCdf, LoadCdf,
+    evolution_series, maintenance_windows, site_growth, EvolutionPoint, HourlyLoads, ImbalanceCdf,
+    LoadCdf,
 };
 use wm_model::TopologySnapshot;
 
@@ -96,7 +96,11 @@ impl fmt::Display for CorpusSummary {
         if let Some((site, delta)) = &self.fastest_site {
             writeln!(f, "fastest-growing site: {site} ({delta:+} link ends)")?;
         }
-        write!(f, "maintenance windows observed: {}", self.maintenance_windows)
+        write!(
+            f,
+            "maintenance windows observed: {}",
+            self.maintenance_windows
+        )
     }
 }
 
@@ -111,8 +115,11 @@ mod tests {
         let sim = Simulation::new(SimulationConfig::scaled(3, 0.08));
         let snapshots: Vec<TopologySnapshot> = (0..12)
             .map(|h| {
-                sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2022, 2, 1, h * 2, 0, 0))
-                    .truth
+                sim.snapshot(
+                    MapKind::Europe,
+                    Timestamp::from_ymd_hms(2022, 2, 1, h * 2, 0, 0),
+                )
+                .truth
             })
             .collect();
         let summary = summarize(&snapshots);

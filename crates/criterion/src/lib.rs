@@ -1,0 +1,389 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! implements the benchmark-harness API subset the workspace's benches
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with [`Throughput`] and `sample_size`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simpler than upstream, adequate for regression tracking):
+//! each benchmark is warmed up for ~0.3 s, then `sample_size` samples are
+//! taken, each timing a batch sized to run ≥ 1 ms; the reported numbers
+//! are the min / median / max of the per-iteration sample means. Results
+//! print in a `criterion`-like format, with derived throughput when the
+//! group declares one.
+//!
+//! Harness flags: `--test` (run each body once, no timing — what
+//! `cargo test --benches` passes), `--bench` (ignored), and an optional
+//! positional substring filter on benchmark ids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How inputs of [`Bencher::iter_batched`] are amortised. The shim times
+/// every routine call individually, so the variants behave identically;
+/// the type exists for upstream signature compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs (batch of one upstream).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_owned()),
+                _ => {}
+            }
+        }
+        Criterion {
+            filter,
+            test_mode,
+            default_sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = Settings {
+            id: id.to_owned(),
+            throughput: None,
+            sample_size: self.default_sample_size,
+            test_mode: self.test_mode,
+        };
+        if self.matches(id) {
+            run_one(&settings, f);
+        }
+        self
+    }
+
+    /// Opens a named group sharing throughput and sample-size settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of related benchmarks; see [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id.into());
+        let settings = Settings {
+            id: full_id.clone(),
+            throughput: self.throughput,
+            sample_size: self
+                .sample_size
+                .unwrap_or(self.criterion.default_sample_size),
+            test_mode: self.criterion.test_mode,
+        };
+        if self.criterion.matches(&full_id) {
+            run_one(&settings, f);
+        }
+        self
+    }
+
+    /// Ends the group (drop would do; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+struct Settings {
+    id: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean per-iteration times collected this sample, in seconds.
+    samples: Vec<f64>,
+    mode: Mode,
+}
+
+enum Mode {
+    /// Run the body once, untimed (`--test`).
+    Test,
+    /// Collect `sample_size` samples of `batch` iterations each.
+    Measure { sample_size: usize, batch: u64 },
+    /// Probe run used to size batches: time a single iteration.
+    Calibrate,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+            }
+            Mode::Calibrate => {
+                let start = Instant::now();
+                black_box(routine());
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+            Mode::Measure { sample_size, batch } => {
+                for _ in 0..sample_size {
+                    let start = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.samples
+                        .push(start.elapsed().as_secs_f64() / batch as f64);
+                }
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is
+    /// timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine(setup()));
+            }
+            Mode::Calibrate => {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                self.samples.push(start.elapsed().as_secs_f64());
+            }
+            Mode::Measure { sample_size, batch } => {
+                for _ in 0..sample_size {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..batch {
+                        let input = setup();
+                        let start = Instant::now();
+                        black_box(routine(input));
+                        total += start.elapsed();
+                    }
+                    self.samples.push(total.as_secs_f64() / batch as f64);
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, mut f: F) {
+    if settings.test_mode {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            mode: Mode::Test,
+        };
+        f(&mut bencher);
+        println!("{}: test run ok", settings.id);
+        return;
+    }
+
+    // Calibration: estimate one iteration's cost, then size batches so a
+    // sample spans at least ~1 ms, and warm up for ~0.3 s.
+    let mut probe = Bencher {
+        samples: Vec::new(),
+        mode: Mode::Calibrate,
+    };
+    f(&mut probe);
+    let estimate = probe.samples.first().copied().unwrap_or(1e-6).max(1e-9);
+    let batch = (1e-3 / estimate).clamp(1.0, 1e6) as u64;
+    let warmup_deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < warmup_deadline {
+        let mut warm = Bencher {
+            samples: Vec::new(),
+            mode: Mode::Measure {
+                sample_size: 1,
+                batch,
+            },
+        };
+        f(&mut warm);
+    }
+
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        mode: Mode::Measure {
+            sample_size: settings.sample_size,
+            batch,
+        },
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{}: no samples (empty benchmark body?)", settings.id);
+        return;
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    print!(
+        "{:<48} time: [{} {} {}]",
+        settings.id,
+        format_seconds(min),
+        format_seconds(median),
+        format_seconds(max)
+    );
+    match settings.throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            print!("  thrpt: {}/s", format_bytes(bytes as f64 / median));
+        }
+        Some(Throughput::Elements(elements)) => {
+            print!("  thrpt: {:.1} elem/s", elements as f64 / median);
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn format_bytes(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} GiB", rate / (1u64 << 30) as f64)
+    } else if rate >= 1e6 {
+        format!("{:.2} MiB", rate / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2} KiB", rate / 1024.0)
+    }
+}
+
+/// Bundles benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more [`criterion_group!`] bundles.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_expected_sample_count() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            mode: Mode::Measure {
+                sample_size: 7,
+                batch: 3,
+            },
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(b.samples.len(), 7);
+        assert_eq!(calls, 21);
+        assert!(b.samples.iter().all(|s| *s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            mode: Mode::Measure {
+                sample_size: 2,
+                batch: 2,
+            },
+        };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput);
+        assert_eq!(b.samples.len(), 2);
+    }
+
+    #[test]
+    fn formatting_picks_sane_units() {
+        assert!(format_seconds(2.5e-9).ends_with("ns"));
+        assert!(format_seconds(2.5e-6).ends_with("µs"));
+        assert!(format_seconds(2.5e-3).ends_with("ms"));
+        assert!(format_seconds(2.5).ends_with('s'));
+        assert!(format_bytes(5e9).ends_with("GiB"));
+    }
+}

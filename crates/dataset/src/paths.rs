@@ -116,15 +116,18 @@ mod tests {
     #[test]
     fn malformed_paths_rejected() {
         for bad in [
-            "europe/svg/2021/03/05/1005.yaml",  // extension mismatch
-            "europe/png/2021/03/05/1005.png",   // unknown kind
-            "mars/svg/2021/03/05/1005.svg",     // unknown map
-            "europe/svg/2021/13/05/1005.svg",   // bad month
-            "europe/svg/2021/03/05/2505.svg",   // bad hour
-            "europe/svg/2021/03/1005.svg",      // missing component
-            "europe/svg/2021/03/05/105.svg",    // short stem
+            "europe/svg/2021/03/05/1005.yaml", // extension mismatch
+            "europe/png/2021/03/05/1005.png",  // unknown kind
+            "mars/svg/2021/03/05/1005.svg",    // unknown map
+            "europe/svg/2021/13/05/1005.svg",  // bad month
+            "europe/svg/2021/03/05/2505.svg",  // bad hour
+            "europe/svg/2021/03/1005.svg",     // missing component
+            "europe/svg/2021/03/05/105.svg",   // short stem
         ] {
-            assert!(parse_path(Path::new(bad)).is_none(), "{bad} should be rejected");
+            assert!(
+                parse_path(Path::new(bad)).is_none(),
+                "{bad} should be rejected"
+            );
         }
     }
 

@@ -120,15 +120,39 @@ mod tests {
             entry(MapKind::World, FileKind::Svg, 500, 0),
         ];
         let stats = CorpusStats::from_entries(&entries);
-        assert_eq!(stats.cell(MapKind::Europe, FileKind::Svg), CellStats { files: 2, bytes: 3000 });
-        assert_eq!(stats.cell(MapKind::Europe, FileKind::Yaml), CellStats { files: 1, bytes: 100 });
-        assert_eq!(stats.cell(MapKind::World, FileKind::Yaml), CellStats::default());
-        assert_eq!(stats.total(FileKind::Svg), CellStats { files: 3, bytes: 3500 });
+        assert_eq!(
+            stats.cell(MapKind::Europe, FileKind::Svg),
+            CellStats {
+                files: 2,
+                bytes: 3000
+            }
+        );
+        assert_eq!(
+            stats.cell(MapKind::Europe, FileKind::Yaml),
+            CellStats {
+                files: 1,
+                bytes: 100
+            }
+        );
+        assert_eq!(
+            stats.cell(MapKind::World, FileKind::Yaml),
+            CellStats::default()
+        );
+        assert_eq!(
+            stats.total(FileKind::Svg),
+            CellStats {
+                files: 3,
+                bytes: 3500
+            }
+        );
     }
 
     #[test]
     fn gib_conversion() {
-        let cell = CellStats { files: 1, bytes: 1024 * 1024 * 1024 };
+        let cell = CellStats {
+            files: 1,
+            bytes: 1024 * 1024 * 1024,
+        };
         assert!((cell.gib() - 1.0).abs() < 1e-12);
     }
 

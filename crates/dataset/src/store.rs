@@ -4,7 +4,6 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use bytes::Bytes;
 use wm_model::{MapKind, Timestamp};
 
 use crate::paths::{parse_path, relative_path, FileKind};
@@ -70,8 +69,8 @@ impl DatasetStore {
     }
 
     /// Reads a snapshot file.
-    pub fn read(&self, map: MapKind, kind: FileKind, t: Timestamp) -> io::Result<Bytes> {
-        fs::read(self.path_of(map, kind, t)).map(Bytes::from)
+    pub fn read(&self, map: MapKind, kind: FileKind, t: Timestamp) -> io::Result<Vec<u8>> {
+        fs::read(self.path_of(map, kind, t))
     }
 
     /// Whether a snapshot file exists.
@@ -132,8 +131,8 @@ mod tests {
     use super::*;
 
     fn temp_store(tag: &str) -> DatasetStore {
-        let dir = std::env::temp_dir()
-            .join(format!("wm-dataset-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("wm-dataset-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         DatasetStore::open(dir).expect("temp store")
     }
@@ -142,7 +141,9 @@ mod tests {
     fn write_read_round_trip() {
         let store = temp_store("rw");
         let t = Timestamp::from_ymd_hms(2021, 3, 5, 10, 5, 0);
-        store.write(MapKind::Europe, FileKind::Svg, t, b"<svg/>").unwrap();
+        store
+            .write(MapKind::Europe, FileKind::Svg, t, b"<svg/>")
+            .unwrap();
         assert!(store.contains(MapKind::Europe, FileKind::Svg, t));
         let bytes = store.read(MapKind::Europe, FileKind::Svg, t).unwrap();
         assert_eq!(&bytes[..], b"<svg/>");
@@ -155,9 +156,13 @@ mod tests {
         let base = Timestamp::from_ymd_hms(2021, 3, 5, 10, 0, 0);
         for i in (0..5).rev() {
             let t = base + wm_model::Duration::from_minutes(5 * i);
-            store.write(MapKind::Europe, FileKind::Svg, t, b"x").unwrap();
+            store
+                .write(MapKind::Europe, FileKind::Svg, t, b"x")
+                .unwrap();
         }
-        store.write(MapKind::AsiaPacific, FileKind::Yaml, base, b"yy").unwrap();
+        store
+            .write(MapKind::AsiaPacific, FileKind::Yaml, base, b"yy")
+            .unwrap();
         let entries = store.entries().unwrap();
         assert_eq!(entries.len(), 6);
         let europe = store.entries_of(MapKind::Europe, FileKind::Svg).unwrap();
@@ -192,9 +197,16 @@ mod tests {
         // overwriting the most recent file.
         let store = temp_store("overwrite");
         let t = Timestamp::from_unix(0);
-        store.write(MapKind::Europe, FileKind::Svg, t, b"v1").unwrap();
-        store.write(MapKind::Europe, FileKind::Svg, t, b"v2!").unwrap();
-        assert_eq!(&store.read(MapKind::Europe, FileKind::Svg, t).unwrap()[..], b"v2!");
+        store
+            .write(MapKind::Europe, FileKind::Svg, t, b"v1")
+            .unwrap();
+        store
+            .write(MapKind::Europe, FileKind::Svg, t, b"v2!")
+            .unwrap();
+        assert_eq!(
+            &store.read(MapKind::Europe, FileKind::Svg, t).unwrap()[..],
+            b"v2!"
+        );
         let entries = store.entries().unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].size, 3);

@@ -73,7 +73,10 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
                     if content.trim().is_empty() {
                         return Err(structure("object with an empty name"));
                     }
-                    out.routers.push(RawRouter { rect, name: content.trim().to_owned() });
+                    out.routers.push(RawRouter {
+                        rect,
+                        name: content.trim().to_owned(),
+                    });
                     router_rect = None;
                 }
                 (Shape::Text { .. }, None) => {
@@ -83,7 +86,10 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
             }
         } else if elem.tag == "polygon" {
             // Link arrow (Lines 9–13).
-            let polygon = elem.as_polygon().expect("polygon tag has polygon shape").clone();
+            let polygon = elem
+                .as_polygon()
+                .expect("polygon tag has polygon shape")
+                .clone();
             if polygon.len() < 3 {
                 return Err(ExtractError::InvalidSvg(format!(
                     "arrow polygon with {} vertices",
@@ -91,7 +97,12 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
                 )));
             }
             match &mut link {
-                None => link = Some(RawLink { arrows: vec![polygon], loads: Vec::new() }),
+                None => {
+                    link = Some(RawLink {
+                        arrows: vec![polygon],
+                        loads: Vec::new(),
+                    })
+                }
                 Some(pending) if pending.arrows.len() == 1 && pending.loads.is_empty() => {
                     pending.arrows.push(polygon);
                 }
@@ -102,9 +113,9 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
         } else if elem.class_is("labellink") {
             // Load percentage (Lines 14–18).
             let text = text_of(elem)?;
-            let load: Load = text
-                .parse()
-                .map_err(|_| ExtractError::InvalidLoad { text: text.to_owned() })?;
+            let load: Load = text.parse().map_err(|_| ExtractError::InvalidLoad {
+                text: text.to_owned(),
+            })?;
             match &mut link {
                 Some(pending) if pending.arrows.len() == 2 => {
                     pending.loads.push(load);
@@ -120,7 +131,10 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
             match (&elem.shape, label_rect) {
                 (Shape::Rect(rect), _) => label_rect = Some(*rect),
                 (Shape::Text { content, .. }, Some(rect)) => {
-                    out.labels.push(RawLabel { rect, text: content.trim().to_owned() });
+                    out.labels.push(RawLabel {
+                        rect,
+                        text: content.trim().to_owned(),
+                    });
                     label_rect = None;
                 }
                 (Shape::Text { .. }, None) => {
@@ -140,10 +154,14 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
         )));
     }
     if label_rect.is_some() {
-        return Err(structure("document ended with a label box awaiting its text"));
+        return Err(structure(
+            "document ended with a label box awaiting its text",
+        ));
     }
     if router_rect.is_some() {
-        return Err(structure("document ended with an object box awaiting its name"));
+        return Err(structure(
+            "document ended with an object box awaiting its name",
+        ));
     }
     Ok(out)
 }
@@ -154,7 +172,9 @@ fn text_of(elem: &Element) -> Result<&str, ExtractError> {
 }
 
 fn structure(detail: &str) -> ExtractError {
-    ExtractError::MalformedStructure { detail: detail.to_owned() }
+    ExtractError::MalformedStructure {
+        detail: detail.to_owned(),
+    }
 }
 
 #[cfg(test)]
@@ -174,8 +194,14 @@ mod tests {
         b.text("object", Point::new(14.0, 55.0), "rbx-g1-nc1");
         b.rect("object", Rect::new(380.0, 40.0, 90.0, 24.0));
         b.text("object", Point::new(384.0, 55.0), "ARELION");
-        b.polygon("link", &arrow([(100.0, 50.0), (238.0, 52.0), (238.0, 48.0)]));
-        b.polygon("link", &arrow([(380.0, 50.0), (242.0, 48.0), (242.0, 52.0)]));
+        b.polygon(
+            "link",
+            &arrow([(100.0, 50.0), (238.0, 52.0), (238.0, 48.0)]),
+        );
+        b.polygon(
+            "link",
+            &arrow([(380.0, 50.0), (242.0, 48.0), (242.0, 52.0)]),
+        );
         b.text("labellink", Point::new(220.0, 44.0), "42 %");
         b.text("labellink", Point::new(260.0, 44.0), "9 %");
         b.rect("node", Rect::new(103.0, 46.0, 22.0, 9.0));
@@ -299,7 +325,10 @@ mod tests {
         for i in 0..3 {
             let y = 10.0 + f64::from(i) * 20.0;
             b.polygon("link", &arrow([(0.0, y), (40.0, y - 2.0), (40.0, y + 2.0)]));
-            b.polygon("link", &arrow([(100.0, y), (60.0, y - 2.0), (60.0, y + 2.0)]));
+            b.polygon(
+                "link",
+                &arrow([(100.0, y), (60.0, y - 2.0), (60.0, y + 2.0)]),
+            );
             b.text("labellink", Point::new(30.0, y), &format!("{} %", i + 1));
             b.text("labellink", Point::new(70.0, y), &format!("{} %", i + 11));
         }

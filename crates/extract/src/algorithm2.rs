@@ -92,7 +92,10 @@ pub fn algorithm2(
             let label_text = match label {
                 Some((label_idx, distance)) => {
                     if distance > config.label_distance_threshold {
-                        return Err(ExtractError::LabelTooFar { link_index, distance });
+                        return Err(ExtractError::LabelTooFar {
+                            link_index,
+                            distance,
+                        });
                     }
                     labels_available[label_idx] = false; // Line 9.
                     Some(objects.labels[label_idx].text.clone())
@@ -109,7 +112,9 @@ pub fn algorithm2(
         let end_b = ends.pop().expect("two ends");
         let end_a = ends.pop().expect("two ends");
         if end_a.node.name == end_b.node.name {
-            return Err(ExtractError::SelfLoop { router: end_a.node.name });
+            return Err(ExtractError::SelfLoop {
+                router: end_a.node.name,
+            });
         }
         snapshot.links.push(Link::new(end_a, end_b));
     }
@@ -125,7 +130,9 @@ pub fn algorithm2(
     if config.require_all_routers_linked {
         for (i, router) in objects.routers.iter().enumerate() {
             if !router_linked[i] {
-                return Err(ExtractError::UnlinkedRouter { router: router.name.clone() });
+                return Err(ExtractError::UnlinkedRouter {
+                    router: router.name.clone(),
+                });
             }
         }
     }
@@ -135,15 +142,12 @@ pub fn algorithm2(
 
 /// Index of the candidate router whose box is closest to `end`.
 fn closest_router(candidates: &[usize], objects: &RawObjects, end: Point) -> Option<usize> {
-    candidates
-        .iter()
-        .copied()
-        .min_by(|&a, &b| {
-            objects.routers[a]
-                .rect
-                .distance_to_point(end)
-                .total_cmp(&objects.routers[b].rect.distance_to_point(end))
-        })
+    candidates.iter().copied().min_by(|&a, &b| {
+        objects.routers[a]
+            .rect
+            .distance_to_point(end)
+            .total_cmp(&objects.routers[b].rect.distance_to_point(end))
+    })
 }
 
 /// Index and distance of the closest *still available* candidate label.
@@ -190,16 +194,31 @@ mod tests {
     fn scene() -> RawObjects {
         RawObjects {
             routers: vec![
-                RawRouter { rect: Rect::new(0.0, 38.0, 80.0, 24.0), name: "rbx-g1".into() },
-                RawRouter { rect: Rect::new(300.0, 38.0, 80.0, 24.0), name: "ARELION".into() },
+                RawRouter {
+                    rect: Rect::new(0.0, 38.0, 80.0, 24.0),
+                    name: "rbx-g1".into(),
+                },
+                RawRouter {
+                    rect: Rect::new(300.0, 38.0, 80.0, 24.0),
+                    name: "ARELION".into(),
+                },
             ],
             links: vec![RawLink {
-                arrows: vec![arrow((80.0, 50.0), (188.0, 50.0)), arrow((300.0, 50.0), (192.0, 50.0))],
+                arrows: vec![
+                    arrow((80.0, 50.0), (188.0, 50.0)),
+                    arrow((300.0, 50.0), (192.0, 50.0)),
+                ],
                 loads: vec![Load::new(42).unwrap(), Load::new(9).unwrap()],
             }],
             labels: vec![
-                RawLabel { rect: Rect::new(85.0, 46.0, 22.0, 8.0), text: "#1".into() },
-                RawLabel { rect: Rect::new(273.0, 46.0, 22.0, 8.0), text: "#1".into() },
+                RawLabel {
+                    rect: Rect::new(85.0, 46.0, 22.0, 8.0),
+                    text: "#1".into(),
+                },
+                RawLabel {
+                    rect: Rect::new(273.0, 46.0, 22.0, 8.0),
+                    text: "#1".into(),
+                },
             ],
         }
     }
@@ -228,8 +247,8 @@ mod tests {
         // distance threshold) — caught by the distinct-routers check.
         let mut objects = scene();
         objects.routers.remove(1);
-        let err = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap_err();
+        let err =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap_err();
         assert!(matches!(err, ExtractError::SelfLoop { .. }), "{err}");
     }
 
@@ -239,9 +258,12 @@ mod tests {
         // link line at all → "failure to find intersections".
         let mut objects = scene();
         objects.routers.clear();
-        let err = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap_err();
-        assert!(matches!(err, ExtractError::DanglingLink { link_index: 0 }), "{err}");
+        let err =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, ExtractError::DanglingLink { link_index: 0 }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -253,13 +275,16 @@ mod tests {
         objects.routers.truncate(1);
         // Both arrow bases now resolve to the single box... the second
         // basis is far but the box still intersects the line.
-        let err = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap_err();
+        let err =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap_err();
         // Label near the far end is > threshold away from the box; either
         // failure mode is a correct rejection, but the self-loop fires
         // first only if labels pass. Accept either.
         assert!(
-            matches!(err, ExtractError::SelfLoop { .. } | ExtractError::LabelTooFar { .. }),
+            matches!(
+                err,
+                ExtractError::SelfLoop { .. } | ExtractError::LabelTooFar { .. }
+            ),
             "{err}"
         );
     }
@@ -269,8 +294,8 @@ mod tests {
         let mut objects = scene();
         // Push one label 60 px along the line (still intersecting it).
         objects.labels[0].rect = Rect::new(145.0, 46.0, 22.0, 8.0);
-        let err = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap_err();
+        let err =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap_err();
         assert!(matches!(err, ExtractError::LabelTooFar { .. }), "{err}");
     }
 
@@ -290,14 +315,14 @@ mod tests {
             rect: Rect::new(0.0, 300.0, 80.0, 24.0),
             name: "gra-g1".into(),
         });
-        let err = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap_err();
-        assert!(
-            matches!(err, ExtractError::UnlinkedRouter { router } if router == "gra-g1"),
-        );
+        let err =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap_err();
+        assert!(matches!(err, ExtractError::UnlinkedRouter { router } if router == "gra-g1"),);
         // ... unless the completion check is disabled.
-        let config =
-            ExtractConfig { require_all_routers_linked: false, ..ExtractConfig::default() };
+        let config = ExtractConfig {
+            require_all_routers_linked: false,
+            ..ExtractConfig::default()
+        };
         let mut objects2 = scene();
         objects2.routers.push(RawRouter {
             rect: Rect::new(0.0, 300.0, 80.0, 24.0),
@@ -313,8 +338,14 @@ mod tests {
         // so each intersects only its own lane.
         let mut objects = RawObjects {
             routers: vec![
-                RawRouter { rect: Rect::new(0.0, 30.0, 80.0, 44.0), name: "rbx-g1".into() },
-                RawRouter { rect: Rect::new(300.0, 30.0, 80.0, 44.0), name: "fra-g1".into() },
+                RawRouter {
+                    rect: Rect::new(0.0, 30.0, 80.0, 44.0),
+                    name: "rbx-g1".into(),
+                },
+                RawRouter {
+                    rect: Rect::new(300.0, 30.0, 80.0, 44.0),
+                    name: "fra-g1".into(),
+                },
             ],
             links: vec![
                 RawLink {
@@ -333,10 +364,22 @@ mod tests {
                 },
             ],
             labels: vec![
-                RawLabel { rect: Rect::new(85.0, 47.0, 20.0, 6.0), text: "#1".into() },
-                RawLabel { rect: Rect::new(275.0, 47.0, 20.0, 6.0), text: "#1".into() },
-                RawLabel { rect: Rect::new(85.0, 54.0, 20.0, 6.0), text: "#2".into() },
-                RawLabel { rect: Rect::new(275.0, 54.0, 20.0, 6.0), text: "#2".into() },
+                RawLabel {
+                    rect: Rect::new(85.0, 47.0, 20.0, 6.0),
+                    text: "#1".into(),
+                },
+                RawLabel {
+                    rect: Rect::new(275.0, 47.0, 20.0, 6.0),
+                    text: "#1".into(),
+                },
+                RawLabel {
+                    rect: Rect::new(85.0, 54.0, 20.0, 6.0),
+                    text: "#2".into(),
+                },
+                RawLabel {
+                    rect: Rect::new(275.0, 54.0, 20.0, 6.0),
+                    text: "#2".into(),
+                },
             ],
         };
         let snapshot = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
@@ -346,8 +389,8 @@ mod tests {
         // Consume order robustness: reversing the label list must not
         // change the outcome (closest wins, not first).
         objects.labels.reverse();
-        let snapshot2 = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
-            .unwrap();
+        let snapshot2 =
+            algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default()).unwrap();
         assert_eq!(snapshot2.links[0].a.label.as_deref(), Some("#1"));
     }
 
@@ -360,8 +403,10 @@ mod tests {
             rect: Rect::new(300.0, 38.0, 80.0, 24.0),
             name: "ARELION".into(),
         });
-        let config =
-            ExtractConfig { require_all_routers_linked: false, ..ExtractConfig::default() };
+        let config = ExtractConfig {
+            require_all_routers_linked: false,
+            ..ExtractConfig::default()
+        };
         let snapshot = algorithm2(&objects, MapKind::Europe, ts(), &config).unwrap();
         assert_eq!(snapshot.nodes.len(), 2);
     }

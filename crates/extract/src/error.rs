@@ -85,12 +85,18 @@ impl fmt::Display for ExtractError {
                 write!(f, "malformed weathermap structure: {detail}")
             }
             ExtractError::DanglingLink { link_index } => {
-                write!(f, "link #{link_index} is not connected to a router at both ends")
+                write!(
+                    f,
+                    "link #{link_index} is not connected to a router at both ends"
+                )
             }
             ExtractError::SelfLoop { router } => {
                 write!(f, "link connects router {router:?} to itself")
             }
-            ExtractError::LabelTooFar { link_index, distance } => write!(
+            ExtractError::LabelTooFar {
+                link_index,
+                distance,
+            } => write!(
                 f,
                 "closest label to an end of link #{link_index} is {distance:.1} px away"
             ),
@@ -116,7 +122,10 @@ mod tests {
             ExtractError::MalformedStructure { detail: "x".into() },
             ExtractError::DanglingLink { link_index: 0 },
             ExtractError::SelfLoop { router: "x".into() },
-            ExtractError::LabelTooFar { link_index: 0, distance: 1.0 },
+            ExtractError::LabelTooFar {
+                link_index: 0,
+                distance: 1.0,
+            },
             ExtractError::UnlinkedRouter { router: "x".into() },
         ];
         let mut kinds: Vec<&str> = errors.iter().map(ExtractError::kind).collect();
@@ -127,7 +136,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ExtractError::LabelTooFar { link_index: 7, distance: 42.5 };
+        let e = ExtractError::LabelTooFar {
+            link_index: 7,
+            distance: 42.5,
+        };
         let msg = e.to_string();
         assert!(msg.contains('7') && msg.contains("42.5"), "{msg}");
     }

@@ -17,9 +17,11 @@
 //! * [`snapshot_yaml`] — the YAML output schema and its lossless parser.
 //! * [`mod@validate`] — a standalone snapshot validator for corpus audits
 //!   (§6's "researchers could further validate the extracted data").
-//! * [`pipeline`] — the end-to-end entry point and a parallel batch
-//!   runner whose statistics reproduce Table 2's processed/unprocessed
-//!   bookkeeping.
+//! * [`pipeline`] — the end-to-end entry point and a work-stealing
+//!   parallel batch runner whose statistics reproduce Table 2's
+//!   processed/unprocessed bookkeeping.
+//! * [`metrics`] — per-stage wall-time histograms and throughput
+//!   counters recorded lock-free by the batch runner's workers.
 //!
 //! The extractor is deliberately *blind*: it consumes only SVG bytes and
 //! shares no code with the simulator's renderer. Integration tests render
@@ -32,6 +34,7 @@
 pub mod algorithm1;
 pub mod algorithm2;
 pub mod error;
+pub mod metrics;
 pub mod pipeline;
 pub mod snapshot_yaml;
 pub mod validate;
@@ -39,7 +42,11 @@ pub mod validate;
 pub use algorithm1::{algorithm1, RawLabel, RawLink, RawObjects, RawRouter};
 pub use algorithm2::{algorithm2, ExtractConfig};
 pub use error::ExtractError;
-pub use pipeline::{extract_batch, extract_svg, BatchInput, BatchStats};
+pub use metrics::{BatchMetrics, Histogram, MetricsTotals, Stage};
+pub use pipeline::{
+    extract_batch, extract_batch_with, extract_svg, extract_svg_instrumented, BatchInput,
+    BatchStats, Scheduling,
+};
 pub use snapshot_yaml::{
     from_yaml_str, snapshot_from_yaml, snapshot_to_yaml, to_yaml_string, SchemaError, SCHEMA_ID,
 };

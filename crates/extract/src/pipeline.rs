@@ -1,14 +1,23 @@
 //! The end-to-end extraction pipeline and its parallel batch runner.
+//!
+//! The batch runner is deterministic by construction: per-file work is
+//! pure, results carry their input index so output order never depends
+//! on worker interleaving, and all aggregates (statistics, metrics) are
+//! order-independent sums kept in per-worker locals and merged at join.
+//! Consequently a run with any worker count and either scheduling
+//! policy is byte-for-byte identical to the serial run.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
-use parking_lot::Mutex;
 use wm_model::{MapKind, Timestamp, TopologySnapshot};
 use wm_svg::Document;
 
 use crate::algorithm1::algorithm1;
 use crate::algorithm2::{algorithm2, ExtractConfig};
 use crate::error::ExtractError;
+use crate::metrics::{BatchMetrics, Stage};
 
 /// Extracts one snapshot: SVG text → Algorithm 1 → Algorithm 2.
 pub fn extract_svg(
@@ -23,6 +32,37 @@ pub fn extract_svg(
     })?;
     let objects = algorithm1(&doc)?;
     algorithm2(&objects, map, timestamp, config)
+}
+
+/// [`extract_svg`] with per-stage timings recorded into `metrics`.
+///
+/// A stage's duration is recorded even when it fails, so sample counts
+/// stay deterministic: every attempted file contributes exactly one
+/// sample to each stage it reached.
+pub fn extract_svg_instrumented(
+    svg: &str,
+    map: MapKind,
+    timestamp: Timestamp,
+    config: &ExtractConfig,
+    metrics: &mut BatchMetrics,
+) -> Result<TopologySnapshot, ExtractError> {
+    let start = Instant::now();
+    let parsed = Document::parse(svg);
+    metrics.record_stage(Stage::XmlParse, start.elapsed());
+    let doc = parsed.map_err(|e| match &e {
+        wm_svg::ParseError::Xml(_) => ExtractError::InvalidXml(e.to_string()),
+        _ => ExtractError::InvalidSvg(e.to_string()),
+    })?;
+
+    let start = Instant::now();
+    let objects = algorithm1(&doc);
+    metrics.record_stage(Stage::Algorithm1, start.elapsed());
+    let objects = objects?;
+
+    let start = Instant::now();
+    let snapshot = algorithm2(&objects, map, timestamp, config);
+    metrics.record_stage(Stage::Algorithm2, start.elapsed());
+    snapshot
 }
 
 /// One input file of a batch run.
@@ -55,7 +95,10 @@ impl BatchStats {
 
     fn record_failure(&mut self, error: &ExtractError) {
         self.failed += 1;
-        *self.failures_by_kind.entry(error.kind().to_owned()).or_default() += 1;
+        *self
+            .failures_by_kind
+            .entry(error.kind().to_owned())
+            .or_default() += 1;
     }
 
     fn merge(&mut self, other: BatchStats) {
@@ -67,49 +110,147 @@ impl BatchStats {
     }
 }
 
+/// How batch work is distributed over workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Pre-split the input into one contiguous chunk per worker.
+    ///
+    /// Simple, but a worker that drew a chunk of slow files (large
+    /// maps, hostile rejects) finishes last while the others idle.
+    StaticChunk,
+    /// Workers pull the next un-claimed file from a shared atomic
+    /// cursor, so fast workers absorb the tail of a skewed corpus.
+    #[default]
+    WorkStealing,
+}
+
+/// A worker's private accumulator, merged by the coordinator at join.
+#[derive(Default)]
+struct WorkerOutput {
+    /// `(input index, snapshot)` so output order is reconstructed from
+    /// the inputs, never from worker timing.
+    results: Vec<(usize, TopologySnapshot)>,
+    stats: BatchStats,
+    metrics: BatchMetrics,
+}
+
+impl WorkerOutput {
+    fn process(&mut self, index: usize, input: &BatchInput, map: MapKind, config: &ExtractConfig) {
+        self.metrics.record_input(input.svg.len());
+        match extract_svg_instrumented(&input.svg, map, input.timestamp, config, &mut self.metrics)
+        {
+            Ok(snapshot) => {
+                self.stats.processed += 1;
+                self.metrics.record_success();
+                self.results.push((index, snapshot));
+            }
+            Err(error) => {
+                self.stats.record_failure(&error);
+                self.metrics.record_failure(error.kind());
+            }
+        }
+    }
+}
+
 /// Extracts a batch of files in parallel with `threads` workers.
 ///
 /// Per-file work is pure, so the run is deterministic: results are
-/// returned sorted by timestamp and the statistics are order-independent
-/// sums. Failed files are skipped (and tallied), matching how the paper's
-/// scripts leave fewer than a hundred files per map unprocessed.
+/// returned sorted by timestamp (ties broken by input order) and the
+/// statistics are order-independent sums. Failed files are skipped (and
+/// tallied), matching how the paper's scripts leave fewer than a
+/// hundred files per map unprocessed.
 pub fn extract_batch(
     inputs: &[BatchInput],
     map: MapKind,
     config: &ExtractConfig,
     threads: usize,
 ) -> (Vec<TopologySnapshot>, BatchStats) {
-    let threads = threads.max(1);
-    let results: Mutex<Vec<TopologySnapshot>> = Mutex::new(Vec::with_capacity(inputs.len()));
-    let stats: Mutex<BatchStats> = Mutex::new(BatchStats::default());
+    let (snapshots, stats, _metrics) =
+        extract_batch_with(inputs, map, config, threads, Scheduling::default());
+    (snapshots, stats)
+}
 
-    let chunk_size = inputs.len().div_ceil(threads).max(1);
-    let results_ref = &results;
-    let stats_ref = &stats;
-    crossbeam::thread::scope(|scope| {
-        for chunk in inputs.chunks(chunk_size) {
-            scope.spawn(move |_| {
-                let mut local_results = Vec::with_capacity(chunk.len());
-                let mut local_stats = BatchStats::default();
-                for input in chunk {
-                    match extract_svg(&input.svg, map, input.timestamp, config) {
-                        Ok(snapshot) => {
-                            local_stats.processed += 1;
-                            local_results.push(snapshot);
-                        }
-                        Err(error) => local_stats.record_failure(&error),
-                    }
-                }
-                results_ref.lock().extend(local_results);
-                stats_ref.lock().merge(local_stats);
-            });
+/// [`extract_batch`] with an explicit scheduling policy and full
+/// [`BatchMetrics`] returned alongside the stats.
+pub fn extract_batch_with(
+    inputs: &[BatchInput],
+    map: MapKind,
+    config: &ExtractConfig,
+    threads: usize,
+    scheduling: Scheduling,
+) -> (Vec<TopologySnapshot>, BatchStats, BatchMetrics) {
+    let threads = threads.max(1).min(inputs.len().max(1));
+    let started = Instant::now();
+
+    let mut outputs: Vec<WorkerOutput> = if threads == 1 {
+        // Serial fast path: no spawn overhead, same code path per file.
+        let mut out = WorkerOutput::default();
+        for (index, input) in inputs.iter().enumerate() {
+            out.process(index, input, map, config);
         }
-    })
-    .expect("batch worker panicked");
+        vec![out]
+    } else {
+        match scheduling {
+            Scheduling::WorkStealing => {
+                let cursor = AtomicUsize::new(0);
+                run_workers(threads, |_| {
+                    let mut out = WorkerOutput::default();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(index) else {
+                            break;
+                        };
+                        out.process(index, input, map, config);
+                    }
+                    out
+                })
+            }
+            Scheduling::StaticChunk => {
+                let chunk_size = inputs.len().div_ceil(threads).max(1);
+                run_workers(threads, |worker| {
+                    let mut out = WorkerOutput::default();
+                    let start = worker * chunk_size;
+                    let end = (start + chunk_size).min(inputs.len());
+                    for (index, input) in inputs.iter().enumerate().take(end).skip(start) {
+                        out.process(index, input, map, config);
+                    }
+                    out
+                })
+            }
+        }
+    };
 
-    let mut results = results.into_inner();
-    results.sort_by_key(|s| s.timestamp);
-    (results, stats.into_inner())
+    let mut results = Vec::with_capacity(inputs.len());
+    let mut stats = BatchStats::default();
+    let mut metrics = BatchMetrics::default();
+    for output in &mut outputs {
+        results.append(&mut output.results);
+        stats.merge(std::mem::take(&mut output.stats));
+        metrics.merge(&output.metrics);
+    }
+    metrics.set_wall_time(started.elapsed());
+
+    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
+    let snapshots = results.into_iter().map(|(_, snapshot)| snapshot).collect();
+    (snapshots, stats, metrics)
+}
+
+/// Runs `threads` scoped workers and collects their outputs in worker
+/// order (merge order therefore never depends on finish order).
+fn run_workers<F>(threads: usize, work: F) -> Vec<WorkerOutput>
+where
+    F: Fn(usize) -> WorkerOutput + Sync,
+{
+    let work = &work;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| scope.spawn(move || work(worker)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +268,10 @@ mod tests {
         let config = ExtractConfig::default();
         let t = Timestamp::from_unix(0);
         let err = extract_svg("not xml at all <", MapKind::Europe, t, &config).unwrap_err();
-        assert!(matches!(err, ExtractError::InvalidXml(_) | ExtractError::InvalidSvg(_)));
+        assert!(matches!(
+            err,
+            ExtractError::InvalidXml(_) | ExtractError::InvalidSvg(_)
+        ));
         let err = extract_svg("<html></html>", MapKind::Europe, t, &config).unwrap_err();
         assert!(matches!(err, ExtractError::InvalidSvg(_)));
     }
@@ -200,7 +344,10 @@ mod tests {
         let to = from + Duration::from_hours(4);
         let inputs: Vec<BatchInput> = sim
             .corpus_between(MapKind::Europe, from, to)
-            .map(|f| BatchInput { timestamp: f.timestamp, svg: f.svg })
+            .map(|f| BatchInput {
+                timestamp: f.timestamp,
+                svg: f.svg,
+            })
             .collect();
         assert!(inputs.len() > 10);
         let config = ExtractConfig::default();
@@ -213,16 +360,133 @@ mod tests {
     }
 
     #[test]
+    fn both_schedulings_match_and_meter_the_whole_corpus() {
+        let sim = sim();
+        // NorthAmerica has the paper's year-long collection hole around
+        // 2021; pick a window inside its second segment.
+        let from = Timestamp::from_ymd(2022, 2, 1);
+        let to = from + Duration::from_hours(3);
+        let inputs: Vec<BatchInput> = sim
+            .corpus_between(MapKind::NorthAmerica, from, to)
+            .map(|f| BatchInput {
+                timestamp: f.timestamp,
+                svg: f.svg,
+            })
+            .collect();
+        assert!(
+            inputs.len() > 5,
+            "corpus window unexpectedly sparse: {}",
+            inputs.len()
+        );
+        let config = ExtractConfig::default();
+        let (a, a_stats, a_metrics) = extract_batch_with(
+            &inputs,
+            MapKind::NorthAmerica,
+            &config,
+            4,
+            Scheduling::WorkStealing,
+        );
+        let (b, b_stats, b_metrics) = extract_batch_with(
+            &inputs,
+            MapKind::NorthAmerica,
+            &config,
+            4,
+            Scheduling::StaticChunk,
+        );
+        assert_eq!(a, b);
+        assert_eq!(a_stats, b_stats);
+        assert_eq!(a_metrics.totals(), b_metrics.totals());
+        let total_bytes: u64 = inputs.iter().map(|i| i.svg.len() as u64).sum();
+        assert_eq!(a_metrics.bytes_in, total_bytes);
+        assert_eq!(a_metrics.files_seen as usize, inputs.len());
+        assert_eq!(a_metrics.snapshots_out as usize, a_stats.processed);
+        assert!(a_metrics.wall_ns > 0);
+        assert!(a_metrics.bytes_per_second() > 0.0);
+        // Every file reaches the XML parse stage exactly once; the
+        // YAML stage is recorded by the emitter, not the batch runner.
+        assert_eq!(
+            a_metrics.stage(Stage::XmlParse).count() as usize,
+            inputs.len()
+        );
+        assert_eq!(a_metrics.stage(Stage::YamlEmit).count(), 0);
+    }
+
+    #[test]
     fn batch_stats_tally_failures_by_kind() {
         let inputs = vec![
-            BatchInput { timestamp: Timestamp::from_unix(0), svg: "<svg></svg>".into() },
-            BatchInput { timestamp: Timestamp::from_unix(300), svg: "broken <".into() },
-            BatchInput { timestamp: Timestamp::from_unix(600), svg: "broken <".into() },
+            BatchInput {
+                timestamp: Timestamp::from_unix(0),
+                svg: "<svg></svg>".into(),
+            },
+            BatchInput {
+                timestamp: Timestamp::from_unix(300),
+                svg: "broken <".into(),
+            },
+            BatchInput {
+                timestamp: Timestamp::from_unix(600),
+                svg: "broken <".into(),
+            },
         ];
-        let (ok, stats) =
-            extract_batch(&inputs, MapKind::Europe, &ExtractConfig::default(), 2);
+        let (ok, stats) = extract_batch(&inputs, MapKind::Europe, &ExtractConfig::default(), 2);
         assert_eq!(ok.len(), 1); // The empty map extracts as empty.
         assert_eq!(stats.failed, 2);
         assert_eq!(stats.failures_by_kind.get("invalid-xml"), Some(&2));
+    }
+
+    #[test]
+    fn metrics_failure_counters_mirror_batch_stats() {
+        let inputs = vec![
+            BatchInput {
+                timestamp: Timestamp::from_unix(0),
+                svg: "<svg></svg>".into(),
+            },
+            BatchInput {
+                timestamp: Timestamp::from_unix(300),
+                svg: "broken <".into(),
+            },
+            BatchInput {
+                timestamp: Timestamp::from_unix(600),
+                svg: "<html></html>".into(),
+            },
+        ];
+        let (_, stats, metrics) = extract_batch_with(
+            &inputs,
+            MapKind::Europe,
+            &ExtractConfig::default(),
+            2,
+            Scheduling::WorkStealing,
+        );
+        assert_eq!(metrics.failures_by_kind.len(), stats.failures_by_kind.len());
+        for (kind, n) in &stats.failures_by_kind {
+            assert_eq!(metrics.failures_by_kind.get(kind), Some(&(*n as u64)));
+        }
+        assert_eq!(
+            metrics.failures_by_kind.values().sum::<u64>() as usize,
+            stats.failed
+        );
+    }
+
+    #[test]
+    fn timestamp_ties_preserve_input_order() {
+        // Two distinct maps rendered at the same instant extract to
+        // different snapshots; the tie must break by input position.
+        let sim = sim();
+        let t = Timestamp::from_ymd(2021, 5, 1);
+        let europe = sim.snapshot(MapKind::Europe, t).svg;
+        let world = sim.snapshot(MapKind::World, t).svg;
+        let inputs = vec![
+            BatchInput {
+                timestamp: t,
+                svg: europe,
+            },
+            BatchInput {
+                timestamp: t,
+                svg: world,
+            },
+        ];
+        let config = ExtractConfig::default();
+        let (serial, _) = extract_batch(&inputs, MapKind::Europe, &config, 1);
+        let (parallel, _) = extract_batch(&inputs, MapKind::Europe, &config, 2);
+        assert_eq!(serial, parallel);
     }
 }

@@ -68,8 +68,7 @@ pub fn snapshot_to_yaml(snapshot: &TopologySnapshot) -> Value {
         .links
         .iter()
         .map(|l| {
-            let mut pairs: Vec<(&str, Value)> =
-                vec![("a", Value::from(l.a.node.name.as_str()))];
+            let mut pairs: Vec<(&str, Value)> = vec![("a", Value::from(l.a.node.name.as_str()))];
             if let Some(label) = &l.a.label {
                 pairs.push(("a_label", Value::from(label.as_str())));
             }
@@ -136,7 +135,10 @@ pub fn snapshot_from_yaml(value: &Value) -> Result<TopologySnapshot, SchemaError
             .ok_or_else(|| SchemaError::new("node without a kind"))?
             .parse()
             .map_err(SchemaError::new)?;
-        snapshot.nodes.push(Node { name: name.to_owned(), kind });
+        snapshot.nodes.push(Node {
+            name: name.to_owned(),
+            kind,
+        });
     }
 
     let links = value
@@ -144,29 +146,34 @@ pub fn snapshot_from_yaml(value: &Value) -> Result<TopologySnapshot, SchemaError
         .and_then(Value::as_seq)
         .ok_or_else(|| SchemaError::new("missing links sequence"))?;
     for link in links {
-        let end = |name_key: &str, label_key: &str, load_key: &str| -> Result<LinkEnd, SchemaError> {
-            let name = link
-                .get(name_key)
-                .and_then(Value::as_str)
-                .ok_or_else(|| SchemaError::new(format!("link without {name_key:?}")))?;
-            let node = snapshot
-                .node(name)
-                .cloned()
-                .unwrap_or_else(|| Node::from_name(name));
-            let label = link.get(label_key).and_then(Value::as_str).map(str::to_owned);
-            let load_value = link
-                .get(load_key)
-                .and_then(Value::as_i64)
-                .ok_or_else(|| SchemaError::new(format!("link without {load_key:?}")))?;
-            let load = u8::try_from(load_value)
-                .ok()
-                .and_then(Load::new)
-                .ok_or_else(|| SchemaError::new(format!("load out of range: {load_value}")))?;
-            Ok(LinkEnd::new(node, label, load))
-        };
-        snapshot
-            .links
-            .push(Link::new(end("a", "a_label", "a_load")?, end("b", "b_label", "b_load")?));
+        let end =
+            |name_key: &str, label_key: &str, load_key: &str| -> Result<LinkEnd, SchemaError> {
+                let name = link
+                    .get(name_key)
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SchemaError::new(format!("link without {name_key:?}")))?;
+                let node = snapshot
+                    .node(name)
+                    .cloned()
+                    .unwrap_or_else(|| Node::from_name(name));
+                let label = link
+                    .get(label_key)
+                    .and_then(Value::as_str)
+                    .map(str::to_owned);
+                let load_value = link
+                    .get(load_key)
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| SchemaError::new(format!("link without {load_key:?}")))?;
+                let load = u8::try_from(load_value)
+                    .ok()
+                    .and_then(Load::new)
+                    .ok_or_else(|| SchemaError::new(format!("load out of range: {load_value}")))?;
+                Ok(LinkEnd::new(node, label, load))
+            };
+        snapshot.links.push(Link::new(
+            end("a", "a_label", "a_load")?,
+            end("b", "b_label", "b_load")?,
+        ));
     }
     Ok(snapshot)
 }
@@ -182,11 +189,22 @@ mod tests {
     use super::*;
 
     fn sample() -> TopologySnapshot {
-        let mut s = TopologySnapshot::new(MapKind::Europe, Timestamp::from_ymd_hms(2021, 3, 5, 10, 5, 0));
+        let mut s = TopologySnapshot::new(
+            MapKind::Europe,
+            Timestamp::from_ymd_hms(2021, 3, 5, 10, 5, 0),
+        );
         s.nodes = vec![Node::from_name("rbx-g1-nc1"), Node::from_name("AMS-IX")];
         s.links = vec![Link::new(
-            LinkEnd::new(Node::from_name("rbx-g1-nc1"), Some("#1".into()), Load::new(42).unwrap()),
-            LinkEnd::new(Node::from_name("AMS-IX"), Some("#1".into()), Load::new(9).unwrap()),
+            LinkEnd::new(
+                Node::from_name("rbx-g1-nc1"),
+                Some("#1".into()),
+                Load::new(42).unwrap(),
+            ),
+            LinkEnd::new(
+                Node::from_name("AMS-IX"),
+                Some("#1".into()),
+                Load::new(9).unwrap(),
+            ),
         )];
         s
     }
@@ -204,8 +222,11 @@ mod tests {
         let text = to_yaml_string(&sample());
         assert!(text.starts_with("schema: ovh-weather/1\n"), "{text}");
         assert!(text.contains("map: europe"));
-        assert!(text.contains("timestamp: \"2021-03-05T10:05:00Z\"")
-            || text.contains("timestamp: 2021-03-05T10:05:00Z"), "{text}");
+        assert!(
+            text.contains("timestamp: \"2021-03-05T10:05:00Z\"")
+                || text.contains("timestamp: 2021-03-05T10:05:00Z"),
+            "{text}"
+        );
         assert!(text.contains("a_load: 42"));
         assert!(text.contains("\"#1\""));
     }
@@ -235,7 +256,10 @@ mod tests {
                 .filter(|l| !l.trim_start().starts_with(field.trim_end()))
                 .map(|l| format!("{l}\n"))
                 .collect();
-            assert!(from_yaml_str(&broken).is_err(), "dropping {field:?} should fail");
+            assert!(
+                from_yaml_str(&broken).is_err(),
+                "dropping {field:?} should fail"
+            );
         }
     }
 

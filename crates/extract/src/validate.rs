@@ -53,7 +53,9 @@ impl ValidationReport {
 
     /// The error findings.
     pub fn errors(&self) -> impl Iterator<Item = &Finding> {
-        self.findings.iter().filter(|f| f.severity == Severity::Error)
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
     }
 
     /// Tally of findings per code — corpus audits sum these across files.
@@ -67,7 +69,11 @@ impl ValidationReport {
     }
 
     fn push(&mut self, severity: Severity, code: &'static str, message: String) {
-        self.findings.push(Finding { severity, code, message });
+        self.findings.push(Finding {
+            severity,
+            code,
+            message,
+        });
     }
 }
 
@@ -169,7 +175,9 @@ pub fn validate(snapshot: &TopologySnapshot) -> ValidationReport {
         );
     }
 
-    report.findings.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
+    report
+        .findings
+        .sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(b.code)));
     report
 }
 
@@ -183,8 +191,16 @@ mod tests {
         s.nodes.push(Node::router("rbx-g1"));
         s.nodes.push(Node::peering("AMS-IX"));
         s.links.push(Link::new(
-            LinkEnd::new(Node::router("rbx-g1"), Some("#1".into()), Load::new(10).unwrap()),
-            LinkEnd::new(Node::peering("AMS-IX"), Some("#1".into()), Load::new(5).unwrap()),
+            LinkEnd::new(
+                Node::router("rbx-g1"),
+                Some("#1".into()),
+                Load::new(10).unwrap(),
+            ),
+            LinkEnd::new(
+                Node::peering("AMS-IX"),
+                Some("#1".into()),
+                Load::new(5).unwrap(),
+            ),
         ));
         s
     }
@@ -261,7 +277,10 @@ mod tests {
     #[test]
     fn kind_convention_mismatch_warned() {
         let mut s = clean_snapshot();
-        s.nodes.push(Node { name: "UPPER-NAME".into(), kind: NodeKind::Router });
+        s.nodes.push(Node {
+            name: "UPPER-NAME".into(),
+            kind: NodeKind::Router,
+        });
         let report = validate(&s);
         assert!(report.findings.iter().any(|f| f.code == "kind-convention"));
     }

@@ -16,27 +16,24 @@ fn node_name() -> impl Strategy<Value = String> {
 }
 
 fn label() -> impl Strategy<Value = Option<String>> {
-    prop_oneof![
-        Just(None),
-        (1u32..32).prop_map(|n| Some(format!("#{n}"))),
-    ]
+    prop_oneof![Just(None), (1u32..32).prop_map(|n| Some(format!("#{n}"))),]
 }
 
 fn snapshot_strategy() -> impl Strategy<Value = TopologySnapshot> {
     let nodes = prop::collection::btree_set(node_name(), 2..12);
-    (nodes, 0i64..2_000_000_000, prop::sample::select(MapKind::ALL.to_vec())).prop_flat_map(
-        |(names, unix, map)| {
+    (
+        nodes,
+        0i64..2_000_000_000,
+        prop::sample::select(MapKind::ALL.to_vec()),
+    )
+        .prop_flat_map(|(names, unix, map)| {
             let names: Vec<String> = names.into_iter().collect();
             let n = names.len();
-            let links = prop::collection::vec(
-                (0..n, 0..n, label(), label(), 0u8..=100, 0u8..=100),
-                0..20,
-            );
+            let links =
+                prop::collection::vec((0..n, 0..n, label(), label(), 0u8..=100, 0u8..=100), 0..20);
             links.prop_map(move |link_specs| {
-                let mut snapshot = TopologySnapshot::new(
-                    map,
-                    Timestamp::from_unix(unix - unix % 300),
-                );
+                let mut snapshot =
+                    TopologySnapshot::new(map, Timestamp::from_unix(unix - unix % 300));
                 for name in &names {
                     snapshot.nodes.push(Node::from_name(name.clone()));
                 }
@@ -59,8 +56,7 @@ fn snapshot_strategy() -> impl Strategy<Value = TopologySnapshot> {
                 }
                 snapshot
             })
-        },
-    )
+        })
 }
 
 proptest! {

@@ -31,7 +31,11 @@ impl Line {
                 let c = -(n.x * p.x + n.y * p.y);
                 Line { a: n.x, b: n.y, c }
             }
-            None => Line { a: 0.0, b: 1.0, c: -p.y },
+            None => Line {
+                a: 0.0,
+                b: 1.0,
+                c: -p.y,
+            },
         }
     }
 
@@ -116,7 +120,10 @@ mod tests {
         let l = Line::through(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
         let above = l.signed_side(Point::new(5.0, -1.0));
         let below = l.signed_side(Point::new(5.0, 1.0));
-        assert!(above * below < 0.0, "opposite sides must have opposite signs");
+        assert!(
+            above * below < 0.0,
+            "opposite sides must have opposite signs"
+        );
     }
 
     #[test]

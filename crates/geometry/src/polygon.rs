@@ -231,7 +231,9 @@ impl Polygon {
 /// Arithmetic mean of a non-empty point slice.
 fn mean(points: &[Point]) -> Point {
     let n = points.len() as f64;
-    let (sx, sy) = points.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+    let (sx, sy) = points
+        .iter()
+        .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
     Point::new(sx / n, sy / n)
 }
 
@@ -320,10 +322,14 @@ mod tests {
 
     #[test]
     fn degenerate_polygons_have_no_arrow_features() {
-        assert!(Polygon::new(vec![Point::new(0.0, 0.0)]).arrow_tip().is_none());
-        assert!(Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])
-            .arrow_basis()
+        assert!(Polygon::new(vec![Point::new(0.0, 0.0)])
+            .arrow_tip()
             .is_none());
+        assert!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)])
+                .arrow_basis()
+                .is_none()
+        );
     }
 
     #[test]

@@ -29,15 +29,33 @@ impl Rect {
     /// normalising negative extents.
     #[must_use]
     pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
-        let (x, width) = if width < 0.0 { (x + width, -width) } else { (x, width) };
-        let (y, height) = if height < 0.0 { (y + height, -height) } else { (y, height) };
-        Self { x, y, width, height }
+        let (x, width) = if width < 0.0 {
+            (x + width, -width)
+        } else {
+            (x, width)
+        };
+        let (y, height) = if height < 0.0 {
+            (y + height, -height)
+        } else {
+            (y, height)
+        };
+        Self {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// Creates the smallest rectangle containing both corner points.
     #[must_use]
     pub fn from_corners(a: Point, b: Point) -> Self {
-        Self::new(a.x.min(b.x), a.y.min(b.y), (a.x - b.x).abs(), (a.y - b.y).abs())
+        Self::new(
+            a.x.min(b.x),
+            a.y.min(b.y),
+            (a.x - b.x).abs(),
+            (a.y - b.y).abs(),
+        )
     }
 
     /// Right edge (maximum `x`).

@@ -121,9 +121,7 @@ impl Segment {
     pub fn collinear_overlap(&self, other: &Segment) -> bool {
         let r = self.direction();
         let qp = other.start - self.start;
-        if r.cross(other.direction()).abs() > crate::EPSILON
-            || r.cross(qp).abs() > crate::EPSILON
-        {
+        if r.cross(other.direction()).abs() > crate::EPSILON || r.cross(qp).abs() > crate::EPSILON {
             return false;
         }
         // Project both segments on the dominant axis and test 1-D overlap.
@@ -215,9 +213,15 @@ mod tests {
     #[test]
     fn closest_point_clamps_to_endpoints() {
         let s = seg(0.0, 0.0, 10.0, 0.0);
-        assert!(s.closest_point(Point::new(-5.0, 3.0)).approx_eq(Point::new(0.0, 0.0)));
-        assert!(s.closest_point(Point::new(15.0, 3.0)).approx_eq(Point::new(10.0, 0.0)));
-        assert!(s.closest_point(Point::new(4.0, 3.0)).approx_eq(Point::new(4.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(-5.0, 3.0))
+            .approx_eq(Point::new(0.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(15.0, 3.0))
+            .approx_eq(Point::new(10.0, 0.0)));
+        assert!(s
+            .closest_point(Point::new(4.0, 3.0))
+            .approx_eq(Point::new(4.0, 0.0)));
     }
 
     #[test]
@@ -229,7 +233,9 @@ mod tests {
     #[test]
     fn degenerate_segment_closest_point_is_endpoint() {
         let s = seg(2.0, 2.0, 2.0, 2.0);
-        assert!(s.closest_point(Point::new(9.0, 9.0)).approx_eq(Point::new(2.0, 2.0)));
+        assert!(s
+            .closest_point(Point::new(9.0, 9.0))
+            .approx_eq(Point::new(2.0, 2.0)));
     }
 
     #[test]

@@ -169,7 +169,11 @@ mod tests {
         let older = snapshot(&[("r-a", "r-b"), ("r-a", "r-c")]);
         let newer = snapshot(&[("r-a", "r-b")]);
         let d = diff(&older, &newer);
-        let gone = d.group_changes.iter().find(|g| g.b == "r-c").expect("group gone");
+        let gone = d
+            .group_changes
+            .iter()
+            .find(|g| g.b == "r-c")
+            .expect("group gone");
         assert_eq!((gone.before, gone.after), (1, 0));
         assert_eq!(d.link_delta(), -1);
     }

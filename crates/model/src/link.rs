@@ -41,7 +41,11 @@ impl LinkEnd {
     /// Creates a link end.
     #[must_use]
     pub fn new(node: Node, label: Option<String>, egress_load: Load) -> LinkEnd {
-        LinkEnd { node, label, egress_load }
+        LinkEnd {
+            node,
+            label,
+            egress_load,
+        }
     }
 }
 
@@ -133,7 +137,10 @@ impl Link {
         if self.a.node.name <= self.b.node.name {
             self
         } else {
-            Link { a: self.b, b: self.a }
+            Link {
+                a: self.b,
+                b: self.a,
+            }
         }
     }
 }
@@ -154,8 +161,16 @@ mod tests {
 
     fn link(a: &str, la: u8, b: &str, lb: u8) -> Link {
         Link::new(
-            LinkEnd::new(Node::from_name(a), Some("#1".into()), Load::new(la).unwrap()),
-            LinkEnd::new(Node::from_name(b), Some("#1".into()), Load::new(lb).unwrap()),
+            LinkEnd::new(
+                Node::from_name(a),
+                Some("#1".into()),
+                Load::new(la).unwrap(),
+            ),
+            LinkEnd::new(
+                Node::from_name(b),
+                Some("#1".into()),
+                Load::new(lb).unwrap(),
+            ),
         )
     }
 

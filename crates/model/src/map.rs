@@ -23,8 +23,12 @@ pub enum MapKind {
 
 impl MapKind {
     /// All four maps, in the paper's table order.
-    pub const ALL: [MapKind; 4] =
-        [MapKind::Europe, MapKind::World, MapKind::NorthAmerica, MapKind::AsiaPacific];
+    pub const ALL: [MapKind; 4] = [
+        MapKind::Europe,
+        MapKind::World,
+        MapKind::NorthAmerica,
+        MapKind::AsiaPacific,
+    ];
 
     /// The human-readable name used in the paper's tables.
     #[must_use]
@@ -108,8 +112,14 @@ mod tests {
     #[test]
     fn parsing_accepts_slugs_and_names() {
         assert_eq!("europe".parse::<MapKind>().unwrap(), MapKind::Europe);
-        assert_eq!("North America".parse::<MapKind>().unwrap(), MapKind::NorthAmerica);
-        assert_eq!("asia_pacific".parse::<MapKind>().unwrap(), MapKind::AsiaPacific);
+        assert_eq!(
+            "North America".parse::<MapKind>().unwrap(),
+            MapKind::NorthAmerica
+        );
+        assert_eq!(
+            "asia_pacific".parse::<MapKind>().unwrap(),
+            MapKind::AsiaPacific
+        );
         assert_eq!("APAC".parse::<MapKind>().unwrap(), MapKind::AsiaPacific);
         assert!("mars".parse::<MapKind>().is_err());
     }

@@ -79,13 +79,19 @@ impl Node {
     /// Creates a router node (does not re-classify).
     #[must_use]
     pub fn router(name: impl Into<String>) -> Node {
-        Node { name: name.into(), kind: NodeKind::Router }
+        Node {
+            name: name.into(),
+            kind: NodeKind::Router,
+        }
     }
 
     /// Creates a peering node (does not re-classify).
     #[must_use]
     pub fn peering(name: impl Into<String>) -> Node {
-        Node { name: name.into(), kind: NodeKind::Peering }
+        Node {
+            name: name.into(),
+            kind: NodeKind::Peering,
+        }
     }
 
     /// `true` when this node is an OVH router.

@@ -43,7 +43,12 @@ impl TopologySnapshot {
     /// Creates an empty snapshot.
     #[must_use]
     pub fn new(map: MapKind, timestamp: Timestamp) -> TopologySnapshot {
-        TopologySnapshot { map, timestamp, nodes: Vec::new(), links: Vec::new() }
+        TopologySnapshot {
+            map,
+            timestamp,
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
     }
 
     /// All OVH routers on the map.
@@ -65,13 +70,19 @@ impl TopologySnapshot {
     /// Number of internal links (Table 1, column 3).
     #[must_use]
     pub fn internal_link_count(&self) -> usize {
-        self.links.iter().filter(|l| l.kind() == LinkKind::Internal).count()
+        self.links
+            .iter()
+            .filter(|l| l.kind() == LinkKind::Internal)
+            .count()
     }
 
     /// Number of external links (Table 1, column 4).
     #[must_use]
     pub fn external_link_count(&self) -> usize {
-        self.links.iter().filter(|l| l.kind() == LinkKind::External).count()
+        self.links
+            .iter()
+            .filter(|l| l.kind() == LinkKind::External)
+            .count()
     }
 
     /// Looks a node up by name.
@@ -84,7 +95,10 @@ impl TopologySnapshot {
     /// every parallel link individually (Fig. 4c's definition).
     #[must_use]
     pub fn degree(&self, name: &str) -> usize {
-        self.links.iter().filter(|l| l.end_at(name).is_some()).count()
+        self.links
+            .iter()
+            .filter(|l| l.end_at(name).is_some())
+            .count()
     }
 
     /// Degrees of all OVH routers, in node order (input of Fig. 4c).
@@ -102,13 +116,21 @@ impl TopologySnapshot {
         let mut by_pair: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
         for (i, link) in self.links.iter().enumerate() {
             let (a, b) = link.endpoint_key();
-            by_pair.entry((a.to_owned(), b.to_owned())).or_default().push(i);
+            by_pair
+                .entry((a.to_owned(), b.to_owned()))
+                .or_default()
+                .push(i);
         }
         by_pair
             .into_iter()
             .map(|((a, b), link_indices)| {
                 let kind = self.links[link_indices[0]].kind();
-                ParallelGroup { a, b, link_indices, kind }
+                ParallelGroup {
+                    a,
+                    b,
+                    link_indices,
+                    kind,
+                }
             })
             .collect()
     }
@@ -236,9 +258,15 @@ mod tests {
         let s = sample();
         let groups = s.parallel_groups();
         assert_eq!(groups.len(), 2);
-        let internal = groups.iter().find(|g| g.kind == LinkKind::Internal).unwrap();
+        let internal = groups
+            .iter()
+            .find(|g| g.kind == LinkKind::Internal)
+            .unwrap();
         assert_eq!(internal.len(), 2);
-        assert_eq!((internal.a.as_str(), internal.b.as_str()), ("fra-fr5", "rbx-g1"));
+        assert_eq!(
+            (internal.a.as_str(), internal.b.as_str()),
+            ("fra-fr5", "rbx-g1")
+        );
         assert!((s.mean_parallelism() - 1.5).abs() < 1e-12);
     }
 
@@ -246,12 +274,21 @@ mod tests {
     fn loads_from_direction() {
         let s = sample();
         let groups = s.parallel_groups();
-        let internal = groups.iter().find(|g| g.kind == LinkKind::Internal).unwrap();
-        let from_fra: Vec<u8> =
-            s.loads_from(internal, "fra-fr5").iter().map(|l| l.percent()).collect();
+        let internal = groups
+            .iter()
+            .find(|g| g.kind == LinkKind::Internal)
+            .unwrap();
+        let from_fra: Vec<u8> = s
+            .loads_from(internal, "fra-fr5")
+            .iter()
+            .map(|l| l.percent())
+            .collect();
         assert_eq!(from_fra, vec![10, 12]);
-        let from_rbx: Vec<u8> =
-            s.loads_from(internal, "rbx-g1").iter().map(|l| l.percent()).collect();
+        let from_rbx: Vec<u8> = s
+            .loads_from(internal, "rbx-g1")
+            .iter()
+            .map(|l| l.percent())
+            .collect();
         assert_eq!(from_rbx, vec![20, 22]);
     }
 
@@ -260,7 +297,13 @@ mod tests {
         let s = sample();
         let loads = s.directed_loads();
         assert_eq!(loads.len(), 6);
-        assert_eq!(loads.iter().filter(|(k, _)| *k == LinkKind::External).count(), 2);
+        assert_eq!(
+            loads
+                .iter()
+                .filter(|(k, _)| *k == LinkKind::External)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -38,19 +38,25 @@ impl Duration {
     /// Creates a duration from whole minutes.
     #[must_use]
     pub const fn from_minutes(minutes: i64) -> Duration {
-        Duration { seconds: minutes * SECS_PER_MINUTE }
+        Duration {
+            seconds: minutes * SECS_PER_MINUTE,
+        }
     }
 
     /// Creates a duration from whole hours.
     #[must_use]
     pub const fn from_hours(hours: i64) -> Duration {
-        Duration { seconds: hours * SECS_PER_HOUR }
+        Duration {
+            seconds: hours * SECS_PER_HOUR,
+        }
     }
 
     /// Creates a duration from whole days.
     #[must_use]
     pub const fn from_days(days: i64) -> Duration {
-        Duration { seconds: days * SECS_PER_DAY }
+        Duration {
+            seconds: days * SECS_PER_DAY,
+        }
     }
 
     /// The length in whole seconds.
@@ -293,7 +299,9 @@ impl Timestamp {
         {
             return Err(fail());
         }
-        Ok(Timestamp::from_ymd_hms(year, month, day, hour, minute, second))
+        Ok(Timestamp::from_ymd_hms(
+            year, month, day, hour, minute, second,
+        ))
     }
 
     /// Rounds down to the previous multiple of `interval` (measured from
@@ -396,7 +404,10 @@ mod tests {
     fn epoch_is_1970() {
         let t = Timestamp::from_unix(0);
         let c = t.civil();
-        assert_eq!((c.year, c.month, c.day, c.hour, c.minute, c.second), (1970, 1, 1, 0, 0, 0));
+        assert_eq!(
+            (c.year, c.month, c.day, c.hour, c.minute, c.second),
+            (1970, 1, 1, 0, 0, 0)
+        );
         assert_eq!(t.weekday(), Weekday::Thursday);
     }
 
@@ -407,7 +418,10 @@ mod tests {
         assert_eq!(start.to_iso8601(), "2020-07-15T00:00:00Z");
         let reference = Timestamp::from_ymd_hms(2022, 9, 12, 23, 55, 0);
         assert_eq!(reference.to_iso8601(), "2022-09-12T23:55:00Z");
-        assert_eq!(Timestamp::parse_iso8601("2022-09-12T23:55:00Z").unwrap(), reference);
+        assert_eq!(
+            Timestamp::parse_iso8601("2022-09-12T23:55:00Z").unwrap(),
+            reference
+        );
     }
 
     #[test]
@@ -451,7 +465,10 @@ mod tests {
             "garbage",
             "",
         ] {
-            assert!(Timestamp::parse_iso8601(bad).is_err(), "{bad:?} should fail");
+            assert!(
+                Timestamp::parse_iso8601(bad).is_err(),
+                "{bad:?} should fail"
+            );
         }
     }
 
@@ -472,7 +489,10 @@ mod tests {
     fn weekday_cycle() {
         // 2022-09-12 was a Monday.
         assert_eq!(Timestamp::from_ymd(2022, 9, 12).weekday(), Weekday::Monday);
-        assert_eq!(Timestamp::from_ymd(2022, 9, 17).weekday(), Weekday::Saturday);
+        assert_eq!(
+            Timestamp::from_ymd(2022, 9, 17).weekday(),
+            Weekday::Saturday
+        );
         assert!(Timestamp::from_ymd(2022, 9, 17).weekday().is_weekend());
         assert!(!Timestamp::from_ymd(2022, 9, 12).weekday().is_weekend());
     }
@@ -482,7 +502,10 @@ mod tests {
         let t = Timestamp::from_ymd_hms(2020, 7, 15, 10, 3, 12);
         let aligned = t.align_down(SNAPSHOT_INTERVAL);
         assert_eq!(aligned.to_iso8601(), "2020-07-15T10:00:00Z");
-        assert_eq!(aligned + SNAPSHOT_INTERVAL, Timestamp::from_ymd_hms(2020, 7, 15, 10, 5, 0));
+        assert_eq!(
+            aligned + SNAPSHOT_INTERVAL,
+            Timestamp::from_ymd_hms(2020, 7, 15, 10, 5, 0)
+        );
         assert_eq!(
             Timestamp::from_ymd(2020, 7, 16) - Timestamp::from_ymd(2020, 7, 15),
             Duration::from_days(1)
@@ -505,7 +528,10 @@ mod tests {
             Duration::from_hours(1) + Duration::from_minutes(30),
             Duration::from_secs(5_400)
         );
-        assert_eq!(Duration::from_hours(1) - Duration::from_hours(2), Duration::from_hours(-1));
+        assert_eq!(
+            Duration::from_hours(1) - Duration::from_hours(2),
+            Duration::from_hours(-1)
+        );
         assert!((Duration::from_minutes(90).as_hours_f64() - 1.5).abs() < 1e-12);
         assert!((Duration::from_hours(36).as_days_f64() - 1.5).abs() < 1e-12);
     }

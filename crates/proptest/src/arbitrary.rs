@@ -1,0 +1,77 @@
+//! `any::<T>()` for the primitive types the workspace uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for one primitive; see [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8   => |rng| rng.next_u64() as u8;
+    u16  => |rng| rng.next_u64() as u16;
+    u32  => |rng| rng.next_u64() as u32;
+    u64  => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8   => |rng| rng.next_u64() as i8;
+    i16  => |rng| rng.next_u64() as i16;
+    i32  => |rng| rng.next_u64() as i32;
+    i64  => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let s = any::<bool>();
+        let mut rng = TestRng::new(7);
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[usize::from(s.generate(&mut rng))] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_i64_spans_signs() {
+        let s = any::<i64>();
+        let mut rng = TestRng::new(8);
+        let values: Vec<i64> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(values.iter().any(|v| *v < 0));
+        assert!(values.iter().any(|v| *v > 0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A vector whose length is drawn from `size` (half-open) and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` with a size drawn from `size` (half-open), built from
+/// distinct draws of `element`.
+///
+/// If the element domain is too small to reach the drawn size, the set is
+/// returned with as many distinct elements as a bounded number of draws
+/// produced (upstream behaves the same way: size is an upper target).
+pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let target = self.size.start + rng.below(span) as usize;
+        let mut out = BTreeSet::new();
+        let budget = target * 20 + 50;
+        for _ in 0..budget {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(self.element.generate(rng));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = vec(0u8..=255, 2..7);
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..7).contains(&v.len()), "len {}", v.len());
+        }
+    }
+
+    #[test]
+    fn btree_set_reaches_target_on_large_domains() {
+        let s = btree_set(0u64..1_000_000, 5..6);
+        let mut rng = TestRng::new(4);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng).len(), 5);
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_small_domains() {
+        let s = btree_set(0u8..3, 5..6);
+        let mut rng = TestRng::new(5);
+        let set = s.generate(&mut rng);
+        assert_eq!(set.len(), 3);
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crate registry, so this crate
+//! re-implements the subset of proptest that the workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_flat_map` / `prop_recursive`, range and tuple strategies, regex
+//! string generation ([`string::string_regex`]), collections
+//! ([`collection::vec`], [`collection::btree_set`]), uniform choice
+//! ([`sample::select`], [`prop_oneof!`]), and the [`proptest!`] /
+//! [`prop_assert!`] macro family.
+//!
+//! Differences from upstream, deliberate and documented:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs (via
+//!   `Debug`) and the deterministic case seed instead of minimising.
+//! * **Deterministic seeding.** Case seeds derive from the test name and
+//!   case index (override the stream with `PROPTEST_SEED`), so CI runs are
+//!   reproducible by construction.
+//! * **Regex subset.** Character classes, literals, groups and `{m,n}` /
+//!   `?` repetition — exactly what the workspace's patterns use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+mod macros;
+
+/// Namespace mirror of upstream's `prop` module re-exports, so glob
+/// imports of the prelude can say `prop::collection::vec(..)`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+/// The glob-import surface: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

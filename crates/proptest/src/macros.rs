@@ -1,0 +1,195 @@
+//! The `proptest!` harness macro and the `prop_*` assertion macros.
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn holds(x in 0u32..10, s in "[a-z]{0,4}") {
+///         prop_assert!(x < 10, "x was {}", x);
+///     }
+/// }
+/// ```
+///
+/// Each property runs `config.cases` deterministic cases. A failing case
+/// panics with the generated inputs (via `Debug`) and the case seed; set
+/// `PROPTEST_SEED` to shift the whole exploration stream.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            // Evaluate each strategy expression once, bound to its
+            // argument's name (shadowed by the generated value per case).
+            $(let $arg = $strategy;)+
+            let mut successes: u32 = 0;
+            let mut rejects: u32 = 0;
+            let mut draws: u32 = 0;
+            while successes < config.cases {
+                let seed = $crate::test_runner::TestRng::case_seed(test_path, draws);
+                draws += 1;
+                let mut case_rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&$arg, &mut case_rng);)+
+                let inputs = ::std::format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                    $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        // `run_case` pins the body closure's parameter
+                        // types to the generated values' types.
+                        $crate::test_runner::run_case(
+                            ($($arg,)+),
+                            |($($arg,)+)| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        )
+                    }),
+                );
+                match outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        successes += 1;
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(message),
+                    )) => {
+                        ::std::panic!(
+                            "property {} failed after {} passing case(s) \
+                             (case seed {}, inputs:{})\n{}",
+                            test_path, successes, seed, inputs, message
+                        );
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    )) => {
+                        rejects += 1;
+                        ::std::assert!(
+                            rejects <= config.max_global_rejects,
+                            "property {} rejected {} inputs without reaching \
+                             {} cases — over-constrained prop_assume!?",
+                            test_path, rejects, config.cases
+                        );
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        ::std::eprintln!(
+                            "property {} panicked (case seed {}, inputs:{})",
+                            test_path, seed, inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Like `assert!`, but reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), left, right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the property harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), left,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}

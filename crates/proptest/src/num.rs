@@ -1,0 +1,5 @@
+//! Numeric strategy namespace.
+//!
+//! Range expressions (`0u32..10`, `-1e3f64..1e3`) implement
+//! [`crate::strategy::Strategy`] directly, so this module exists only to
+//! keep the upstream `prop::num` path valid for glob imports.

@@ -1,0 +1,311 @@
+//! Random strings from a regex subset.
+//!
+//! Supports exactly the constructs the workspace's patterns use:
+//! character classes (`[a-z0-9./-]`, with `\`-escapes and trailing
+//! literal `-`), literal characters, plain groups `( .. )`, and the
+//! repetitions `{m,n}`, `{m}`, `?`, `*`, `+`. Alternation, anchors and
+//! predefined classes are unsupported and rejected at compile time.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper repetition bound substituted for the open-ended `*` / `+`.
+const UNBOUNDED_CAP: u32 = 16;
+
+/// A regex that could not be compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+/// One regex atom.
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Literal(char),
+    /// A character class as inclusive ranges (single chars are `(c, c)`).
+    Class(Vec<(char, char)>),
+    /// A parenthesised sub-sequence.
+    Group(Vec<(Node, Rep)>),
+}
+
+/// A repetition count range, inclusive.
+#[derive(Debug, Clone, Copy)]
+struct Rep {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Rep = Rep { min: 1, max: 1 };
+
+/// A compiled pattern; implements [`Strategy`] over `String`.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    seq: Vec<(Node, Rep)>,
+}
+
+/// Compiles `pattern` into a string strategy.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut chars = pattern.chars().peekable();
+    let seq = parse_sequence(&mut chars, false)?;
+    if chars.next().is_some() {
+        return Err(Error(format!("unbalanced ')' in {pattern:?}")));
+    }
+    Ok(RegexGeneratorStrategy { seq })
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn parse_sequence(chars: &mut Chars<'_>, in_group: bool) -> Result<Vec<(Node, Rep)>, Error> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            ')' if in_group => break,
+            ')' => return Err(Error("unbalanced ')'".into())),
+            '[' => {
+                chars.next();
+                parse_class(chars)?
+            }
+            '(' => {
+                chars.next();
+                let inner = parse_sequence(chars, true)?;
+                if chars.next() != Some(')') {
+                    return Err(Error("unclosed '('".into()));
+                }
+                Node::Group(inner)
+            }
+            '\\' => {
+                chars.next();
+                let escaped = chars
+                    .next()
+                    .ok_or_else(|| Error("trailing backslash".into()))?;
+                Node::Literal(escaped)
+            }
+            '|' | '^' | '$' | '.' => {
+                return Err(Error(format!("unsupported regex construct {c:?}")))
+            }
+            _ => {
+                chars.next();
+                Node::Literal(c)
+            }
+        };
+        let rep = parse_repetition(chars)?;
+        seq.push((node, rep));
+    }
+    Ok(seq)
+}
+
+fn parse_repetition(chars: &mut Chars<'_>) -> Result<Rep, Error> {
+    match chars.peek() {
+        Some('?') => {
+            chars.next();
+            Ok(Rep { min: 0, max: 1 })
+        }
+        Some('*') => {
+            chars.next();
+            Ok(Rep {
+                min: 0,
+                max: UNBOUNDED_CAP,
+            })
+        }
+        Some('+') => {
+            chars.next();
+            Ok(Rep {
+                min: 1,
+                max: UNBOUNDED_CAP,
+            })
+        }
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let (min, max) = match body.split_once(',') {
+                        Some((lo, hi)) => {
+                            let min = lo.trim().parse().map_err(|_| bad_rep(&body))?;
+                            let max = hi.trim().parse().map_err(|_| bad_rep(&body))?;
+                            (min, max)
+                        }
+                        None => {
+                            let n: u32 = body.trim().parse().map_err(|_| bad_rep(&body))?;
+                            (n, n)
+                        }
+                    };
+                    if min > max {
+                        return Err(bad_rep(&body));
+                    }
+                    return Ok(Rep { min, max });
+                }
+                body.push(c);
+            }
+            Err(Error("unclosed '{'".into()))
+        }
+        _ => Ok(ONCE),
+    }
+}
+
+fn bad_rep(body: &str) -> Error {
+    Error(format!("invalid repetition {{{body}}}"))
+}
+
+fn parse_class(chars: &mut Chars<'_>) -> Result<Node, Error> {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    loop {
+        let c = chars.next().ok_or_else(|| Error("unclosed '['".into()))?;
+        let item = match c {
+            ']' => break,
+            '^' if ranges.is_empty() => {
+                return Err(Error("negated classes are unsupported".into()))
+            }
+            '\\' => chars
+                .next()
+                .ok_or_else(|| Error("trailing backslash".into()))?,
+            _ => c,
+        };
+        // `a-z` range, unless the '-' is the literal last character.
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(&']') | None => ranges.push((item, item)),
+                Some(&end) => {
+                    chars.next();
+                    let end = if end == '\\' {
+                        chars.next();
+                        chars
+                            .next()
+                            .ok_or_else(|| Error("trailing backslash".into()))?
+                    } else {
+                        chars.next();
+                        end
+                    };
+                    if item > end {
+                        return Err(Error(format!("inverted class range {item}-{end}")));
+                    }
+                    ranges.push((item, end));
+                }
+            }
+        } else {
+            ranges.push((item, item));
+        }
+    }
+    if ranges.is_empty() {
+        return Err(Error("empty character class".into()));
+    }
+    Ok(Node::Class(ranges))
+}
+
+impl RegexGeneratorStrategy {
+    fn generate_seq(seq: &[(Node, Rep)], rng: &mut TestRng, out: &mut String) {
+        for (node, rep) in seq {
+            let span = u64::from(rep.max - rep.min) + 1;
+            let count = rep.min + rng.below(span) as u32;
+            for _ in 0..count {
+                match node {
+                    Node::Literal(c) => out.push(*c),
+                    Node::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Node::Group(inner) => Self::generate_seq(inner, rng, out),
+                }
+            }
+        }
+    }
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    // Weight ranges by their size so every character is equally likely.
+    let sizes: Vec<u64> = ranges
+        .iter()
+        .map(|&(lo, hi)| u64::from(u32::from(hi)) - u64::from(u32::from(lo)) + 1)
+        .collect();
+    let total: u64 = sizes.iter().sum();
+    let mut pick = rng.below(total);
+    for (&(lo, hi), &size) in ranges.iter().zip(&sizes) {
+        if pick < size {
+            // Rejection loop over the surrogate gap (D800–DFFF).
+            loop {
+                let candidate = u32::from(lo) + pick as u32;
+                if let Some(c) = char::from_u32(candidate) {
+                    return c;
+                }
+                pick = rng.below(size);
+            }
+        }
+        pick -= size;
+        let _ = hi;
+    }
+    unreachable!("weighted pick within total")
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        Self::generate_seq(&self.seq, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_match(pattern: &str, check: impl Fn(&str) -> bool) {
+        let strategy = string_regex(pattern).expect("compiles");
+        let mut rng = TestRng::new(42);
+        for _ in 0..300 {
+            let s = strategy.generate(&mut rng);
+            assert!(check(&s), "{pattern:?} generated {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash() {
+        all_match("[a-z0-9./-]{0,40}", |s| {
+            s.len() <= 40
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".:/-".contains(c))
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        all_match("[ -~<>/\"=%#]{0,400}", |s| {
+            s.len() <= 400 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn concatenated_atoms_and_counts() {
+        all_match("[a-z]{2,4}-[a-z0-9]{1,4}-[a-z0-9]{1,4}", |s| {
+            let parts: Vec<&str> = s.split('-').collect();
+            parts.len() == 3
+                && (2..=4).contains(&parts[0].len())
+                && (1..=4).contains(&parts[1].len())
+                && (1..=4).contains(&parts[2].len())
+        });
+    }
+
+    #[test]
+    fn optional_group() {
+        all_match("([ -~]{0,19}[!-~])?", |s| {
+            s.is_empty() || (s.len() <= 20 && !s.ends_with(' '))
+        });
+    }
+
+    #[test]
+    fn escapes_inside_classes() {
+        all_match("[ -~àéîöç#:\\-\"'\\\\]{0,24}", |s| {
+            s.chars().count() <= 24
+        });
+        all_match("[a-zA-Z_][a-zA-Z0-9_.-]{0,10}", |s| {
+            (1..=11).contains(&s.chars().count())
+        });
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("a.").is_err());
+        assert!(string_regex("(a").is_err());
+        assert!(string_regex("a{3,1}").is_err());
+    }
+}

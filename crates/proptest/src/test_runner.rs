@@ -1,0 +1,159 @@
+//! Test-case configuration, the case RNG, and failure plumbing.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+    /// Maximum rejected cases (filters / `prop_assume!`) tolerated before
+    /// the property errors out as under-constrained.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Upstream's default case count.
+    pub const DEFAULT_CASES: u32 = 256;
+
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig {
+            cases: ProptestConfig::DEFAULT_CASES,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is false for this input.
+    Fail(String),
+    /// The input was rejected (`prop_assume!` / filter); try another.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with a reason.
+    #[must_use]
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Runs one property-case body over its generated values.
+///
+/// Exists so the body closure's parameter types are pinned by `V` (the
+/// concrete tuple of generated values): without the expected
+/// `FnOnce(V)` signature, bodies that use their inputs generically
+/// (`offset + length`, `&text` as `&str`) would not type-check.
+pub fn run_case<V, F>(values: V, body: F) -> Result<(), TestCaseError>
+where
+    F: FnOnce(V) -> Result<(), TestCaseError>,
+{
+    body(values)
+}
+
+/// The deterministic per-case random source handed to strategies.
+///
+/// A `splitmix64` counter stream; the seed is a hash of the test's module
+/// path, test name, case index, and the optional `PROPTEST_SEED`
+/// environment override, so every run of a given binary explores the same
+/// sequence and failures reproduce exactly.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for one case.
+    #[must_use]
+    pub fn new(seed: u64) -> TestRng {
+        let mut rng = TestRng {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Derives the case seed for `test_name` and `case`.
+    #[must_use]
+    pub fn case_seed(test_name: &str, case: u32) -> u64 {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x0BAD_5EED);
+        let mut h = base;
+        for b in test_name.bytes() {
+            h = splitmix(h ^ u64::from(b));
+        }
+        splitmix(h ^ u64::from(case))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix(self.state)
+    }
+
+    /// Uniform in `[0, n)`; unbiased by rejection.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return x % n;
+            }
+        }
+    }
+
+    /// Uniform in `[0, 1)` with 53-bit precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_seeds_differ_by_name_and_index() {
+        let a = TestRng::case_seed("mod::test_a", 0);
+        let b = TestRng::case_seed("mod::test_b", 0);
+        let c = TestRng::case_seed("mod::test_a", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, TestRng::case_seed("mod::test_a", 0));
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut rng = TestRng::new(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this
+//! in-repo crate provides the exact API subset the workspace uses:
+//! [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`] over integer ranges, and
+//! [`seq::SliceRandom::shuffle`]. The generator is a `splitmix64` stream
+//! — statistically solid for simulation scripting, not cryptographic.
+//! Streams differ from upstream `rand`'s ChaCha-based `StdRng`, which is
+//! fine: every consumer in this workspace treats the RNG as an arbitrary
+//! deterministic function of the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose whole stream is a function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that can be sampled uniformly, producing `T`.
+///
+/// Generic over the output type (rather than an associated type) so a
+/// literal range like `5..=9` adopts the integer type the call site
+/// expects, matching upstream `rand` inference.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Unbiased sample in `[0, n)` by rejection on the top of the stream.
+fn below<G: RngCore>(rng: &mut G, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    // Rejection zone keeps the modulo unbiased.
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let offset = below(rng, span);
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<G: RngCore>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = below(rng, span + 1);
+                (start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: a `splitmix64`
+    /// counter stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Pre-mix so nearby seeds land on distant streams.
+            let mut rng = StdRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{below, RngCore};
+
+    /// Random slice operations.
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..10).map(|_| a.gen_range(0u64..1_000_000)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.gen_range(0u64..1_000_000)).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.gen_range(0u64..1_000_000)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_cover_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+        for _ in 0..100 {
+            let v = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&v));
+            let w = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60_000;
+        let mut counts = [0u32; 6];
+        for _ in 0..n {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        let expected = n as f64 / 6.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (f64::from(c) - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev}");
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(9));
+        b.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            a, sorted,
+            "shuffle left the slice ordered (astronomically unlikely)"
+        );
+    }
+}

@@ -83,7 +83,9 @@ impl CollectionPlan {
     /// Whether the collector was inside an availability window at `t`.
     #[must_use]
     pub fn available(&self, t: Timestamp) -> bool {
-        self.segments.iter().any(|(start, end)| *start <= t && t < *end)
+        self.segments
+            .iter()
+            .any(|(start, end)| *start <= t && t < *end)
     }
 
     /// Whether the snapshot at grid instant `t` was actually collected.
@@ -109,7 +111,11 @@ impl CollectionPlan {
         }
 
         // Burst gaps: a few consecutive snapshots missing.
-        let burst_rate = if fixed { self.burst_rate.1 } else { self.burst_rate.0 };
+        let burst_rate = if fixed {
+            self.burst_rate.1
+        } else {
+            self.burst_rate.0
+        };
         if unit_f64(hash_labels(self.seed, &[4, day])) < burst_rate {
             let burst_start_slot = hash_labels(self.seed, &[5, day]) % 288;
             let burst_len = 2 + hash_labels(self.seed, &[6, day]) % 5;
@@ -120,7 +126,11 @@ impl CollectionPlan {
         }
 
         // Independent single-snapshot misses.
-        let miss_rate = if fixed { self.miss_rate.1 } else { self.miss_rate.0 };
+        let miss_rate = if fixed {
+            self.miss_rate.1
+        } else {
+            self.miss_rate.0
+        };
         unit_f64(hash_labels(self.seed, &[7, slot])) >= miss_rate
     }
 
@@ -237,14 +247,22 @@ mod tests {
     fn the_may_2022_fix_reduces_short_gaps() {
         let plan = CollectionPlan::new(MapKind::AsiaPacific, &config());
         let rate = |from: Timestamp, to: Timestamp| {
-            let times: Vec<Timestamp> =
-                plan.collected_times_between(from, to).collect();
+            let times: Vec<Timestamp> = plan.collected_times_between(from, to).collect();
             let gaps = gaps(&times);
             gaps.iter().filter(|g| g.as_secs() > 300).count() as f64 / gaps.len() as f64
         };
-        let before = rate(Timestamp::from_ymd(2022, 3, 1), Timestamp::from_ymd(2022, 5, 1));
-        let after = rate(Timestamp::from_ymd(2022, 6, 1), Timestamp::from_ymd(2022, 8, 1));
-        assert!(after < before / 2.0, "gap rate before {before}, after {after}");
+        let before = rate(
+            Timestamp::from_ymd(2022, 3, 1),
+            Timestamp::from_ymd(2022, 5, 1),
+        );
+        let after = rate(
+            Timestamp::from_ymd(2022, 6, 1),
+            Timestamp::from_ymd(2022, 8, 1),
+        );
+        assert!(
+            after < before / 2.0,
+            "gap rate before {before}, after {after}"
+        );
     }
 
     #[test]
@@ -253,8 +271,12 @@ mod tests {
         let b = CollectionPlan::new(MapKind::Europe, &config());
         let window_start = Timestamp::from_ymd(2021, 6, 1);
         let window_end = Timestamp::from_ymd(2021, 6, 8);
-        let ta: Vec<Timestamp> = a.collected_times_between(window_start, window_end).collect();
-        let tb: Vec<Timestamp> = b.collected_times_between(window_start, window_end).collect();
+        let ta: Vec<Timestamp> = a
+            .collected_times_between(window_start, window_end)
+            .collect();
+        let tb: Vec<Timestamp> = b
+            .collected_times_between(window_start, window_end)
+            .collect();
         assert_eq!(ta, tb);
         assert!(!ta.is_empty());
     }
@@ -278,9 +300,10 @@ mod tests {
     #[test]
     fn collected_times_respects_grid() {
         let plan = CollectionPlan::new(MapKind::Europe, &config());
-        for t in plan
-            .collected_times_between(Timestamp::from_ymd(2021, 1, 1), Timestamp::from_ymd(2021, 1, 2))
-        {
+        for t in plan.collected_times_between(
+            Timestamp::from_ymd(2021, 1, 1),
+            Timestamp::from_ymd(2021, 1, 2),
+        ) {
             assert_eq!(t.unix() % 300, 0, "snapshot off the 5-minute grid: {t}");
         }
     }

@@ -40,7 +40,10 @@ impl SimulationConfig {
     /// network roughly `scale` times the paper's size.
     #[must_use]
     pub fn scaled(seed: u64, scale: f64) -> SimulationConfig {
-        SimulationConfig { scale, ..SimulationConfig::paper(seed) }
+        SimulationConfig {
+            scale,
+            ..SimulationConfig::paper(seed)
+        }
     }
 }
 
@@ -99,7 +102,11 @@ pub fn targets(map: MapKind, scale: f64) -> MapTargets {
         } else {
             s(paper.external_links, 1)
         },
-        peerings: if paper.peerings == 0 { 0 } else { s(paper.peerings, 1) },
+        peerings: if paper.peerings == 0 {
+            0
+        } else {
+            s(paper.peerings, 1)
+        },
     }
 }
 
@@ -118,13 +125,22 @@ mod tests {
     #[test]
     fn full_scale_targets_match_table_1() {
         let t = targets(MapKind::Europe, 1.0);
-        assert_eq!((t.routers, t.internal_links, t.external_links), (113, 744, 265));
+        assert_eq!(
+            (t.routers, t.internal_links, t.external_links),
+            (113, 744, 265)
+        );
         let t = targets(MapKind::World, 1.0);
         assert_eq!((t.routers, t.internal_links, t.external_links), (16, 76, 0));
         let t = targets(MapKind::NorthAmerica, 1.0);
-        assert_eq!((t.routers, t.internal_links, t.external_links), (60, 407, 214));
+        assert_eq!(
+            (t.routers, t.internal_links, t.external_links),
+            (60, 407, 214)
+        );
         let t = targets(MapKind::AsiaPacific, 1.0);
-        assert_eq!((t.routers, t.internal_links, t.external_links), (23, 96, 39));
+        assert_eq!(
+            (t.routers, t.internal_links, t.external_links),
+            (23, 96, 39)
+        );
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl Plan {
     }
 
     fn internal_delta(&self) -> i64 {
-        let from_routers =
-            (self.mbb_adds - self.mbb_removes) * self.links_per_new_router;
+        let from_routers = (self.mbb_adds - self.mbb_removes) * self.links_per_new_router;
         let steps: usize = self.internal_steps.iter().map(|(_, k)| *k).sum();
         from_routers as i64 + steps as i64 - self.jun_removals as i64
     }
@@ -216,7 +215,9 @@ impl Timeline {
                     .unwrap_or_else(|| panic!("no spare gateway name for scripted addition"));
                 spare.clone()
             } else {
-                let site = state.nodes[state.node_idx(&core).expect("core exists")].site.clone();
+                let site = state.nodes[state.node_idx(&core).expect("core exists")]
+                    .site
+                    .clone();
                 (router_name(&site, 100 + i), site) // index offset avoids collisions
             };
             let at = if map == MapKind::World {
@@ -229,7 +230,10 @@ impl Timeline {
             };
             events.push(ScheduledEvent {
                 at,
-                event: Event::AddRouter { name: name.clone(), site },
+                event: Event::AddRouter {
+                    name: name.clone(),
+                    site,
+                },
             });
             events.push(ScheduledEvent {
                 at,
@@ -263,8 +267,12 @@ impl Timeline {
         }
 
         // --- August 2021 maintenance dip (remove, then restore) -----------
-        let dip_candidates: Vec<String> =
-            leaves.iter().skip(plan.jun_removals).take(plan.dip_routers).cloned().collect();
+        let dip_candidates: Vec<String> = leaves
+            .iter()
+            .skip(plan.jun_removals)
+            .take(plan.dip_routers)
+            .cloned()
+            .collect();
         let dip_start = Timestamp::from_ymd(2021, 8, 9);
         let dip_end = dip_start + Duration::from_days(12);
         for name in &dip_candidates {
@@ -283,11 +291,19 @@ impl Timeline {
             });
             events.push(ScheduledEvent {
                 at: dip_end,
-                event: Event::AddRouter { name: name.clone(), site },
+                event: Event::AddRouter {
+                    name: name.clone(),
+                    site,
+                },
             });
             events.push(ScheduledEvent {
                 at: dip_end,
-                event: Event::AddGroup { a: name.clone(), b: core, links: 1, capacity_gbps: 100 },
+                event: Event::AddGroup {
+                    a: name.clone(),
+                    b: core,
+                    links: 1,
+                    capacity_gbps: 100,
+                },
             });
         }
 
@@ -334,7 +350,7 @@ impl Timeline {
             let span_days = (config.end - config.start).as_days_f64().max(1.0) as i64;
             for i in 0..plan.external_gradual {
                 let day = (i as i64 * span_days) / plan.external_gradual.max(1) as i64
-                    + rng.gen_range(0..5);
+                    + rng.gen_range(0i64..5);
                 let (a, b) = external_pairs[rng.gen_range(0..external_pairs.len())].clone();
                 events.push(ScheduledEvent {
                     at: config.start + Duration::from_days(day.min(span_days - 1)),
@@ -351,11 +367,18 @@ impl Timeline {
                 let link_activated = Timestamp::from_ymd_hms(2022, 3, 19, 14, 35, 0);
                 events.push(ScheduledEvent {
                     at: link_added,
-                    event: Event::AddLink { a: router.clone(), b: peering.clone(), active: false },
+                    event: Event::AddLink {
+                        a: router.clone(),
+                        b: peering.clone(),
+                        active: false,
+                    },
                 });
                 events.push(ScheduledEvent {
                     at: link_activated,
-                    event: Event::ActivateLinks { a: router.clone(), b: peering.clone() },
+                    event: Event::ActivateLinks {
+                        a: router.clone(),
+                        b: peering.clone(),
+                    },
                 });
                 scenario = Some(UpgradeScenario {
                     router,
@@ -380,7 +403,12 @@ impl Timeline {
         }
 
         events.sort_by_key(|e| e.at);
-        Timeline { map, genesis, events, scenario }
+        Timeline {
+            map,
+            genesis,
+            events,
+            scenario,
+        }
     }
 
     /// The network state at `t`, replaying all events up to and including
@@ -405,7 +433,11 @@ impl Timeline {
     /// An incremental cursor positioned at genesis.
     #[must_use]
     pub fn cursor(&self) -> TimelineCursor<'_> {
-        TimelineCursor { timeline: self, state: self.genesis.state.clone(), next_event: 0 }
+        TimelineCursor {
+            timeline: self,
+            state: self.genesis.state.clone(),
+            next_event: 0,
+        }
     }
 }
 
@@ -458,8 +490,9 @@ mod tests {
     #[test]
     fn all_maps_land_on_their_targets() {
         let config = SimulationConfig::paper(7);
-        let gws: Vec<(String, String)> =
-            (0..20).map(|i| (router_name("rbx", i), "rbx".to_owned())).collect();
+        let gws: Vec<(String, String)> = (0..20)
+            .map(|i| (router_name("rbx", i), "rbx".to_owned()))
+            .collect();
         for map in MapKind::ALL {
             let tl = Timeline::build(map, &config, &gws);
             let state = tl.state_at(config.end);
@@ -476,27 +509,48 @@ mod tests {
         let tl = europe_timeline(1.0);
         let genesis_routers = tl.genesis.state.routers().count();
         // Mid-September 2020: all ten added, removals not yet done.
-        let peak = tl.state_at(Timestamp::from_ymd(2020, 9, 20)).routers().count();
+        let peak = tl
+            .state_at(Timestamp::from_ymd(2020, 9, 20))
+            .routers()
+            .count();
         assert_eq!(peak, genesis_routers + 10);
         // Late October 2020: four removed again.
-        let settled = tl.state_at(Timestamp::from_ymd(2020, 10, 31)).routers().count();
+        let settled = tl
+            .state_at(Timestamp::from_ymd(2020, 10, 31))
+            .routers()
+            .count();
         assert_eq!(settled, genesis_routers + 6);
     }
 
     #[test]
     fn june_2021_removal_shows() {
         let tl = europe_timeline(1.0);
-        let before = tl.state_at(Timestamp::from_ymd(2021, 6, 1)).routers().count();
-        let after = tl.state_at(Timestamp::from_ymd(2021, 6, 30)).routers().count();
+        let before = tl
+            .state_at(Timestamp::from_ymd(2021, 6, 1))
+            .routers()
+            .count();
+        let after = tl
+            .state_at(Timestamp::from_ymd(2021, 6, 30))
+            .routers()
+            .count();
         assert_eq!(after, before - 4);
     }
 
     #[test]
     fn august_2021_dip_recovers() {
         let tl = europe_timeline(1.0);
-        let before = tl.state_at(Timestamp::from_ymd(2021, 8, 1)).routers().count();
-        let during = tl.state_at(Timestamp::from_ymd(2021, 8, 15)).routers().count();
-        let after = tl.state_at(Timestamp::from_ymd(2021, 9, 5)).routers().count();
+        let before = tl
+            .state_at(Timestamp::from_ymd(2021, 8, 1))
+            .routers()
+            .count();
+        let during = tl
+            .state_at(Timestamp::from_ymd(2021, 8, 15))
+            .routers()
+            .count();
+        let after = tl
+            .state_at(Timestamp::from_ymd(2021, 9, 5))
+            .routers()
+            .count();
         assert_eq!(during, before - 2);
         assert_eq!(after, before);
     }
@@ -519,8 +573,10 @@ mod tests {
             Timestamp::from_ymd(2022, 1, 15),
             Timestamp::from_ymd(2022, 9, 12),
         ];
-        let counts: Vec<usize> =
-            quarters.iter().map(|t| tl.state_at(*t).link_counts().1).collect();
+        let counts: Vec<usize> = quarters
+            .iter()
+            .map(|t| tl.state_at(*t).link_counts().1)
+            .collect();
         for pair in counts.windows(2) {
             assert!(pair[1] > pair[0], "external links must grow: {counts:?}");
         }
@@ -543,7 +599,10 @@ mod tests {
         assert_eq!((g.links.len(), g.active_links()), (5, 5));
 
         // PeeringDB: 400 → 500 Gbps, i.e. 100 Gbps per link over 4 links.
-        assert_eq!(sc.peeringdb_records.last().unwrap().total_capacity_gbps, 500);
+        assert_eq!(
+            sc.peeringdb_records.last().unwrap().total_capacity_gbps,
+            500
+        );
         assert!(sc.link_added < sc.peeringdb_updated);
         assert!(sc.peeringdb_updated < sc.link_activated);
     }

@@ -29,8 +29,11 @@ pub enum FaultKind {
 
 impl FaultKind {
     /// All corruption modes.
-    pub const ALL: [FaultKind; 3] =
-        [FaultKind::TruncatedXml, FaultKind::MalformedAttribute, FaultKind::MissingRouters];
+    pub const ALL: [FaultKind; 3] = [
+        FaultKind::TruncatedXml,
+        FaultKind::MalformedAttribute,
+        FaultKind::MissingRouters,
+    ];
 }
 
 /// Decides whether the snapshot of `map` at `t` is corrupted, and how.
@@ -126,8 +129,22 @@ mod tests {
         b.text("object", Point::new(14.0, 24.0), "rbx-g1-nc1");
         b.rect("object", Rect::new(200.0, 10.0, 80.0, 20.0));
         b.text("object", Point::new(204.0, 24.0), "fra-g1-nc1");
-        b.polygon("link", &[Point::new(90.0, 20.0), Point::new(140.0, 16.0), Point::new(140.0, 24.0)]);
-        b.polygon("link", &[Point::new(200.0, 20.0), Point::new(150.0, 16.0), Point::new(150.0, 24.0)]);
+        b.polygon(
+            "link",
+            &[
+                Point::new(90.0, 20.0),
+                Point::new(140.0, 16.0),
+                Point::new(140.0, 24.0),
+            ],
+        );
+        b.polygon(
+            "link",
+            &[
+                Point::new(200.0, 20.0),
+                Point::new(150.0, 16.0),
+                Point::new(150.0, 24.0),
+            ],
+        );
         b.text("labellink", Point::new(130.0, 12.0), "42 %");
         b.text("labellink", Point::new(160.0, 12.0), "9 %");
         b.finish()
@@ -146,7 +163,10 @@ mod tests {
         let svg = sample_svg();
         let broken = corrupt(&svg, FaultKind::MalformedAttribute, 1);
         let err = Document::parse(&broken).unwrap_err();
-        assert!(matches!(err, wm_svg::ParseError::BadGeometry { .. }), "{err}");
+        assert!(
+            matches!(err, wm_svg::ParseError::BadGeometry { .. }),
+            "{err}"
+        );
     }
 
     #[test]
@@ -169,7 +189,10 @@ mod tests {
             }
         }
         let rate = f64::from(faults) / f64::from(n);
-        assert!(rate > FAULT_RATE / 4.0 && rate < FAULT_RATE * 4.0, "rate {rate}");
+        assert!(
+            rate > FAULT_RATE / 4.0 && rate < FAULT_RATE * 4.0,
+            "rate {rate}"
+        );
     }
 
     #[test]
@@ -189,6 +212,9 @@ mod tests {
     #[test]
     fn fault_decision_is_deterministic() {
         let t = Timestamp::from_ymd(2021, 5, 5);
-        assert_eq!(fault_for(1, MapKind::Europe, t), fault_for(1, MapKind::Europe, t));
+        assert_eq!(
+            fault_for(1, MapKind::Europe, t),
+            fault_for(1, MapKind::Europe, t)
+        );
     }
 }

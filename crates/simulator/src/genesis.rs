@@ -86,7 +86,10 @@ pub fn build(
             let name = router_name(sites[s], next_index[s]);
             next_index[s] += 1;
             state
-                .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+                .apply(&Event::AddRouter {
+                    name: name.clone(),
+                    site: sites[s].to_owned(),
+                })
                 .expect("fresh router");
             cores_by_site[s].push(name.clone());
             core_routers.push(name);
@@ -101,7 +104,10 @@ pub fn build(
         let name = router_name(sites[s], next_index[s]);
         next_index[s] += 1;
         state
-            .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+            .apply(&Event::AddRouter {
+                name: name.clone(),
+                site: sites[s].to_owned(),
+            })
             .expect("fresh router");
         agg_by_site[s].push(name);
         let _ = i;
@@ -114,7 +120,10 @@ pub fn build(
         let name = router_name(sites[s], next_index[s]);
         next_index[s] += 1;
         state
-            .apply(&Event::AddRouter { name: name.clone(), site: sites[s].to_owned() })
+            .apply(&Event::AddRouter {
+                name: name.clone(),
+                site: sites[s].to_owned(),
+            })
             .expect("fresh router");
         leaf_routers.push(name);
     }
@@ -143,7 +152,12 @@ pub fn build(
         let next = (s + 1) % n_sites;
         if n_sites > 2 || s < next {
             let links = rng.gen_range(5..=9);
-            add_group(&mut state, &cores_by_site[s][0], &cores_by_site[next][0], links);
+            add_group(
+                &mut state,
+                &cores_by_site[s][0],
+                &cores_by_site[next][0],
+                links,
+            );
         }
     }
     // Chords between second cores of nearby major sites.
@@ -166,7 +180,9 @@ pub fn build(
     }
     // Leaves: single link to a core of their site.
     for leaf in &leaf_routers {
-        let site = state.nodes[state.node_idx(leaf).expect("leaf exists")].site.clone();
+        let site = state.nodes[state.node_idx(leaf).expect("leaf exists")]
+            .site
+            .clone();
         let s = sites.iter().position(|c| *c == site).expect("known site");
         let core = cores_by_site[s][0].clone();
         add_group(&mut state, leaf, &core, 1);
@@ -180,7 +196,11 @@ pub fn build(
         let pool = peering_names(map);
         let n_peerings = targets.peerings.min(pool.len());
         for name in &pool[..n_peerings] {
-            state.apply(&Event::AddPeering { name: (*name).to_owned() }).expect("fresh peering");
+            state
+                .apply(&Event::AddPeering {
+                    name: (*name).to_owned(),
+                })
+                .expect("fresh peering");
         }
         let mut protected: Vec<u64> = Vec::new();
         for (i, name) in pool[..n_peerings].iter().enumerate() {
@@ -213,10 +233,21 @@ pub fn build(
                 }
             }
         }
-        calibrate_links(&mut state, targets.external_links, false, &mut rng, &protected);
+        calibrate_links(
+            &mut state,
+            targets.external_links,
+            false,
+            &mut rng,
+            &protected,
+        );
     }
 
-    Genesis { state, leaf_routers, core_routers, scenario_group }
+    Genesis {
+        state,
+        leaf_routers,
+        core_routers,
+        scenario_group,
+    }
 }
 
 /// World-map genesis: a mesh of intercontinental gateway routers.
@@ -230,7 +261,10 @@ fn build_world(
     let n = targets.routers.min(gateways.len());
     for (name, site) in &gateways[..n] {
         state
-            .apply(&Event::AddRouter { name: name.clone(), site: site.clone() })
+            .apply(&Event::AddRouter {
+                name: name.clone(),
+                site: site.clone(),
+            })
             .expect("fresh gateway");
     }
     let names: Vec<String> = gateways[..n].iter().map(|(name, _)| name.clone()).collect();
@@ -332,7 +366,9 @@ fn calibrate_links(
             Event::AddLink { a, b, active: true }
         } else {
             // Keep at least two links so the group stays "parallel".
-            let group = state.group_between(&pairs[0].0, &pairs[0].1).expect("listed");
+            let group = state
+                .group_between(&pairs[0].0, &pairs[0].1)
+                .expect("listed");
             if group.links.len() <= 2 {
                 // Try another group next round; mark by skipping.
                 continue;
@@ -453,6 +489,9 @@ mod tests {
             })
             .count();
         // Fig. 4c: more than 20 % of routers have more than 20 links.
-        assert!(heavy * 5 > g.state.routers().count(), "only {heavy} heavy routers");
+        assert!(
+            heavy * 5 > g.state.routers().count(),
+            "only {heavy} heavy routers"
+        );
     }
 }

@@ -171,7 +171,11 @@ pub fn layout(state: &NetworkState) -> MapLayout {
     }
     // Keep node layouts addressable by state index.
     let rect_of = |idx: NodeIdx| -> Rect {
-        nodes.iter().find(|nl| nl.idx == idx).map(|nl| nl.rect).expect("placed node")
+        nodes
+            .iter()
+            .find(|nl| nl.idx == idx)
+            .map(|nl| nl.rect)
+            .expect("placed node")
     };
 
     // --- Port allocation ------------------------------------------------------
@@ -196,8 +200,10 @@ pub fn layout(state: &NetworkState) -> MapLayout {
             let rect = rect_of(idx);
             let perimeter = 2.0 * (rect.width + rect.height);
             reqs.sort_by(|a, b| a.2.total_cmp(&b.2));
-            let widths: Vec<f64> =
-                reqs.iter().map(|(_, k, _)| *k as f64 * LANE_STEP + GROUP_GAP).collect();
+            let widths: Vec<f64> = reqs
+                .iter()
+                .map(|(_, k, _)| *k as f64 * LANE_STEP + GROUP_GAP)
+                .collect();
             let total: f64 = widths.iter().sum();
             // Greedy placement near the ideal coordinates…
             let mut starts: Vec<f64> = Vec::with_capacity(reqs.len());
@@ -245,12 +251,19 @@ pub fn layout(state: &NetworkState) -> MapLayout {
         let k = group.links.len();
         // Pair ports in the orientation that keeps lanes near-parallel
         // (straight pairing vs reversed, whichever is shorter overall).
-        let straight: f64 = (0..k).map(|j| ports_a[j].distance_squared(ports_b[j])).sum();
-        let reversed: f64 =
-            (0..k).map(|j| ports_a[j].distance_squared(ports_b[k - 1 - j])).sum();
+        let straight: f64 = (0..k)
+            .map(|j| ports_a[j].distance_squared(ports_b[j]))
+            .sum();
+        let reversed: f64 = (0..k)
+            .map(|j| ports_a[j].distance_squared(ports_b[k - 1 - j]))
+            .sum();
         for (li, _slot) in group.links.iter().enumerate() {
             let end_a = ports_a[li];
-            let end_b = if straight <= reversed { ports_b[li] } else { ports_b[k - 1 - li] };
+            let end_b = if straight <= reversed {
+                ports_b[li]
+            } else {
+                ports_b[k - 1 - li]
+            };
             lanes.push(LaneLayout {
                 group: gi,
                 slot: li,
@@ -276,9 +289,16 @@ pub fn layout(state: &NetworkState) -> MapLayout {
 /// The axis-aligned label box centred `distance` along the lane from the
 /// given end.
 fn label_rect(end: Point, other_end: Point, distance: f64) -> Rect {
-    let dir = (other_end - end).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    let dir = (other_end - end)
+        .normalized()
+        .unwrap_or(Vec2::new(1.0, 0.0));
     let c = end + dir * distance;
-    Rect::new(c.x - LABEL_BOX.0 / 2.0, c.y - LABEL_BOX.1 / 2.0, LABEL_BOX.0, LABEL_BOX.1)
+    Rect::new(
+        c.x - LABEL_BOX.0 / 2.0,
+        c.y - LABEL_BOX.1 / 2.0,
+        LABEL_BOX.0,
+        LABEL_BOX.1,
+    )
 }
 
 /// Verifies, per node box, that every link end's nearest label is its own;
@@ -297,7 +317,11 @@ fn fix_label_conflicts(state: &NetworkState, lanes: &mut [LaneLayout]) {
         for _round in 0..8 {
             let mut conflicts = 0;
             for &(i, a_side) in ends {
-                let end = if a_side { lanes[i].end_a } else { lanes[i].end_b };
+                let end = if a_side {
+                    lanes[i].end_a
+                } else {
+                    lanes[i].end_b
+                };
                 // Nearest label among all ends on this node.
                 let mut best: Option<((usize, bool), f64)> = None;
                 for &(j, ja) in ends {
@@ -317,7 +341,11 @@ fn fix_label_conflicts(state: &NetworkState, lanes: &mut [LaneLayout]) {
                     conflicts += 1;
                     // Pull both labels towards their own ends.
                     for &(k, ka) in &[(i, a_side), (j, ja)] {
-                        let d = if ka { &mut lanes[k].label_d_a } else { &mut lanes[k].label_d_b };
+                        let d = if ka {
+                            &mut lanes[k].label_d_a
+                        } else {
+                            &mut lanes[k].label_d_b
+                        };
                         *d = (*d - 1.5).max(4.0);
                     }
                 }
@@ -360,8 +388,16 @@ fn perimeter_coord_towards(rect: &Rect, target: Point) -> f64 {
     let (hw, hh) = (rect.width / 2.0, rect.height / 2.0);
     // Scale the direction so the exit lands on the boundary.
     let scale = {
-        let sx = if d.x.abs() > f64::EPSILON { hw / d.x.abs() } else { f64::INFINITY };
-        let sy = if d.y.abs() > f64::EPSILON { hh / d.y.abs() } else { f64::INFINITY };
+        let sx = if d.x.abs() > f64::EPSILON {
+            hw / d.x.abs()
+        } else {
+            f64::INFINITY
+        };
+        let sy = if d.y.abs() > f64::EPSILON {
+            hh / d.y.abs()
+        } else {
+            f64::INFINITY
+        };
         let s = sx.min(sy);
         if s.is_finite() {
             s
@@ -390,7 +426,10 @@ fn perimeter_coord_towards(rect: &Rect, target: Point) -> f64 {
 pub fn label_centers(lane: &LaneLayout) -> (Point, Point) {
     let seg = lane.segment();
     let dir = seg.direction().normalized().unwrap_or(Vec2::new(1.0, 0.0));
-    (lane.end_a + dir * lane.label_d_a, lane.end_b - dir * lane.label_d_b)
+    (
+        lane.end_a + dir * lane.label_d_a,
+        lane.end_b - dir * lane.label_d_b,
+    )
 }
 
 #[cfg(test)]
@@ -411,7 +450,9 @@ mod tests {
         for (i, a) in l.nodes.iter().enumerate() {
             for b in &l.nodes[i + 1..] {
                 assert!(
-                    !a.rect.inflated(-0.5).intersects_rect(&b.rect.inflated(-0.5)),
+                    !a.rect
+                        .inflated(-0.5)
+                        .intersects_rect(&b.rect.inflated(-0.5)),
                     "boxes overlap: {:?} vs {:?}",
                     a.rect,
                     b.rect
@@ -524,7 +565,8 @@ mod tests {
                     .iter()
                     .enumerate()
                     .min_by(|(_, (_, ra)), (_, (_, rb))| {
-                        ra.distance_to_point(end).total_cmp(&rb.distance_to_point(end))
+                        ra.distance_to_point(end)
+                            .total_cmp(&rb.distance_to_point(end))
                     })
                     .map(|(label_idx, (lane_idx, _))| (label_idx, *lane_idx))
                     .expect("labels exist");
@@ -565,7 +607,10 @@ mod tests {
         let mut p = 0.0;
         while p < perimeter {
             let q = perimeter_point(&rect, p);
-            assert!(rect.distance_to_point(q) < 1e-9, "{q} off boundary at p={p}");
+            assert!(
+                rect.distance_to_point(q) < 1e-9,
+                "{q} off boundary at p={p}"
+            );
             p += 7.3;
         }
         // Wrapping works.
@@ -580,7 +625,10 @@ mod tests {
         // A target to the right should exit on the right edge.
         let p = perimeter_coord_towards(&rect, wm_geometry::Point::new(500.0, 20.0));
         let q = perimeter_point(&rect, p);
-        assert!((q.x - rect.right()).abs() < 1e-6, "exit {q} not on right edge");
+        assert!(
+            (q.x - rect.right()).abs() < 1e-6,
+            "exit {q} not on right edge"
+        );
         // A target above exits on the top edge.
         let p = perimeter_coord_towards(&rect, wm_geometry::Point::new(50.0, -300.0));
         let q = perimeter_point(&rect, p);

@@ -34,19 +34,72 @@ pub fn site_codes(map: MapKind) -> &'static [&'static str] {
 pub fn peering_names(map: MapKind) -> &'static [&'static str] {
     match map {
         MapKind::Europe => &[
-            "AMS-IX", "DE-CIX", "FRANCE-IX", "LINX", "ARELION", "VODAFONE", "OMANTEL", "COGENT",
-            "LUMEN", "TELIA", "GTT", "ORANGE", "NTT", "TATA", "ZAYO", "EQUINIX-IX", "ESPANIX",
-            "MIX", "NETNOD", "VIX", "PLIX", "SWISSIX", "BNIX", "INEX", "LU-CIX", "TELEFONICA",
-            "DTAG", "SEABONE", "RETN", "CORE-BACKBONE",
+            "AMS-IX",
+            "DE-CIX",
+            "FRANCE-IX",
+            "LINX",
+            "ARELION",
+            "VODAFONE",
+            "OMANTEL",
+            "COGENT",
+            "LUMEN",
+            "TELIA",
+            "GTT",
+            "ORANGE",
+            "NTT",
+            "TATA",
+            "ZAYO",
+            "EQUINIX-IX",
+            "ESPANIX",
+            "MIX",
+            "NETNOD",
+            "VIX",
+            "PLIX",
+            "SWISSIX",
+            "BNIX",
+            "INEX",
+            "LU-CIX",
+            "TELEFONICA",
+            "DTAG",
+            "SEABONE",
+            "RETN",
+            "CORE-BACKBONE",
         ],
         MapKind::NorthAmerica => &[
-            "EQUINIX-IX", "TORIX", "SIX", "ANY2", "NYIIX", "COGENT", "LUMEN", "ARELION", "GTT",
-            "ZAYO", "TATA", "NTT", "TELIA", "HE", "COMCAST", "VERIZON", "ATT", "QIX", "DECIX-NY",
+            "EQUINIX-IX",
+            "TORIX",
+            "SIX",
+            "ANY2",
+            "NYIIX",
+            "COGENT",
+            "LUMEN",
+            "ARELION",
+            "GTT",
+            "ZAYO",
+            "TATA",
+            "NTT",
+            "TELIA",
+            "HE",
+            "COMCAST",
+            "VERIZON",
+            "ATT",
+            "QIX",
+            "DECIX-NY",
             "FL-IX",
         ],
         MapKind::AsiaPacific => &[
-            "SGIX", "EQUINIX-IX", "JPNAP", "BBIX", "HKIX", "MEGAPORT", "NTT", "TATA", "SINGTEL",
-            "TELSTRA", "PCCW", "KDDI",
+            "SGIX",
+            "EQUINIX-IX",
+            "JPNAP",
+            "BBIX",
+            "HKIX",
+            "MEGAPORT",
+            "NTT",
+            "TATA",
+            "SINGTEL",
+            "TELSTRA",
+            "PCCW",
+            "KDDI",
         ],
         MapKind::World => &[],
     }

@@ -18,7 +18,7 @@
 //! extraction output.
 
 use wm_geometry::{Point, Rect, Vec2};
-use wm_model::{Link, LinkEnd, Load, Node, TopologySnapshot, Timestamp};
+use wm_model::{Link, LinkEnd, Load, Node, Timestamp, TopologySnapshot};
 use wm_svg::Builder;
 
 use crate::layout::{label_centers, MapLayout, LABEL_BOX};
@@ -69,7 +69,10 @@ pub fn render(
         let node = &state.nodes[node_layout.idx];
         builder.rect("object", node_layout.rect);
         builder.text("object", node_layout.name_anchor, &node.name);
-        truth.nodes.push(Node { name: node.name.clone(), kind: node.kind });
+        truth.nodes.push(Node {
+            name: node.name.clone(),
+            kind: node.kind,
+        });
     }
 
     // --- Links --------------------------------------------------------------
@@ -96,12 +99,26 @@ pub fn render(
         // unchanged).
         let tip_ab = mid - dir * TIP_GAP;
         let tip_ba = mid + dir * TIP_GAP;
-        builder.polygon("link", &arrow_polygon(lane.end_a + dir * BASIS_INSET, tip_ab));
-        builder.polygon("link", &arrow_polygon(lane.end_b - dir * BASIS_INSET, tip_ba));
+        builder.polygon(
+            "link",
+            &arrow_polygon(lane.end_a + dir * BASIS_INSET, tip_ab),
+        );
+        builder.polygon(
+            "link",
+            &arrow_polygon(lane.end_b - dir * BASIS_INSET, tip_ba),
+        );
         // The two load texts, in the same order as the arrows.
         let perp = dir.perpendicular();
-        builder.text("labellink", tip_ab - dir * 14.0 + perp * 4.0, &format!("{load_ab}"));
-        builder.text("labellink", tip_ba + dir * 14.0 + perp * 4.0, &format!("{load_ba}"));
+        builder.text(
+            "labellink",
+            tip_ab - dir * 14.0 + perp * 4.0,
+            &format!("{load_ab}"),
+        );
+        builder.text(
+            "labellink",
+            tip_ba + dir * 14.0 + perp * 4.0,
+            &format!("{load_ba}"),
+        );
 
         // The two #n labels: a white box and its text at each end.
         let (center_a, center_b) = label_centers(lane);
@@ -113,29 +130,31 @@ pub fn render(
                 LABEL_BOX.1,
             );
             builder.rect("node", rect);
-            builder.text("node", Point::new(rect.x + 3.0, rect.y + rect.height - 2.0), text);
+            builder.text(
+                "node",
+                Point::new(rect.x + 3.0, rect.y + rect.height - 2.0),
+                text,
+            );
         }
 
         truth.links.push(Link::new(
-            LinkEnd::new(
-                node_of(state, group.a),
-                Some(slot.label_a.clone()),
-                load_ab,
-            ),
-            LinkEnd::new(
-                node_of(state, group.b),
-                Some(slot.label_b.clone()),
-                load_ba,
-            ),
+            LinkEnd::new(node_of(state, group.a), Some(slot.label_a.clone()), load_ab),
+            LinkEnd::new(node_of(state, group.b), Some(slot.label_b.clone()), load_ba),
         ));
     }
 
-    RenderedSnapshot { svg: builder.finish(), truth }
+    RenderedSnapshot {
+        svg: builder.finish(),
+        truth,
+    }
 }
 
 fn node_of(state: &NetworkState, idx: usize) -> Node {
     let n = &state.nodes[idx];
-    Node { name: n.name.clone(), kind: n.kind }
+    Node {
+        name: n.name.clone(),
+        kind: n.kind,
+    }
 }
 
 /// Builds the arrow polygon from basis `from` to tip `to`.
@@ -157,7 +176,11 @@ pub fn arrow_polygon(from: Point, to: Point) -> Vec<Point> {
     let perp = dir.perpendicular();
     let length = from.distance(to);
     if length < HEAD_LENGTH * 2.0 {
-        return vec![from + perp * SHAFT_HALF_WIDTH, to, from - perp * SHAFT_HALF_WIDTH];
+        return vec![
+            from + perp * SHAFT_HALF_WIDTH,
+            to,
+            from - perp * SHAFT_HALF_WIDTH,
+        ];
     }
     let neck = to - dir * HEAD_LENGTH;
     vec![
@@ -185,7 +208,12 @@ mod tests {
         let state = genesis::build(MapKind::Europe, &targets(MapKind::Europe, 0.15), &[], 5).state;
         let l = layout(&state);
         let traffic = TrafficModel::new(5);
-        render(&state, &l, &traffic, Timestamp::from_ymd_hms(2021, 3, 10, 12, 0, 0))
+        render(
+            &state,
+            &l,
+            &traffic,
+            Timestamp::from_ymd_hms(2021, 3, 10, 12, 0, 0),
+        )
     }
 
     #[test]
@@ -206,7 +234,10 @@ mod tests {
         assert_eq!(r.truth.links.len(), internal + external);
         assert_eq!(r.truth.internal_link_count(), internal);
         assert_eq!(r.truth.external_link_count(), external);
-        assert_eq!(r.truth.nodes.len(), state.nodes.iter().filter(|n| n.present).count());
+        assert_eq!(
+            r.truth.nodes.len(),
+            state.nodes.iter().filter(|n| n.present).count()
+        );
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         let a = mix(0);
         let b = mix(1);
         let differing = (a ^ b).count_ones();
-        assert!((16..=48).contains(&differing), "poor avalanche: {differing} bits");
+        assert!(
+            (16..=48).contains(&differing),
+            "poor avalanche: {differing} bits"
+        );
     }
 
     #[test]
@@ -106,7 +109,11 @@ mod tests {
             let u = uniform(7, &[i]);
             assert!((0.0..1.0).contains(&u));
         }
-        assert_ne!(uniform(7, &[1, 2]), uniform(7, &[2, 1]), "label order must matter");
+        assert_ne!(
+            uniform(7, &[1, 2]),
+            uniform(7, &[2, 1]),
+            "label order must matter"
+        );
         assert_ne!(uniform(7, &[1]), uniform(8, &[1]), "seed must matter");
     }
 

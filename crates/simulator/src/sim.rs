@@ -66,7 +66,12 @@ impl Simulation {
             CollectionPlan::new(MapKind::AsiaPacific, &config),
         ];
         let traffic = TrafficModel::new(config.seed);
-        Simulation { config, timelines: [europe, world, na, apac], plans, traffic }
+        Simulation {
+            config,
+            timelines: [europe, world, na, apac],
+            plans,
+            traffic,
+        }
     }
 
     fn map_slot(map: MapKind) -> usize {
@@ -105,7 +110,9 @@ impl Simulation {
     /// The Fig. 6 upgrade scenario, when the scale admits it.
     #[must_use]
     pub fn scenario(&self) -> Option<&UpgradeScenario> {
-        self.timelines[Self::map_slot(MapKind::Europe)].scenario.as_ref()
+        self.timelines[Self::map_slot(MapKind::Europe)]
+            .scenario
+            .as_ref()
     }
 
     /// Renders the clean (never corrupted) snapshot of `map` at `t`.
@@ -136,7 +143,13 @@ impl Simulation {
             Some(kind) => corrupt(&rendered.svg, kind, self.config.seed),
             None => rendered.svg,
         };
-        CorpusFile { map, timestamp: t, svg, fault, truth: rendered.truth }
+        CorpusFile {
+            map,
+            timestamp: t,
+            svg,
+            fault,
+            truth: rendered.truth,
+        }
     }
 
     /// Sequentially generates every collected corpus file of `map` within
@@ -235,10 +248,19 @@ mod tests {
             .collect();
         let mut continental: Vec<String> = Vec::new();
         for map in [MapKind::Europe, MapKind::NorthAmerica, MapKind::AsiaPacific] {
-            continental.extend(sim.timeline(map).state_at(t).routers().map(|r| r.name.clone()));
+            continental.extend(
+                sim.timeline(map)
+                    .state_at(t)
+                    .routers()
+                    .map(|r| r.name.clone()),
+            );
         }
         let overlapping = world.iter().filter(|w| continental.contains(w)).count();
-        assert_eq!(overlapping, world.len(), "every World router exists elsewhere");
+        assert_eq!(
+            overlapping,
+            world.len(),
+            "every World router exists elsewhere"
+        );
     }
 
     #[test]
@@ -246,8 +268,7 @@ mod tests {
         let sim = small_sim();
         let from = Timestamp::from_ymd(2021, 2, 1);
         let to = from + Duration::from_hours(3);
-        let sequential: Vec<CorpusFile> =
-            sim.corpus_between(MapKind::Europe, from, to).collect();
+        let sequential: Vec<CorpusFile> = sim.corpus_between(MapKind::Europe, from, to).collect();
         assert!(!sequential.is_empty());
         for file in &sequential {
             let direct = sim
@@ -300,7 +321,10 @@ mod tests {
         let a = small_sim();
         let b = small_sim();
         let t = Timestamp::from_ymd(2021, 8, 15);
-        assert_eq!(a.snapshot(MapKind::Europe, t).svg, b.snapshot(MapKind::Europe, t).svg);
+        assert_eq!(
+            a.snapshot(MapKind::Europe, t).svg,
+            b.snapshot(MapKind::Europe, t).svg
+        );
     }
 
     #[test]
@@ -308,7 +332,10 @@ mod tests {
         let a = Simulation::new(SimulationConfig::scaled(1, 0.12));
         let b = Simulation::new(SimulationConfig::scaled(2, 0.12));
         let t = Timestamp::from_ymd(2021, 8, 15);
-        assert_ne!(a.snapshot(MapKind::Europe, t).svg, b.snapshot(MapKind::Europe, t).svg);
+        assert_ne!(
+            a.snapshot(MapKind::Europe, t).svg,
+            b.snapshot(MapKind::Europe, t).svg
+        );
     }
 
     #[test]

@@ -220,12 +220,16 @@ impl NetworkState {
 
     /// Present routers.
     pub fn routers(&self) -> impl Iterator<Item = &SimNode> {
-        self.nodes.iter().filter(|n| n.present && n.kind == NodeKind::Router)
+        self.nodes
+            .iter()
+            .filter(|n| n.present && n.kind == NodeKind::Router)
     }
 
     /// Present peerings.
     pub fn peerings(&self) -> impl Iterator<Item = &SimNode> {
-        self.nodes.iter().filter(|n| n.present && n.kind == NodeKind::Peering)
+        self.nodes
+            .iter()
+            .filter(|n| n.present && n.kind == NodeKind::Peering)
     }
 
     /// Count of links by group kind: `(internal, external)`.
@@ -258,7 +262,12 @@ impl NetworkState {
                 self.groups.retain(|g| g.a != idx && g.b != idx);
                 Ok(())
             }
-            Event::AddGroup { a, b, links, capacity_gbps } => {
+            Event::AddGroup {
+                a,
+                b,
+                links,
+                capacity_gbps,
+            } => {
                 if self.group_between(a, b).is_some() {
                     return Err(StateError::DuplicateGroup(a.clone(), b.clone()));
                 }
@@ -365,9 +374,20 @@ mod tests {
 
     fn base_state() -> NetworkState {
         let mut s = NetworkState::new(MapKind::Europe);
-        s.apply(&Event::AddRouter { name: "rbx-g1-nc1".into(), site: "rbx".into() }).unwrap();
-        s.apply(&Event::AddRouter { name: "fra-fr1-nc1".into(), site: "fra".into() }).unwrap();
-        s.apply(&Event::AddPeering { name: "AMS-IX".into() }).unwrap();
+        s.apply(&Event::AddRouter {
+            name: "rbx-g1-nc1".into(),
+            site: "rbx".into(),
+        })
+        .unwrap();
+        s.apply(&Event::AddRouter {
+            name: "fra-fr1-nc1".into(),
+            site: "fra".into(),
+        })
+        .unwrap();
+        s.apply(&Event::AddPeering {
+            name: "AMS-IX".into(),
+        })
+        .unwrap();
         s.apply(&Event::AddGroup {
             a: "rbx-g1-nc1".into(),
             b: "fra-fr1-nc1".into(),
@@ -397,7 +417,10 @@ mod tests {
     fn duplicate_nodes_and_groups_rejected() {
         let mut s = base_state();
         assert_eq!(
-            s.apply(&Event::AddRouter { name: "rbx-g1-nc1".into(), site: "rbx".into() }),
+            s.apply(&Event::AddRouter {
+                name: "rbx-g1-nc1".into(),
+                site: "rbx".into()
+            }),
             Err(StateError::DuplicateNode("rbx-g1-nc1".into()))
         );
         assert!(matches!(
@@ -414,8 +437,12 @@ mod tests {
     #[test]
     fn add_link_grows_group_with_sequential_labels() {
         let mut s = base_state();
-        s.apply(&Event::AddLink { a: "fra-fr1-nc1".into(), b: "AMS-IX".into(), active: false })
-            .unwrap();
+        s.apply(&Event::AddLink {
+            a: "fra-fr1-nc1".into(),
+            b: "AMS-IX".into(),
+            active: false,
+        })
+        .unwrap();
         let g = s.group_between("fra-fr1-nc1", "AMS-IX").unwrap();
         assert_eq!(g.links.len(), 5);
         assert_eq!(g.active_links(), 4);
@@ -427,32 +454,65 @@ mod tests {
     #[test]
     fn activation_enables_all_links() {
         let mut s = base_state();
-        s.apply(&Event::AddLink { a: "fra-fr1-nc1".into(), b: "AMS-IX".into(), active: false })
-            .unwrap();
-        s.apply(&Event::ActivateLinks { a: "fra-fr1-nc1".into(), b: "AMS-IX".into() }).unwrap();
-        assert_eq!(s.group_between("fra-fr1-nc1", "AMS-IX").unwrap().active_links(), 5);
+        s.apply(&Event::AddLink {
+            a: "fra-fr1-nc1".into(),
+            b: "AMS-IX".into(),
+            active: false,
+        })
+        .unwrap();
+        s.apply(&Event::ActivateLinks {
+            a: "fra-fr1-nc1".into(),
+            b: "AMS-IX".into(),
+        })
+        .unwrap();
+        assert_eq!(
+            s.group_between("fra-fr1-nc1", "AMS-IX")
+                .unwrap()
+                .active_links(),
+            5
+        );
     }
 
     #[test]
     fn router_removal_drops_its_groups() {
         let mut s = base_state();
-        s.apply(&Event::RemoveRouter { name: "fra-fr1-nc1".into() }).unwrap();
+        s.apply(&Event::RemoveRouter {
+            name: "fra-fr1-nc1".into(),
+        })
+        .unwrap();
         assert_eq!(s.routers().count(), 1);
         assert!(s.groups.is_empty());
         assert!(s.node_idx("fra-fr1-nc1").is_none());
         // Re-adding the same name works (tombstones don't block reuse).
-        s.apply(&Event::AddRouter { name: "fra-fr1-nc1".into(), site: "fra".into() }).unwrap();
+        s.apply(&Event::AddRouter {
+            name: "fra-fr1-nc1".into(),
+            site: "fra".into(),
+        })
+        .unwrap();
     }
 
     #[test]
     fn remove_link_shrinks_then_drops_group() {
         let mut s = base_state();
         for _ in 0..2 {
-            s.apply(&Event::RemoveLink { a: "rbx-g1-nc1".into(), b: "fra-fr1-nc1".into() })
-                .unwrap();
+            s.apply(&Event::RemoveLink {
+                a: "rbx-g1-nc1".into(),
+                b: "fra-fr1-nc1".into(),
+            })
+            .unwrap();
         }
-        assert_eq!(s.group_between("rbx-g1-nc1", "fra-fr1-nc1").unwrap().links.len(), 1);
-        s.apply(&Event::RemoveLink { a: "rbx-g1-nc1".into(), b: "fra-fr1-nc1".into() }).unwrap();
+        assert_eq!(
+            s.group_between("rbx-g1-nc1", "fra-fr1-nc1")
+                .unwrap()
+                .links
+                .len(),
+            1
+        );
+        s.apply(&Event::RemoveLink {
+            a: "rbx-g1-nc1".into(),
+            b: "fra-fr1-nc1".into(),
+        })
+        .unwrap();
         assert!(s.group_between("rbx-g1-nc1", "fra-fr1-nc1").is_none());
         assert_eq!(s.link_counts(), (0, 4));
     }
@@ -461,11 +521,16 @@ mod tests {
     fn unknown_references_error() {
         let mut s = base_state();
         assert!(matches!(
-            s.apply(&Event::RemoveRouter { name: "nope".into() }),
+            s.apply(&Event::RemoveRouter {
+                name: "nope".into()
+            }),
             Err(StateError::UnknownNode(_))
         ));
         assert!(matches!(
-            s.apply(&Event::ActivateLinks { a: "rbx-g1-nc1".into(), b: "AMS-IX".into() }),
+            s.apply(&Event::ActivateLinks {
+                a: "rbx-g1-nc1".into(),
+                b: "AMS-IX".into()
+            }),
             Err(StateError::UnknownGroup(_, _))
         ));
     }
@@ -481,11 +546,18 @@ mod tests {
     #[test]
     fn link_ids_are_unique_and_map_namespaced() {
         let s = base_state();
-        let mut ids: Vec<u64> = s.groups.iter().flat_map(|g| g.links.iter().map(|l| l.id)).collect();
+        let mut ids: Vec<u64> = s
+            .groups
+            .iter()
+            .flat_map(|g| g.links.iter().map(|l| l.id))
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 7);
         let na = NetworkState::new(MapKind::NorthAmerica);
-        assert_ne!(na.next_link_id, NetworkState::new(MapKind::Europe).next_link_id);
+        assert_ne!(
+            na.next_link_id,
+            NetworkState::new(MapKind::Europe).next_link_id
+        );
     }
 }

@@ -65,7 +65,9 @@ impl TrafficModel {
     /// Creates a model; all draws derive from `seed`.
     #[must_use]
     pub fn new(seed: u64) -> TrafficModel {
-        TrafficModel { seed: hash_labels(seed, &[0x007A_FF1C]) }
+        TrafficModel {
+            seed: hash_labels(seed, &[0x007A_FF1C]),
+        }
     }
 
     /// The diurnal multiplier at `t`, in
@@ -152,10 +154,15 @@ impl TrafficModel {
         t: Timestamp,
     ) -> f64 {
         let base = self.base_utilisation(group, direction, internal);
-        let noise =
-            1.0 + 0.14 * value_noise(self.seed, &[3, group.id, direction.label()], t.unix(), 6 * 3_600);
-        let demand_per_link =
-            base * self.diurnal_multiplier(t) * self.weekly_multiplier(t) * noise;
+        let noise = 1.0
+            + 0.14
+                * value_noise(
+                    self.seed,
+                    &[3, group.id, direction.label()],
+                    t.unix(),
+                    6 * 3_600,
+                );
+        let demand_per_link = base * self.diurnal_multiplier(t) * self.weekly_multiplier(t) * noise;
         demand_per_link * group.base_links
     }
 
@@ -187,8 +194,14 @@ impl TrafficModel {
         let per_link = self.group_demand(group, direction, internal, t) / active;
         // Quasi-static ECMP hash skew, drifting over ~a day.
         let sigma = self.ecmp_sigma(group, direction, internal);
-        let skew =
-            1.0 + sigma * value_noise(self.seed, &[5, slot.id, direction.label()], t.unix(), 86_400);
+        let skew = 1.0
+            + sigma
+                * value_noise(
+                    self.seed,
+                    &[5, slot.id, direction.label()],
+                    t.unix(),
+                    86_400,
+                );
         Load::from_f64_clamped(per_link * skew * 100.0)
     }
 
@@ -247,8 +260,12 @@ mod tests {
         let at = |h: u8| m.diurnal_multiplier(Timestamp::from_ymd_hms(2021, 3, 10, h, 0, 0));
         // Trough between 2 and 4 a.m., peak between 7 and 9 p.m.
         let hours: Vec<f64> = (0..24).map(|h| at(h as u8)).collect();
-        let min_h = (0..24).min_by(|&a, &b| hours[a].total_cmp(&hours[b])).unwrap();
-        let max_h = (0..24).max_by(|&a, &b| hours[a].total_cmp(&hours[b])).unwrap();
+        let min_h = (0..24)
+            .min_by(|&a, &b| hours[a].total_cmp(&hours[b]))
+            .unwrap();
+        let max_h = (0..24)
+            .max_by(|&a, &b| hours[a].total_cmp(&hours[b]))
+            .unwrap();
         assert!((2..=4).contains(&min_h), "trough at {min_h}");
         assert!((19..=21).contains(&max_h), "peak at {max_h}");
         // The curve is continuous across midnight.
@@ -292,7 +309,11 @@ mod tests {
             v.sort_by(f64::total_cmp);
             v[((v.len() - 1) as f64 * q) as usize]
         };
-        let mut all: Vec<f64> = internal_loads.iter().chain(&external_loads).copied().collect();
+        let mut all: Vec<f64> = internal_loads
+            .iter()
+            .chain(&external_loads)
+            .copied()
+            .collect();
         let p75 = pct(&mut all, 0.75);
         assert!(p75 < 38.0, "75th percentile too hot: {p75}");
         let p99 = pct(&mut all, 0.99);
@@ -330,7 +351,8 @@ mod tests {
             out
         };
         let internal = imbalances(true);
-        let frac_le = |v: &[f64], x: f64| v.iter().filter(|i| **i <= x).count() as f64 / v.len() as f64;
+        let frac_le =
+            |v: &[f64], x: f64| v.iter().filter(|i| **i <= x).count() as f64 / v.len() as f64;
         assert!(
             frac_le(&internal, 1.0) > 0.55,
             "only {:.2} of internal imbalances ≤ 1 %",
@@ -350,8 +372,14 @@ mod tests {
         let mut g = group(5, 3);
         g.links[2].active = false;
         let t = noon(10);
-        assert_eq!(m.link_load(&g, &g.links[2], Direction::AtoB, true, t), Load::ZERO);
-        assert_ne!(m.link_load(&g, &g.links[0], Direction::AtoB, true, t), Load::ZERO);
+        assert_eq!(
+            m.link_load(&g, &g.links[2], Direction::AtoB, true, t),
+            Load::ZERO
+        );
+        assert_ne!(
+            m.link_load(&g, &g.links[0], Direction::AtoB, true, t),
+            Load::ZERO
+        );
     }
 
     #[test]
@@ -379,13 +407,21 @@ mod tests {
             .sum::<f64>()
             / 5.0;
         let ratio = after / before;
-        assert!((ratio - 0.8).abs() < 0.08, "dilution ratio {ratio}, expected ≈ 4/5");
+        assert!(
+            (ratio - 0.8).abs() < 0.08,
+            "dilution ratio {ratio}, expected ≈ 4/5"
+        );
     }
 
     #[test]
     fn maintenance_days_are_rare_and_whole_day() {
         let m = TrafficModel::new(3);
-        let slot = LinkSlot { id: 77, active: true, label_a: "#1".into(), label_b: "#1".into() };
+        let slot = LinkSlot {
+            id: 77,
+            active: true,
+            label_a: "#1".into(),
+            label_b: "#1".into(),
+        };
         let mut days_in_maintenance = 0;
         for day in 0..2_000 {
             let morning = Timestamp::from_unix(day * 86_400 + 3_600);
@@ -419,10 +455,16 @@ mod tests {
     fn price_state_covers_every_link() {
         let mut state = NetworkState::new(MapKind::Europe);
         state
-            .apply(&crate::state::Event::AddRouter { name: "rbx-g1".into(), site: "rbx".into() })
+            .apply(&crate::state::Event::AddRouter {
+                name: "rbx-g1".into(),
+                site: "rbx".into(),
+            })
             .unwrap();
         state
-            .apply(&crate::state::Event::AddRouter { name: "fra-g1".into(), site: "fra".into() })
+            .apply(&crate::state::Event::AddRouter {
+                name: "fra-g1".into(),
+                site: "fra".into(),
+            })
             .unwrap();
         state
             .apply(&crate::state::Event::AddGroup {

@@ -100,7 +100,9 @@ impl Document {
         &'d self,
         prefix: &'d str,
     ) -> impl Iterator<Item = &'d Element> {
-        self.elements.iter().filter(move |e| e.class_starts_with(prefix))
+        self.elements
+            .iter()
+            .filter(move |e| e.class_starts_with(prefix))
     }
 }
 
@@ -113,7 +115,10 @@ mod tests {
             tag: "text".into(),
             class: class.map(str::to_owned),
             id: None,
-            shape: Shape::Text { anchor: Point::new(0.0, 0.0), content: content.into() },
+            shape: Shape::Text {
+                anchor: Point::new(0.0, 0.0),
+                content: content.into(),
+            },
         }
     }
 

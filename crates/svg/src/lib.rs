@@ -43,7 +43,11 @@ mod tests {
         b.text("object", Point::new(12.0, 33.0), "fra-fr5-pb6-nc5");
         b.polygon(
             "link",
-            &[Point::new(100.0, 50.0), Point::new(140.0, 50.0), Point::new(120.0, 60.0)],
+            &[
+                Point::new(100.0, 50.0),
+                Point::new(140.0, 50.0),
+                Point::new(120.0, 60.0),
+            ],
         );
         let svg = b.finish();
 

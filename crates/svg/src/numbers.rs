@@ -50,7 +50,12 @@ pub fn parse_points(raw: &str) -> Option<Vec<Point>> {
     if coords.len() % 2 != 0 {
         return None;
     }
-    Some(coords.chunks_exact(2).map(|c| Point::new(c[0], c[1])).collect())
+    Some(
+        coords
+            .chunks_exact(2)
+            .map(|c| Point::new(c[0], c[1]))
+            .collect(),
+    )
 }
 
 #[cfg(test)]

@@ -63,14 +63,29 @@ struct Affine {
 }
 
 impl Affine {
-    const IDENTITY: Affine = Affine { a: 1.0, b: 0.0, c: 0.0, d: 1.0, e: 0.0, f: 0.0 };
+    const IDENTITY: Affine = Affine {
+        a: 1.0,
+        b: 0.0,
+        c: 0.0,
+        d: 1.0,
+        e: 0.0,
+        f: 0.0,
+    };
 
     fn translate(tx: f64, ty: f64) -> Affine {
-        Affine { e: tx, f: ty, ..Affine::IDENTITY }
+        Affine {
+            e: tx,
+            f: ty,
+            ..Affine::IDENTITY
+        }
     }
 
     fn scale(sx: f64, sy: f64) -> Affine {
-        Affine { a: sx, d: sy, ..Affine::IDENTITY }
+        Affine {
+            a: sx,
+            d: sy,
+            ..Affine::IDENTITY
+        }
     }
 
     /// `self` applied after `rhs` (standard matrix composition).
@@ -86,7 +101,10 @@ impl Affine {
     }
 
     fn apply(&self, p: Point) -> Point {
-        Point::new(self.a * p.x + self.c * p.y + self.e, self.b * p.x + self.d * p.y + self.f)
+        Point::new(
+            self.a * p.x + self.c * p.y + self.e,
+            self.b * p.x + self.d * p.y + self.f,
+        )
     }
 }
 
@@ -98,7 +116,9 @@ fn parse_transform(raw: &str) -> Affine {
     let mut rest = raw;
     while let Some(open) = rest.find('(') {
         let op = rest[..open].trim().trim_start_matches(',').trim();
-        let Some(close) = rest[open..].find(')') else { break };
+        let Some(close) = rest[open..].find(')') else {
+            break;
+        };
         let args: Vec<f64> = rest[open + 1..open + close]
             .split(|c: char| c.is_ascii_whitespace() || c == ',')
             .filter(|t| !t.is_empty())
@@ -109,9 +129,14 @@ fn parse_transform(raw: &str) -> Affine {
             ("translate", [tx, ty]) => Some(Affine::translate(*tx, *ty)),
             ("scale", [s]) => Some(Affine::scale(*s, *s)),
             ("scale", [sx, sy]) => Some(Affine::scale(*sx, *sy)),
-            ("matrix", [a, b, c, d, e, f]) => {
-                Some(Affine { a: *a, b: *b, c: *c, d: *d, e: *e, f: *f })
-            }
+            ("matrix", [a, b, c, d, e, f]) => Some(Affine {
+                a: *a,
+                b: *b,
+                c: *c,
+                d: *d,
+                e: *e,
+                f: *f,
+            }),
             _ => None,
         };
         if let Some(step) = step {
@@ -130,7 +155,11 @@ impl Document {
     /// [`Shape::Other`] placeholders so document order stays faithful.
     pub fn parse(text: &str) -> Result<Document, ParseError> {
         let mut reader = Reader::new(text);
-        let mut doc = Document { width: 0.0, height: 0.0, elements: Vec::new() };
+        let mut doc = Document {
+            width: 0.0,
+            height: 0.0,
+            elements: Vec::new(),
+        };
         // Transform stack entries: (transform, tag) pushed per open element.
         let mut stack: Vec<(Affine, String)> = Vec::new();
         let mut seen_svg = false;
@@ -141,7 +170,11 @@ impl Document {
 
         while let Some(event) = reader.next_event()? {
             match event {
-                Event::StartElement { name, attributes, self_closing } => {
+                Event::StartElement {
+                    name,
+                    attributes,
+                    self_closing,
+                } => {
                     if !seen_svg {
                         if name != "svg" {
                             return Err(ParseError::NotSvg);
@@ -169,8 +202,7 @@ impl Document {
                             let y = get("y").unwrap_or(0.0);
                             let w = get("width").unwrap_or(0.0);
                             let h = get("height").unwrap_or(0.0);
-                            if !(x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite())
-                            {
+                            if !(x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite()) {
                                 return Err(bad(&name, "non-finite rect coordinates"));
                             }
                             let p1 = transform.apply(Point::new(x, y));
@@ -212,7 +244,12 @@ impl Document {
                     if let Some(shape) = shape {
                         let is_text = matches!(shape, Shape::Text { .. });
                         let records_text = is_text && !self_closing;
-                        doc.elements.push(Element { tag: name.clone(), class, id, shape });
+                        doc.elements.push(Element {
+                            tag: name.clone(),
+                            class,
+                            id,
+                            shape,
+                        });
                         if records_text {
                             open_text = Some(doc.elements.len() - 1);
                         } else if !self_closing && !is_text {
@@ -259,7 +296,10 @@ impl Document {
 }
 
 fn bad(tag: &str, message: &str) -> ParseError {
-    ParseError::BadGeometry { tag: tag.to_owned(), message: message.to_owned() }
+    ParseError::BadGeometry {
+        tag: tag.to_owned(),
+        message: message.to_owned(),
+    }
 }
 
 #[cfg(test)]
@@ -276,19 +316,28 @@ mod tests {
 
     #[test]
     fn rejects_non_svg_root() {
-        assert_eq!(Document::parse("<html></html>").unwrap_err(), ParseError::NotSvg);
+        assert_eq!(
+            Document::parse("<html></html>").unwrap_err(),
+            ParseError::NotSvg
+        );
         assert!(matches!(Document::parse(""), Err(ParseError::NotSvg)));
     }
 
     #[test]
     fn propagates_xml_errors() {
-        assert!(matches!(Document::parse("<svg><rect</svg>"), Err(ParseError::Xml(_))));
+        assert!(matches!(
+            Document::parse("<svg><rect</svg>"),
+            Err(ParseError::Xml(_))
+        ));
     }
 
     #[test]
     fn parses_rect_with_defaults() {
         let doc = Document::parse(r#"<svg><rect width="10" height="5"/></svg>"#).unwrap();
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(0.0, 0.0, 10.0, 5.0)));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(0.0, 0.0, 10.0, 5.0))
+        );
     }
 
     #[test]
@@ -296,7 +345,10 @@ mod tests {
         let svg = r#"<svg><rect class="object" x="5" y="6" width="10" height="5"/></svg>"#;
         let doc = Document::parse(svg).unwrap();
         assert!(doc.elements[0].class_is("object"));
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(5.0, 6.0, 10.0, 5.0)));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(5.0, 6.0, 10.0, 5.0))
+        );
     }
 
     #[test]
@@ -311,9 +363,15 @@ mod tests {
     #[test]
     fn rejects_bad_polygon_points() {
         let svg = r#"<svg><polygon points="1 2 3"/></svg>"#;
-        assert!(matches!(Document::parse(svg), Err(ParseError::BadGeometry { .. })));
+        assert!(matches!(
+            Document::parse(svg),
+            Err(ParseError::BadGeometry { .. })
+        ));
         let svg = r#"<svg><polygon/></svg>"#;
-        assert!(matches!(Document::parse(svg), Err(ParseError::BadGeometry { .. })));
+        assert!(matches!(
+            Document::parse(svg),
+            Err(ParseError::BadGeometry { .. })
+        ));
     }
 
     #[test]
@@ -331,7 +389,8 @@ mod tests {
 
     #[test]
     fn style_bodies_do_not_become_text() {
-        let svg = r#"<svg><style>.object { fill: white; }</style><text x="0" y="0">hi</text></svg>"#;
+        let svg =
+            r#"<svg><style>.object { fill: white; }</style><text x="0" y="0">hi</text></svg>"#;
         let doc = Document::parse(svg).unwrap();
         assert_eq!(doc.elements.len(), 2);
         assert_eq!(doc.elements[0].shape, Shape::Other);
@@ -342,8 +401,14 @@ mod tests {
     fn group_translate_applies_to_children() {
         let svg = r#"<svg><g transform="translate(10, 20)"><rect x="1" y="2" width="3" height="4"/><polygon points="0,0 2,0 1,2"/></g></svg>"#;
         let doc = Document::parse(svg).unwrap();
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(11.0, 22.0, 3.0, 4.0)));
-        assert_eq!(doc.elements[1].as_polygon().unwrap().vertices()[0], Point::new(10.0, 20.0));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(11.0, 22.0, 3.0, 4.0))
+        );
+        assert_eq!(
+            doc.elements[1].as_polygon().unwrap().vertices()[0],
+            Point::new(10.0, 20.0)
+        );
     }
 
     #[test]
@@ -363,22 +428,35 @@ mod tests {
     fn scale_and_matrix_transforms() {
         let svg = r#"<svg><g transform="scale(2)"><rect x="1" y="1" width="2" height="2"/></g><g transform="matrix(1 0 0 1 5 5)"><rect x="0" y="0" width="1" height="1"/></g></svg>"#;
         let doc = Document::parse(svg).unwrap();
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(2.0, 2.0, 4.0, 4.0)));
-        assert_eq!(doc.elements[1].as_rect(), Some(&Rect::new(5.0, 5.0, 1.0, 1.0)));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(2.0, 2.0, 4.0, 4.0))
+        );
+        assert_eq!(
+            doc.elements[1].as_rect(),
+            Some(&Rect::new(5.0, 5.0, 1.0, 1.0))
+        );
     }
 
     #[test]
     fn element_transform_attribute_applies_to_itself() {
-        let svg = r#"<svg><rect transform="translate(100,0)" x="0" y="0" width="1" height="1"/></svg>"#;
+        let svg =
+            r#"<svg><rect transform="translate(100,0)" x="0" y="0" width="1" height="1"/></svg>"#;
         let doc = Document::parse(svg).unwrap();
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(100.0, 0.0, 1.0, 1.0)));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(100.0, 0.0, 1.0, 1.0))
+        );
     }
 
     #[test]
     fn unknown_transform_ops_are_ignored() {
         let svg = r#"<svg><g transform="rotate(45) translate(3,4)"><rect x="0" y="0" width="1" height="1"/></g></svg>"#;
         let doc = Document::parse(svg).unwrap();
-        assert_eq!(doc.elements[0].as_rect(), Some(&Rect::new(3.0, 4.0, 1.0, 1.0)));
+        assert_eq!(
+            doc.elements[0].as_rect(),
+            Some(&Rect::new(3.0, 4.0, 1.0, 1.0))
+        );
     }
 
     #[test]

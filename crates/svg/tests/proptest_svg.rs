@@ -23,7 +23,12 @@ fn item_strategy() -> impl Strategy<Value = Item> {
     prop_oneof![
         (coord(), coord(), 0.01f64..500.0, 0.01f64..500.0).prop_map(|(x, y, w, h)| {
             // Quantise extents too.
-            Item::Rect(Rect::new(x, y, (w * 100.0).round() / 100.0, (h * 100.0).round() / 100.0))
+            Item::Rect(Rect::new(
+                x,
+                y,
+                (w * 100.0).round() / 100.0,
+                (h * 100.0).round() / 100.0,
+            ))
         }),
         prop::collection::vec((coord(), coord()).prop_map(|(x, y)| Point::new(x, y)), 3..8)
             .prop_map(Item::Polygon),

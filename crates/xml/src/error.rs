@@ -93,7 +93,10 @@ impl fmt::Display for Error {
             ErrorKind::InvalidName => write!(f, "invalid XML name"),
             ErrorKind::MismatchedCloseTag { found, expected } => match expected {
                 Some(expected) => {
-                    write!(f, "close tag </{found}> does not match open element <{expected}>")
+                    write!(
+                        f,
+                        "close tag </{found}> does not match open element <{expected}>"
+                    )
                 }
                 None => write!(f, "close tag </{found}> with no open element"),
             },
@@ -138,7 +141,10 @@ mod tests {
         assert!(with.to_string().contains("</a>"));
         assert!(with.to_string().contains("<b>"));
         let without = Error::new(
-            ErrorKind::MismatchedCloseTag { found: "a".into(), expected: None },
+            ErrorKind::MismatchedCloseTag {
+                found: "a".into(),
+                expected: None,
+            },
             0,
         );
         assert!(without.to_string().contains("no open element"));

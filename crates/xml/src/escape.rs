@@ -55,14 +55,18 @@ pub fn unescape(raw: &str, offset: usize) -> Result<String> {
         let after = &rest[amp + 1..];
         let semi = after.find(';').ok_or_else(|| {
             Error::new(
-                ErrorKind::UnexpectedEof { context: "an entity reference" },
+                ErrorKind::UnexpectedEof {
+                    context: "an entity reference",
+                },
                 offset + consumed + amp,
             )
         })?;
         let entity = &after[..semi];
         let decoded = decode_entity(entity).ok_or_else(|| {
             Error::new(
-                ErrorKind::InvalidEntity { entity: entity.to_owned() },
+                ErrorKind::InvalidEntity {
+                    entity: entity.to_owned(),
+                },
                 offset + consumed + amp,
             )
         })?;
@@ -117,7 +121,10 @@ mod tests {
 
     #[test]
     fn unescape_predefined_entities() {
-        assert_eq!(unescape("a &lt; b &amp; c &gt; d", 0).unwrap(), "a < b & c > d");
+        assert_eq!(
+            unescape("a &lt; b &amp; c &gt; d", 0).unwrap(),
+            "a < b & c > d"
+        );
         assert_eq!(unescape("&quot;x&apos;", 0).unwrap(), "\"x'");
     }
 
@@ -148,9 +155,20 @@ mod tests {
 
     #[test]
     fn round_trip_escape_unescape() {
-        let samples = ["", "plain", "a<b>&c\"d'", "#1", "100 %", "déjà-vu & cliché <tags>"];
+        let samples = [
+            "",
+            "plain",
+            "a<b>&c\"d'",
+            "#1",
+            "100 %",
+            "déjà-vu & cliché <tags>",
+        ];
         for s in samples {
-            assert_eq!(unescape(&escape_text(s), 0).unwrap(), s, "text round trip of {s:?}");
+            assert_eq!(
+                unescape(&escape_text(s), 0).unwrap(),
+                s,
+                "text round trip of {s:?}"
+            );
             assert_eq!(
                 unescape(&escape_attribute(s), 0).unwrap(),
                 s,

@@ -49,7 +49,10 @@ mod tests {
             .attr("height", "50")
             .finish()
             .unwrap();
-        w.start_element("text").attr("class", "labellink").finish().unwrap();
+        w.start_element("text")
+            .attr("class", "labellink")
+            .finish()
+            .unwrap();
         w.text("42 %").unwrap();
         w.end_element("text").unwrap();
         w.end_element("svg").unwrap();

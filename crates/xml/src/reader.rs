@@ -78,7 +78,13 @@ impl<'a> Reader<'a> {
     /// Creates a reader over a complete document held in memory.
     #[must_use]
     pub fn new(text: &'a str) -> Self {
-        Self { input: text.as_bytes(), text, pos: 0, stack: Vec::new(), seen_root: false }
+        Self {
+            input: text.as_bytes(),
+            text,
+            pos: 0,
+            stack: Vec::new(),
+            seen_root: false,
+        }
     }
 
     /// Current byte offset into the input.
@@ -99,7 +105,9 @@ impl<'a> Reader<'a> {
             if self.pos >= self.input.len() {
                 if !self.stack.is_empty() {
                     return Err(Error::new(
-                        ErrorKind::UnclosedElements { depth: self.stack.len() },
+                        ErrorKind::UnclosedElements {
+                            depth: self.stack.len(),
+                        },
                         self.pos,
                     ));
                 }
@@ -129,7 +137,10 @@ impl<'a> Reader<'a> {
         debug_assert_eq!(self.input[self.pos], b'<');
         let at = self.pos;
         match self.input.get(self.pos + 1) {
-            None => Err(Error::new(ErrorKind::UnexpectedEof { context: "a tag" }, at)),
+            None => Err(Error::new(
+                ErrorKind::UnexpectedEof { context: "a tag" },
+                at,
+            )),
             Some(b'?') => self.read_pi(),
             Some(b'!') => self.read_bang(),
             Some(b'/') => self.read_close_tag(),
@@ -142,7 +153,12 @@ impl<'a> Reader<'a> {
         let at = self.pos;
         let body_start = self.pos + 2;
         let end = find(self.input, b"?>", body_start).ok_or_else(|| {
-            Error::new(ErrorKind::UnexpectedEof { context: "a processing instruction" }, at)
+            Error::new(
+                ErrorKind::UnexpectedEof {
+                    context: "a processing instruction",
+                },
+                at,
+            )
         })?;
         let body = self.text[body_start..end].to_owned();
         self.pos = end + 2;
@@ -158,15 +174,26 @@ impl<'a> Reader<'a> {
         let at = self.pos;
         let rest = &self.input[self.pos..];
         if rest.starts_with(b"<!--") {
-            let end = find(self.input, b"-->", self.pos + 4)
-                .ok_or_else(|| Error::new(ErrorKind::UnexpectedEof { context: "a comment" }, at))?;
+            let end = find(self.input, b"-->", self.pos + 4).ok_or_else(|| {
+                Error::new(
+                    ErrorKind::UnexpectedEof {
+                        context: "a comment",
+                    },
+                    at,
+                )
+            })?;
             let body = self.text[self.pos + 4..end].to_owned();
             self.pos = end + 3;
             return Ok(Event::Comment(body));
         }
         if rest.starts_with(b"<![CDATA[") {
             let end = find(self.input, b"]]>", self.pos + 9).ok_or_else(|| {
-                Error::new(ErrorKind::UnexpectedEof { context: "a CDATA section" }, at)
+                Error::new(
+                    ErrorKind::UnexpectedEof {
+                        context: "a CDATA section",
+                    },
+                    at,
+                )
             })?;
             let body = self.text[self.pos + 9..end].to_owned();
             self.pos = end + 3;
@@ -192,10 +219,18 @@ impl<'a> Reader<'a> {
                 }
                 i += 1;
             }
-            return Err(Error::new(ErrorKind::UnexpectedEof { context: "a DOCTYPE" }, at));
+            return Err(Error::new(
+                ErrorKind::UnexpectedEof {
+                    context: "a DOCTYPE",
+                },
+                at,
+            ));
         }
         Err(Error::new(
-            ErrorKind::UnexpectedChar { found: '!', expected: "a comment, CDATA or DOCTYPE" },
+            ErrorKind::UnexpectedChar {
+                found: '!',
+                expected: "a comment, CDATA or DOCTYPE",
+            },
             at + 1,
         ))
     }
@@ -210,12 +245,19 @@ impl<'a> Reader<'a> {
         match self.stack.pop() {
             Some(open) if open == name => Ok(Event::EndElement { name }),
             Some(open) => Err(Error::new(
-                ErrorKind::MismatchedCloseTag { found: name, expected: Some(open) },
+                ErrorKind::MismatchedCloseTag {
+                    found: name,
+                    expected: Some(open),
+                },
                 at,
             )),
-            None => {
-                Err(Error::new(ErrorKind::MismatchedCloseTag { found: name, expected: None }, at))
-            }
+            None => Err(Error::new(
+                ErrorKind::MismatchedCloseTag {
+                    found: name,
+                    expected: None,
+                },
+                at,
+            )),
         }
     }
 
@@ -232,19 +274,30 @@ impl<'a> Reader<'a> {
             self.skip_whitespace();
             match self.peek() {
                 None => {
-                    return Err(Error::new(ErrorKind::UnexpectedEof { context: "a tag" }, at));
+                    return Err(Error::new(
+                        ErrorKind::UnexpectedEof { context: "a tag" },
+                        at,
+                    ));
                 }
                 Some(b'>') => {
                     self.pos += 1;
                     self.stack.push(name.clone());
                     self.seen_root = true;
-                    return Ok(Event::StartElement { name, attributes, self_closing: false });
+                    return Ok(Event::StartElement {
+                        name,
+                        attributes,
+                        self_closing: false,
+                    });
                 }
                 Some(b'/') => {
                     self.pos += 1;
                     self.expect(b'>', "'>' after '/'")?;
                     self.seen_root = true;
-                    return Ok(Event::StartElement { name, attributes, self_closing: true });
+                    return Ok(Event::StartElement {
+                        name,
+                        attributes,
+                        self_closing: true,
+                    });
                 }
                 Some(_) => {
                     let attr = self.read_attribute()?;
@@ -270,13 +323,18 @@ impl<'a> Reader<'a> {
             Some(q @ (b'"' | b'\'')) => q,
             Some(other) => {
                 return Err(Error::new(
-                    ErrorKind::UnexpectedChar { found: other as char, expected: "a quote" },
+                    ErrorKind::UnexpectedChar {
+                        found: other as char,
+                        expected: "a quote",
+                    },
                     self.pos,
                 ));
             }
             None => {
                 return Err(Error::new(
-                    ErrorKind::UnexpectedEof { context: "an attribute value" },
+                    ErrorKind::UnexpectedEof {
+                        context: "an attribute value",
+                    },
                     self.pos,
                 ));
             }
@@ -284,7 +342,12 @@ impl<'a> Reader<'a> {
         self.pos += 1;
         let start = self.pos;
         let end = memchr(self.input, quote, self.pos).ok_or_else(|| {
-            Error::new(ErrorKind::UnexpectedEof { context: "an attribute value" }, start)
+            Error::new(
+                ErrorKind::UnexpectedEof {
+                    context: "an attribute value",
+                },
+                start,
+            )
         })?;
         let value = unescape(&self.text[start..end], start)?;
         self.pos = end + 1;
@@ -331,17 +394,26 @@ impl<'a> Reader<'a> {
                 Ok(())
             }
             Some(other) => Err(Error::new(
-                ErrorKind::UnexpectedChar { found: other as char, expected },
+                ErrorKind::UnexpectedChar {
+                    found: other as char,
+                    expected,
+                },
                 self.pos,
             )),
-            None => Err(Error::new(ErrorKind::UnexpectedEof { context: expected }, self.pos)),
+            None => Err(Error::new(
+                ErrorKind::UnexpectedEof { context: expected },
+                self.pos,
+            )),
         }
     }
 }
 
 /// First position of `needle` at or after `from`.
 fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
-    haystack[from..].iter().position(|&b| b == needle).map(|i| from + i)
+    haystack[from..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| from + i)
 }
 
 /// First position of the multi-byte `needle` at or after `from`.
@@ -373,7 +445,11 @@ mod tests {
         let evts = events("<a/>").unwrap();
         assert_eq!(
             evts,
-            [Event::StartElement { name: "a".into(), attributes: vec![], self_closing: true }]
+            [Event::StartElement {
+                name: "a".into(),
+                attributes: vec![],
+                self_closing: true
+            }]
         );
     }
 
@@ -435,13 +511,19 @@ mod tests {
     #[test]
     fn rejects_stray_close_tag() {
         let err = events("<a/></a>").unwrap_err();
-        assert!(matches!(err.kind(), ErrorKind::MismatchedCloseTag { expected: None, .. }));
+        assert!(matches!(
+            err.kind(),
+            ErrorKind::MismatchedCloseTag { expected: None, .. }
+        ));
     }
 
     #[test]
     fn rejects_unclosed_elements_at_eof() {
         let err = events("<a><b>").unwrap_err();
-        assert!(matches!(err.kind(), ErrorKind::UnclosedElements { depth: 2 }));
+        assert!(matches!(
+            err.kind(),
+            ErrorKind::UnclosedElements { depth: 2 }
+        ));
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Writer {
     /// Creates a writer that indents nested elements by two spaces.
     #[must_use]
     pub fn pretty() -> Self {
-        Self { pretty: true, ..Self::new() }
+        Self {
+            pretty: true,
+            ..Self::new()
+        }
     }
 
     /// Writes the `<?xml ...?>` declaration. Must be the first output.
@@ -66,7 +69,11 @@ impl Writer {
     /// Starts building an opening tag; finish with
     /// [`ElementBuilder::finish`] or [`ElementBuilder::close`].
     pub fn start_element<'w>(&'w mut self, name: &str) -> ElementBuilder<'w> {
-        ElementBuilder { writer: self, name: name.to_owned(), attrs: Vec::new() }
+        ElementBuilder {
+            writer: self,
+            name: name.to_owned(),
+            attrs: Vec::new(),
+        }
     }
 
     /// Writes character data inside the current element.
@@ -113,7 +120,10 @@ impl Writer {
                 self.out.len(),
             )),
             None => Err(Error::new(
-                ErrorKind::MismatchedCloseTag { found: name.to_owned(), expected: None },
+                ErrorKind::MismatchedCloseTag {
+                    found: name.to_owned(),
+                    expected: None,
+                },
                 self.out.len(),
             )),
         }
@@ -123,7 +133,9 @@ impl Writer {
     pub fn into_string_checked(self) -> Result<String> {
         if !self.stack.is_empty() {
             return Err(Error::new(
-                ErrorKind::UnclosedElements { depth: self.stack.len() },
+                ErrorKind::UnclosedElements {
+                    depth: self.stack.len(),
+                },
                 self.out.len(),
             ));
         }
@@ -288,7 +300,12 @@ mod tests {
     #[test]
     fn rejects_duplicate_attributes() {
         let mut w = Writer::new();
-        assert!(w.start_element("a").attr("k", "1").attr("k", "2").close().is_err());
+        assert!(w
+            .start_element("a")
+            .attr("k", "1")
+            .attr("k", "2")
+            .close()
+            .is_err());
     }
 
     #[test]
@@ -320,8 +337,14 @@ mod tests {
         let mut w = Writer::pretty();
         w.declaration("1.0", Some("UTF-8")).unwrap();
         w.comment("generated").unwrap();
-        w.start_element("svg").attr_f64("width", 1024.0).finish().unwrap();
-        w.start_element("text").attr("class", "labellink").finish().unwrap();
+        w.start_element("svg")
+            .attr_f64("width", 1024.0)
+            .finish()
+            .unwrap();
+        w.start_element("text")
+            .attr("class", "labellink")
+            .finish()
+            .unwrap();
         w.text("9 %").unwrap();
         w.end_element("text").unwrap();
         w.start_element("rect").attr_f64("x", 3.25).close().unwrap();

@@ -7,7 +7,11 @@ use wm_xml::{escape_attribute, escape_text, unescape, Event, Reader, Writer};
 /// A randomly generated element tree.
 #[derive(Debug, Clone)]
 enum Node {
-    Element { name: String, attrs: Vec<(String, String)>, children: Vec<Node> },
+    Element {
+        name: String,
+        attrs: Vec<(String, String)>,
+        children: Vec<Node>,
+    },
     Text(String),
 }
 
@@ -28,27 +32,44 @@ fn node_strategy() -> impl Strategy<Value = Node> {
         content_strategy()
             .prop_filter("text must not be whitespace-only", |s| !s.trim().is_empty())
             .prop_map(Node::Text),
-        (name_strategy(), attrs_strategy())
-            .prop_map(|(name, attrs)| Node::Element { name, attrs, children: Vec::new() }),
+        (name_strategy(), attrs_strategy()).prop_map(|(name, attrs)| Node::Element {
+            name,
+            attrs,
+            children: Vec::new()
+        }),
     ];
     leaf.prop_recursive(3, 32, 5, |inner| {
-        (name_strategy(), attrs_strategy(), prop::collection::vec(inner, 0..4)).prop_map(
-            |(name, attrs, children)| Node::Element { name, attrs, children },
+        (
+            name_strategy(),
+            attrs_strategy(),
+            prop::collection::vec(inner, 0..4),
         )
+            .prop_map(|(name, attrs, children)| Node::Element {
+                name,
+                attrs,
+                children,
+            })
     })
 }
 
 fn attrs_strategy() -> impl Strategy<Value = Vec<(String, String)>> {
     prop::collection::vec((name_strategy(), content_strategy()), 0..4).prop_map(|attrs| {
         let mut seen = std::collections::BTreeSet::new();
-        attrs.into_iter().filter(|(k, _)| seen.insert(k.clone())).collect()
+        attrs
+            .into_iter()
+            .filter(|(k, _)| seen.insert(k.clone()))
+            .collect()
     })
 }
 
 fn write_node(writer: &mut Writer, node: &Node) {
     match node {
         Node::Text(text) => writer.text(text).expect("inside an element"),
-        Node::Element { name, attrs, children } => {
+        Node::Element {
+            name,
+            attrs,
+            children,
+        } => {
             let mut builder = writer.start_element(name);
             for (k, v) in attrs {
                 builder = builder.attr(k, v);
@@ -70,12 +91,19 @@ fn write_node(writer: &mut Writer, node: &Node) {
 fn expected_events(node: &Node, out: &mut Vec<Event>) {
     match node {
         Node::Text(text) => out.push(Event::Text(text.clone())),
-        Node::Element { name, attrs, children } => {
+        Node::Element {
+            name,
+            attrs,
+            children,
+        } => {
             out.push(Event::StartElement {
                 name: name.clone(),
                 attributes: attrs
                     .iter()
-                    .map(|(k, v)| wm_xml::Attribute { name: k.clone(), value: v.clone() })
+                    .map(|(k, v)| wm_xml::Attribute {
+                        name: k.clone(),
+                        value: v.clone(),
+                    })
                     .collect(),
                 self_closing: children.is_empty(),
             });

@@ -122,7 +122,11 @@ fn emit_scalar(value: &Value) -> String {
             if f.is_nan() {
                 ".nan".to_owned()
             } else if f.is_infinite() {
-                if *f > 0.0 { ".inf".to_owned() } else { "-.inf".to_owned() }
+                if *f > 0.0 {
+                    ".inf".to_owned()
+                } else {
+                    "-.inf".to_owned()
+                }
             } else if f.fract() == 0.0 && f.abs() < 1e15 {
                 // Keep the float-ness visible so parsing round-trips types.
                 format!("{}.0", *f as i64)
@@ -147,8 +151,10 @@ fn needs_quoting(s: &str) -> bool {
         return true;
     }
     // Values that would parse as a different type must be quoted.
-    if matches!(s, "null" | "~" | "true" | "false" | "yes" | "no" | "on" | "off")
-        || s.parse::<i64>().is_ok()
+    if matches!(
+        s,
+        "null" | "~" | "true" | "false" | "yes" | "no" | "on" | "off"
+    ) || s.parse::<i64>().is_ok()
         || s.parse::<f64>().is_ok()
     {
         return true;
@@ -158,8 +164,9 @@ fn needs_quoting(s: &str) -> bool {
         return true;
     }
     // Characters with structural meaning anywhere relevant.
-    if s.starts_with(['-', '?', '[', ']', '{', '}', '&', '*', '!', '|', '>', '\'', '"', '%', '@'])
-        || s.contains(": ")
+    if s.starts_with([
+        '-', '?', '[', ']', '{', '}', '&', '*', '!', '|', '>', '\'', '"', '%', '@',
+    ]) || s.contains(": ")
         || s.ends_with(':')
         || s.contains(" #")
         || s.contains('\n')
@@ -264,7 +271,10 @@ mod tests {
 
     #[test]
     fn quoting_escapes() {
-        assert_eq!(to_string(&Value::from("a\"b\\c\nd")), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(
+            to_string(&Value::from("a\"b\\c\nd")),
+            "\"a\\\"b\\\\c\\nd\"\n"
+        );
     }
 
     #[test]

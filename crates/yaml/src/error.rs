@@ -16,7 +16,10 @@ impl Error {
     /// Creates an error reported at 1-based `line`.
     #[must_use]
     pub fn new(line: usize, message: impl Into<String>) -> Self {
-        Self { line, message: message.into() }
+        Self {
+            line,
+            message: message.into(),
+        }
     }
 
     /// 1-based line number at which the error was detected.

@@ -44,7 +44,11 @@ fn tokenize(text: &str) -> Vec<Line> {
         if content == "---" && out.is_empty() {
             continue; // Tolerate a leading document marker.
         }
-        out.push(Line { number: i + 1, indent, text: content.to_owned() });
+        out.push(Line {
+            number: i + 1,
+            indent,
+            text: content.to_owned(),
+        });
     }
     out
 }
@@ -90,7 +94,11 @@ impl Cursor {
     /// Replaces the current line with `text` re-indented at `indent`.
     fn reinject(&mut self, indent: usize, text: String) {
         let number = self.lines[self.pos].number;
-        self.lines[self.pos] = Line { number, indent, text };
+        self.lines[self.pos] = Line {
+            number,
+            indent,
+            text,
+        };
     }
 }
 
@@ -104,7 +112,10 @@ fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
     if line.indent != indent {
         return Err(Error::new(
             line.number,
-            format!("expected indentation of {} columns, found {}", indent, line.indent),
+            format!(
+                "expected indentation of {} columns, found {}",
+                indent, line.indent
+            ),
         ));
     }
     if line.text == "-" || line.text.starts_with("- ") {

@@ -63,8 +63,7 @@ fn main() {
     let text = store
         .read(sample.map, FileKind::Yaml, sample.timestamp)
         .expect("read yaml");
-    let snapshot =
-        from_yaml_str(std::str::from_utf8(&text).expect("utf-8")).expect("valid schema");
+    let snapshot = from_yaml_str(std::str::from_utf8(&text).expect("utf-8")).expect("valid schema");
     println!(
         "\nre-read {} {}: {} routers, {} links",
         sample.map,

@@ -14,13 +14,19 @@ fn main() {
     let config = pipeline.simulation().config().clone();
 
     // Sample the two-year period weekly (2 016 five-minute slots per week).
-    println!("sampling the Europe map weekly from {} to {}...", config.start, config.end);
+    println!(
+        "sampling the Europe map weekly from {} to {}...",
+        config.start, config.end
+    );
     let result = pipeline.run_window_sampled(MapKind::Europe, config.start, config.end, 2016);
     println!("  {} snapshots extracted\n", result.snapshots.len());
 
     // --- Fig. 4a/4b: infrastructure series --------------------------------
     let series = evolution_series(&result.snapshots);
-    println!("{:<22} {:>8} {:>15} {:>15}", "date", "routers", "internal links", "external links");
+    println!(
+        "{:<22} {:>8} {:>15} {:>15}",
+        "date", "routers", "internal links", "external links"
+    );
     for point in series.iter().step_by(6) {
         println!(
             "{:<22} {:>8} {:>15} {:>15}",
@@ -36,7 +42,13 @@ fn main() {
     let router_events = detect_changes(&series, |p| p.routers, 1);
     println!("\nrouter-count change events:");
     for event in &router_events {
-        println!("  {}: {} -> {} ({:+})", event.at, event.before, event.after, event.delta());
+        println!(
+            "  {}: {} -> {} ({:+})",
+            event.at,
+            event.before,
+            event.after,
+            event.delta()
+        );
     }
 
     // Internal-link steps (Fig. 4b's stepped growth).
@@ -44,7 +56,13 @@ fn main() {
     let link_steps = detect_changes(&series, |p| p.internal_links, min_step);
     println!("\ninternal-link step events (>= {min_step} links at once):");
     for event in &link_steps {
-        println!("  {}: {} -> {} ({:+})", event.at, event.before, event.after, event.delta());
+        println!(
+            "  {}: {} -> {} ({:+})",
+            event.at,
+            event.before,
+            event.after,
+            event.delta()
+        );
     }
 
     // External links grow gradually: compare first and last.

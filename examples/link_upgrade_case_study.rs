@@ -13,7 +13,11 @@ fn main() {
     // The Fig. 6 scenario needs the Europe map's peering fabric; half the
     // paper's scale keeps it while staying fast.
     let pipeline = Pipeline::new(SimulationConfig::scaled(42, 0.5));
-    let scenario = pipeline.simulation().scenario().expect("scenario scheduled").clone();
+    let scenario = pipeline
+        .simulation()
+        .scenario()
+        .expect("scenario scheduled")
+        .clone();
     println!(
         "monitored group: {} <-> {} (scheduled: added {}, PeeringDB {}, activated {})\n",
         scenario.router,
@@ -33,7 +37,10 @@ fn main() {
         .filter_map(|s| observe_group(s, &scenario.router, &scenario.peering))
         .collect();
 
-    println!("{:<22} {:>6} {:>8} {:>12}", "date", "links", "active", "mean load %");
+    println!(
+        "{:<22} {:>6} {:>8} {:>12}",
+        "date", "links", "active", "mean load %"
+    );
     for o in &observations {
         println!(
             "{:<22} {:>6} {:>8} {:>12.1}",
@@ -48,26 +55,36 @@ fn main() {
     let records: Vec<CapacityRecord> = scenario
         .peeringdb_records
         .iter()
-        .map(|r| CapacityRecord { at: r.at, total_capacity_gbps: r.total_capacity_gbps })
+        .map(|r| CapacityRecord {
+            at: r.at,
+            total_capacity_gbps: r.total_capacity_gbps,
+        })
         .collect();
     let report = detect_upgrade(&observations, &records);
 
     println!("\ndetected storyline:");
-    println!("  A: link added      {:?}", report.link_added.map(|t| t.to_iso8601()));
+    println!(
+        "  A: link added      {:?}",
+        report.link_added.map(|t| t.to_iso8601())
+    );
     println!(
         "  B: PeeringDB       {:?} (total {:?} Gbps)",
         report.capacity_update.as_ref().map(|r| r.at.to_iso8601()),
-        report.capacity_update.as_ref().map(|r| r.total_capacity_gbps)
+        report
+            .capacity_update
+            .as_ref()
+            .map(|r| r.total_capacity_gbps)
     );
-    println!("  C: link activated  {:?}", report.link_activated.map(|t| t.to_iso8601()));
+    println!(
+        "  C: link activated  {:?}",
+        report.link_activated.map(|t| t.to_iso8601())
+    );
     println!(
         "  inferred per-link capacity: {:?} Gbps (paper: 100 Gbps)",
         report.inferred_link_capacity_gbps
     );
     if let Some(ratio) = report.load_drop_ratio() {
-        println!(
-            "  load drop at activation: x{ratio:.2} (capacity ratio 4/5 = 0.80)"
-        );
+        println!("  load drop at activation: x{ratio:.2} (capacity ratio 4/5 = 0.80)");
     }
 
     // The detection must agree with the scenario script (daily sampling

@@ -29,7 +29,10 @@ fn main() {
     }
 
     println!("loads by hour of day (percent):");
-    println!("{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}", "hour", "p1", "p25", "p50", "p75", "p99");
+    println!(
+        "{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "hour", "p1", "p25", "p50", "p75", "p99"
+    );
     for hour in 0..24u8 {
         if let Some(w) = hourly.summary(hour) {
             println!(
@@ -39,7 +42,9 @@ fn main() {
         }
     }
     if let Some((trough, peak)) = hourly.extreme_hours() {
-        println!("\nmedian trough at {trough:02}h (paper: 02-04h), peak at {peak:02}h (paper: 19-21h)");
+        println!(
+            "\nmedian trough at {trough:02}h (paper: 02-04h), peak at {peak:02}h (paper: 19-21h)"
+        );
     }
 
     // --- Fig. 5b: load CDF ---------------------------------------------------
@@ -51,9 +56,7 @@ fn main() {
     let (p75, above60, delta) = cdf.headline().expect("loads collected");
     println!("  75th percentile: {p75:.1} % (paper: ~33 %)");
     println!("  fraction above 60 %: {:.4} (paper: very few)", above60);
-    println!(
-        "  mean external - mean internal: {delta:+.1} points (paper: externals cooler)"
-    );
+    println!("  mean external - mean internal: {delta:+.1} points (paper: externals cooler)");
 
     // --- Fig. 5c: ECMP imbalance --------------------------------------------
     let (all_le_1, external_le_2) = imbalance.headline();
@@ -67,6 +70,12 @@ fn main() {
             imbalance.external().cdf(x)
         );
     }
-    println!("  all sets <= 1 point: {:.1} % (paper: > 60 %)", all_le_1 * 100.0);
-    println!("  external sets <= 2 points: {:.1} % (paper: > 90 %)", external_le_2 * 100.0);
+    println!(
+        "  all sets <= 1 point: {:.1} % (paper: > 60 %)",
+        all_le_1 * 100.0
+    );
+    println!(
+        "  external sets <= 2 points: {:.1} % (paper: > 90 %)",
+        external_le_2 * 100.0
+    );
 }

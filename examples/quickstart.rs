@@ -28,7 +28,10 @@ fn main() {
     println!("  internal links: {}", snapshot.internal_link_count());
     println!("  external links: {}", snapshot.external_link_count());
     println!("  parallel sets:  {}", snapshot.parallel_groups().len());
-    println!("  mean parallel links per set: {:.2}", snapshot.mean_parallelism());
+    println!(
+        "  mean parallel links per set: {:.2}",
+        snapshot.mean_parallelism()
+    );
 
     // The busiest link right now.
     let busiest = snapshot
@@ -42,7 +45,10 @@ fn main() {
     let yaml = to_yaml_string(snapshot);
     let restored = from_yaml_str(&yaml).expect("schema round trip");
     assert_eq!(&restored, snapshot);
-    println!("\nYAML head:\n{}", yaml.lines().take(8).collect::<Vec<_>>().join("\n"));
+    println!(
+        "\nYAML head:\n{}",
+        yaml.lines().take(8).collect::<Vec<_>>().join("\n")
+    );
 
     // And the extraction is verifiably exact against the simulator.
     pipeline

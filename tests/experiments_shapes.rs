@@ -33,7 +33,11 @@ fn table1_matches_paper_counts_at_full_scale() {
         (MapKind::AsiaPacific, 23, 96, 39),
     ];
     for (map, routers, internal, external) in expected {
-        let row = table.rows.iter().find(|r| r.map == map).expect("row exists");
+        let row = table
+            .rows
+            .iter()
+            .find(|r| r.map == map)
+            .expect("row exists");
         assert_eq!(row.routers, routers, "{map} routers");
         assert_eq!(row.internal_links, internal, "{map} internal");
         assert_eq!(row.external_links, external, "{map} external");
@@ -73,10 +77,18 @@ fn table2_corpus_bookkeeping() {
     // SVG is substantially larger than YAML (paper: 227.9 vs 28.5 GiB).
     let svg = stats.total(FileKind::Svg);
     let yaml = stats.total(FileKind::Yaml);
-    assert!(svg.bytes > yaml.bytes * 3, "SVG {} vs YAML {}", svg.bytes, yaml.bytes);
+    assert!(
+        svg.bytes > yaml.bytes * 3,
+        "SVG {} vs YAML {}",
+        svg.bytes,
+        yaml.bytes
+    );
     // Unprocessed files exist but are a tiny fraction (paper: <100 out of
     // 100k+ per map; here one day × 4 maps ≈ 1 100 files).
-    assert!(refused_total * 100 <= svg.files, "too many refused: {refused_total}");
+    assert!(
+        refused_total * 100 <= svg.files,
+        "too many refused: {refused_total}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -98,16 +110,26 @@ fn fig2_coverage_segments_shape() {
     let times: Vec<Timestamp> = p
         .simulation()
         .collection_plan(MapKind::Europe)
-        .collected_times_between(Timestamp::from_ymd(2022, 7, 1), Timestamp::from_ymd(2022, 8, 1))
+        .collected_times_between(
+            Timestamp::from_ymd(2022, 7, 1),
+            Timestamp::from_ymd(2022, 8, 1),
+        )
         .collect();
     let segments = coverage_segments(&times, Duration::from_hours(12));
-    assert_eq!(segments.len(), 1, "post-fix July 2022 should be one segment");
+    assert_eq!(
+        segments.len(),
+        1,
+        "post-fix July 2022 should be one segment"
+    );
 }
 
 #[test]
 fn fig3_gap_distribution_shape() {
     let p = pipeline(0.1);
-    let window = (Timestamp::from_ymd(2022, 1, 1), Timestamp::from_ymd(2022, 3, 1));
+    let window = (
+        Timestamp::from_ymd(2022, 1, 1),
+        Timestamp::from_ymd(2022, 3, 1),
+    );
     // Europe ≥ 99.8 % at the 5-minute resolution.
     let europe_times: Vec<Timestamp> = p
         .simulation()
@@ -115,7 +137,11 @@ fn fig3_gap_distribution_shape() {
         .collected_times_between(window.0, window.1)
         .collect();
     let europe = GapDistribution::new(&europe_times);
-    assert!(europe.fraction_at_resolution() > 0.995, "{}", europe.fraction_at_resolution());
+    assert!(
+        europe.fraction_at_resolution() > 0.995,
+        "{}",
+        europe.fraction_at_resolution()
+    );
 
     // Non-Europe maps: coarser less than 10 % of the time, mostly ≤ 10 min.
     for map in [MapKind::World, MapKind::NorthAmerica, MapKind::AsiaPacific] {
@@ -127,7 +153,10 @@ fn fig3_gap_distribution_shape() {
         let dist = GapDistribution::new(&times);
         let at_5min = dist.fraction_at_resolution();
         assert!(at_5min > 0.90 && at_5min < 0.999, "{map}: {at_5min}");
-        assert!(dist.fraction_within(Duration::from_minutes(10)) > 0.95, "{map}");
+        assert!(
+            dist.fraction_within(Duration::from_minutes(10)) > 0.95,
+            "{map}"
+        );
     }
 
     // The raw gap helper agrees with the distribution's sample count.
@@ -161,7 +190,11 @@ fn fig4_evolution_signatures() {
     };
     let genesis_routers = series[0].1;
     assert_eq!(at(2020, 9, 20).1, genesis_routers + 10, "MBB peak");
-    assert_eq!(at(2020, 11, 15).1, genesis_routers + 6, "after MBB removals");
+    assert_eq!(
+        at(2020, 11, 15).1,
+        genesis_routers + 6,
+        "after MBB removals"
+    );
     // June 2021 removals.
     assert_eq!(at(2021, 7, 1).1, at(2021, 5, 25).1 - 4);
     // Fig. 4b: November 2021 internal step of +40.
@@ -178,8 +211,16 @@ fn fig4c_degree_ccdf_through_extraction() {
     let snapshot = extract_svg(&rendered.svg, MapKind::Europe, t, p.extract_config())
         .expect("full-scale extraction");
     let degrees = DegreeAnalysis::of(&snapshot);
-    assert!(degrees.fraction_single_link() > 0.20, "{}", degrees.fraction_single_link());
-    assert!(degrees.fraction_above(20) > 0.20, "{}", degrees.fraction_above(20));
+    assert!(
+        degrees.fraction_single_link() > 0.20,
+        "{}",
+        degrees.fraction_single_link()
+    );
+    assert!(
+        degrees.fraction_above(20) > 0.20,
+        "{}",
+        degrees.fraction_above(20)
+    );
 }
 
 // --- Fig. 5 -----------------------------------------------------------
@@ -212,7 +253,10 @@ fn fig5_load_shapes_through_extraction() {
     // Variance grows with load: IQR at peak > IQR at trough.
     let iqr_peak = hourly.summary(peak).unwrap().iqr();
     let iqr_trough = hourly.summary(trough).unwrap().iqr();
-    assert!(iqr_peak > iqr_trough, "IQR peak {iqr_peak} vs trough {iqr_trough}");
+    assert!(
+        iqr_peak > iqr_trough,
+        "IQR peak {iqr_peak} vs trough {iqr_trough}"
+    );
 
     // Fig. 5b: 75 % below ~33 %, few above 60 %, externals cooler.
     let (p75, above60, delta) = cdf.headline().expect("data");
@@ -231,7 +275,11 @@ fn fig5_load_shapes_through_extraction() {
 #[test]
 fn fig6_upgrade_detection_through_extraction() {
     let p = pipeline(0.5);
-    let scenario = p.simulation().scenario().expect("scenario scheduled").clone();
+    let scenario = p
+        .simulation()
+        .scenario()
+        .expect("scenario scheduled")
+        .clone();
     // Daily samples over March 2022.
     let result = p.run_window_sampled(
         MapKind::Europe,
@@ -249,7 +297,10 @@ fn fig6_upgrade_detection_through_extraction() {
     let records: Vec<CapacityRecord> = scenario
         .peeringdb_records
         .iter()
-        .map(|r| CapacityRecord { at: r.at, total_capacity_gbps: r.total_capacity_gbps })
+        .map(|r| CapacityRecord {
+            at: r.at,
+            total_capacity_gbps: r.total_capacity_gbps,
+        })
         .collect();
     let report = detect_upgrade(&observations, &records);
 

@@ -8,7 +8,11 @@ use proptest::prelude::*;
 
 fn base_svg() -> String {
     let sim = Simulation::new(SimulationConfig::scaled(5, 0.08));
-    sim.snapshot(MapKind::Europe, Timestamp::from_ymd_hms(2021, 4, 1, 9, 0, 0)).svg
+    sim.snapshot(
+        MapKind::Europe,
+        Timestamp::from_ymd_hms(2021, 4, 1, 9, 0, 0),
+    )
+    .svg
 }
 
 proptest! {
@@ -58,6 +62,82 @@ proptest! {
     }
 }
 
+/// The exhaustive fault matrix: every simulator fault kind, injected
+/// into every map's snapshot, is classified into one of the documented
+/// `ExtractError::kind()` strings — never a panic, never a silently
+/// accepted snapshot. Batch statistics over the same corpus must keep
+/// `failures_by_kind` summing exactly to `failed`.
+#[test]
+fn fault_matrix_is_exhaustively_classified() {
+    use ovh_weather::simulator::faults::{corrupt, FaultKind};
+
+    // Expected classification per fault kind. Keep in sync with
+    // `corrupted_files_are_rejected_with_the_right_kind` in wm-extract.
+    let expected: &[(FaultKind, &[&str])] = &[
+        (FaultKind::TruncatedXml, &["invalid-xml"]),
+        (FaultKind::MalformedAttribute, &["invalid-svg"]),
+        (FaultKind::MissingRouters, &["dangling-link", "self-loop"]),
+    ];
+    // The matrix is exhaustive: a new FaultKind must be added here.
+    assert_eq!(expected.len(), FaultKind::ALL.len());
+
+    let sim = Simulation::new(SimulationConfig::scaled(7, 0.1));
+    let config = ExtractConfig::default();
+    // Inside every map's collection availability (non-Europe maps have
+    // a year-long hole around 2021).
+    let t = Timestamp::from_ymd_hms(2022, 2, 1, 12, 0, 0);
+
+    for map in MapKind::ALL {
+        let clean = sim.snapshot(map, t).svg;
+        let mut batch = vec![BatchInput {
+            timestamp: t,
+            svg: clean.clone(),
+        }];
+        for (offset, (fault, kinds)) in expected.iter().enumerate() {
+            for seed in 0..4u64 {
+                let corrupted = corrupt(&clean, *fault, seed);
+                let err = match extract_svg(&corrupted, map, t, &config) {
+                    Err(err) => err,
+                    Ok(_) => panic!("{map}: {fault:?} seed {seed} extracted cleanly"),
+                };
+                assert!(
+                    kinds.contains(&err.kind()),
+                    "{map}: {fault:?} classified as {:?}, expected one of {kinds:?}",
+                    err.kind()
+                );
+                let at = t + Duration::from_minutes(5 * (1 + offset as i64 * 4 + seed as i64));
+                batch.push(BatchInput {
+                    timestamp: at,
+                    svg: corrupted,
+                });
+            }
+        }
+        let (snapshots, stats) = ovh_weather::extract::extract_batch(&batch, map, &config, 3);
+        assert_eq!(stats.total(), batch.len(), "{map}");
+        assert_eq!(stats.processed, snapshots.len(), "{map}");
+        assert_eq!(
+            stats.failed,
+            batch.len() - 1,
+            "{map}: only the clean file passes"
+        );
+        assert_eq!(
+            stats.failures_by_kind.values().sum::<usize>(),
+            stats.failed,
+            "{map}: failures_by_kind must sum to failed"
+        );
+        let documented: std::collections::BTreeSet<&str> = expected
+            .iter()
+            .flat_map(|(_, kinds)| kinds.iter().copied())
+            .collect();
+        for kind in stats.failures_by_kind.keys() {
+            assert!(
+                documented.contains(kind.as_str()),
+                "{map}: undocumented kind {kind}"
+            );
+        }
+    }
+}
+
 #[test]
 fn structured_hostile_documents_are_classified() {
     let config = ExtractConfig::default();
@@ -81,7 +161,10 @@ fn structured_hostile_documents_are_classified() {
     ];
     for (i, doc) in hostile.iter().enumerate() {
         let result = extract_svg(doc, MapKind::Europe, t, &config);
-        assert!(result.is_err(), "hostile document {i} should be refused, got {result:?}");
+        assert!(
+            result.is_err(),
+            "hostile document {i} should be refused, got {result:?}"
+        );
     }
 
     // Deeply nested empty groups are *valid* (they carry no weathermap

@@ -29,13 +29,13 @@ fn roundtrip_during_evolution_events() {
     // removals, the November 2021 step, and the AMS-IX scenario.
     let pipeline = Pipeline::new(SimulationConfig::scaled(7, 0.3));
     for t in [
-        Timestamp::from_ymd_hms(2020, 9, 20, 12, 0, 0),  // MBB peak
+        Timestamp::from_ymd_hms(2020, 9, 20, 12, 0, 0), // MBB peak
         Timestamp::from_ymd_hms(2020, 10, 31, 12, 0, 0), // after MBB removals
-        Timestamp::from_ymd_hms(2021, 6, 30, 12, 0, 0),  // after June removals
-        Timestamp::from_ymd_hms(2021, 8, 15, 12, 0, 0),  // during the dip
+        Timestamp::from_ymd_hms(2021, 6, 30, 12, 0, 0), // after June removals
+        Timestamp::from_ymd_hms(2021, 8, 15, 12, 0, 0), // during the dip
         Timestamp::from_ymd_hms(2021, 11, 20, 12, 0, 0), // after the big step
-        Timestamp::from_ymd_hms(2022, 3, 10, 12, 0, 0),  // link added, inactive
-        Timestamp::from_ymd_hms(2022, 3, 25, 12, 0, 0),  // link activated
+        Timestamp::from_ymd_hms(2022, 3, 10, 12, 0, 0), // link added, inactive
+        Timestamp::from_ymd_hms(2022, 3, 25, 12, 0, 0), // link activated
     ] {
         pipeline
             .verify_roundtrip(MapKind::Europe, t)
@@ -48,7 +48,9 @@ fn roundtrip_at_full_paper_scale() {
     // One full-size Europe snapshot (113 routers, ~1 000 links).
     let pipeline = Pipeline::new(SimulationConfig::paper(42));
     let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
-    pipeline.verify_roundtrip(MapKind::Europe, t).expect("full-scale round trip");
+    pipeline
+        .verify_roundtrip(MapKind::Europe, t)
+        .expect("full-scale round trip");
 }
 
 proptest! {
