@@ -4,5 +4,7 @@ set -eux
 
 cargo build --release
 cargo test -q
+cargo test -q --test scheduling_equivalence
+cargo bench --no-run --workspace
 cargo clippy -- -D warnings
 cargo fmt --check

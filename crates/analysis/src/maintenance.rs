@@ -109,9 +109,15 @@ pub fn disabled_fraction(snapshots: &[TopologySnapshot]) -> f64 {
 
 fn key_of(link: &wm_model::Link) -> LinkKey {
     let (a_first, (a, b)) = if link.a.node.name <= link.b.node.name {
-        (true, (link.a.node.name.clone(), link.b.node.name.clone()))
+        (
+            true,
+            (link.a.node.name.to_string(), link.b.node.name.to_string()),
+        )
     } else {
-        (false, (link.b.node.name.clone(), link.a.node.name.clone()))
+        (
+            false,
+            (link.b.node.name.to_string(), link.a.node.name.to_string()),
+        )
     };
     let (label_a, label_b) = if a_first {
         (link.a.label.clone(), link.b.label.clone())

@@ -1,0 +1,84 @@
+//! Broad-phase benchmark: Algorithm 2 candidate collection with the
+//! uniform-grid spatial index versus the brute-force all-boxes scan, on
+//! full-scale snapshots of all four weathermaps, plus the end-to-end
+//! per-snapshot latency with reused scratch buffers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ovh_weather::extract::{
+    algorithm1, algorithm2_with, extract_svg_with, AttributionScratch, ExtractScratch, RawObjects,
+};
+use ovh_weather::prelude::*;
+use ovh_weather::svg::Document;
+
+fn snapshot_svg(map: MapKind) -> String {
+    let sim = Simulation::new(SimulationConfig::scaled(42, 1.0));
+    sim.snapshot(map, Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0))
+        .svg
+}
+
+fn objects_of(svg: &str) -> RawObjects {
+    let doc = Document::parse(svg).expect("valid");
+    algorithm1(&doc).expect("valid")
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
+    let grid_config = ExtractConfig::default();
+    let brute_config = ExtractConfig {
+        use_spatial_index: false,
+        ..ExtractConfig::default()
+    };
+    for map in [
+        MapKind::Europe,
+        MapKind::World,
+        MapKind::NorthAmerica,
+        MapKind::AsiaPacific,
+    ] {
+        let svg = snapshot_svg(map);
+        let objects = objects_of(&svg);
+        let mut group = c.benchmark_group(format!("attribution/{}", map.slug()));
+        group.throughput(Throughput::Elements(objects.links.len() as u64));
+
+        let mut scratch = AttributionScratch::new();
+        group.bench_function("brute", |b| {
+            b.iter(|| {
+                algorithm2_with(&objects, map, t, &brute_config, &mut scratch).expect("valid")
+            });
+        });
+        group.bench_function("grid", |b| {
+            b.iter(|| {
+                algorithm2_with(&objects, map, t, &grid_config, &mut scratch).expect("valid")
+            });
+        });
+        group.finish();
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Full per-snapshot latency (XML → Algorithm 1 → Algorithm 2) with
+    // warmed per-worker scratch, as the batch runner runs it.
+    let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
+    let svg = snapshot_svg(MapKind::Europe);
+    let grid_config = ExtractConfig::default();
+    let brute_config = ExtractConfig {
+        use_spatial_index: false,
+        ..ExtractConfig::default()
+    };
+    let mut group = c.benchmark_group("attribution/end-to-end-europe");
+    group.throughput(Throughput::Bytes(svg.len() as u64));
+    let mut scratch = ExtractScratch::new();
+    group.bench_function("brute", |b| {
+        b.iter(|| {
+            extract_svg_with(&svg, MapKind::Europe, t, &brute_config, &mut scratch).expect("valid")
+        });
+    });
+    group.bench_function("grid", |b| {
+        b.iter(|| {
+            extract_svg_with(&svg, MapKind::Europe, t, &grid_config, &mut scratch).expect("valid")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attribution, bench_end_to_end);
+criterion_main!(benches);

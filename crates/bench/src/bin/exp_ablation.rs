@@ -107,7 +107,12 @@ fn main() {
         let reference = algorithm2(&objects, MapKind::Europe, *t, &config).expect("clean corpus");
         for (i, link) in brute_force_ends(&objects).into_iter().enumerate() {
             let ref_link = &reference.links[i];
-            if link == (ref_link.a.node.name.clone(), ref_link.b.node.name.clone()) {
+            if link
+                == (
+                    ref_link.a.node.name.to_string(),
+                    ref_link.b.node.name.to_string(),
+                )
+            {
                 agree += 1;
             } else {
                 disagree += 1;

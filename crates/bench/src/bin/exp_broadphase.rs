@@ -1,0 +1,86 @@
+//! Broad-phase speedup measurement (EXPERIMENTS.md evidence).
+//!
+//! Times Algorithm 2 with the uniform-grid spatial index against the
+//! brute-force all-boxes scan on one full-scale snapshot of each map,
+//! checks the outputs are identical, and reports the broad-phase work
+//! counters (fraction of exact intersection tests actually run).
+
+use std::time::Instant;
+
+use ovh_weather::extract::{
+    algorithm1, algorithm2_with, AttributionScratch, ExtractConfig, RawObjects,
+};
+use ovh_weather::prelude::*;
+use ovh_weather::svg::Document;
+
+const ROUNDS: usize = 30;
+
+/// Median wall time of `ROUNDS` runs of `algorithm2_with`.
+fn median_time(
+    objects: &RawObjects,
+    map: MapKind,
+    t: Timestamp,
+    config: &ExtractConfig,
+    scratch: &mut AttributionScratch,
+) -> f64 {
+    let mut samples: Vec<f64> = (0..ROUNDS)
+        .map(|_| {
+            let start = Instant::now();
+            let snapshot = algorithm2_with(objects, map, t, config, scratch).expect("clean");
+            let elapsed = start.elapsed().as_secs_f64();
+            std::hint::black_box(snapshot);
+            elapsed
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[ROUNDS / 2]
+}
+
+fn main() {
+    let t = Timestamp::from_ymd_hms(2022, 9, 12, 12, 0, 0);
+    let sim = Simulation::new(SimulationConfig::scaled(42, 1.0));
+    let grid_config = ExtractConfig::default();
+    let brute_config = ExtractConfig {
+        use_spatial_index: false,
+        ..ExtractConfig::default()
+    };
+
+    println!("broad-phase ablation: full-scale snapshots, median of {ROUNDS} runs\n");
+    println!(
+        "{:>14}  {:>6} {:>6} {:>6}  {:>10} {:>10} {:>8}  {:>7}",
+        "map", "boxes", "links", "tested", "brute", "grid", "speedup", "tested%"
+    );
+    for map in [
+        MapKind::Europe,
+        MapKind::World,
+        MapKind::NorthAmerica,
+        MapKind::AsiaPacific,
+    ] {
+        let svg = sim.snapshot(map, t).svg;
+        let doc = Document::parse(&svg).expect("clean corpus");
+        let objects = algorithm1(&doc).expect("clean corpus");
+        let mut scratch = AttributionScratch::new();
+
+        let brute_time = median_time(&objects, map, t, &brute_config, &mut scratch);
+        scratch.take_stats();
+        let grid_time = median_time(&objects, map, t, &grid_config, &mut scratch);
+        let stats = scratch.take_stats();
+
+        // The tentpole invariant: identical output either way.
+        let a = algorithm2_with(&objects, map, t, &grid_config, &mut scratch).expect("clean");
+        let b = algorithm2_with(&objects, map, t, &brute_config, &mut scratch).expect("clean");
+        assert_eq!(a, b, "{map}: grid and brute force must agree exactly");
+
+        println!(
+            "{:>14}  {:>6} {:>6} {:>6}  {:>9.3}ms {:>9.3}ms {:>7.2}x  {:>6.1}%",
+            map.slug(),
+            objects.routers.len() + objects.labels.len(),
+            objects.links.len(),
+            stats.rects_tested / stats.lines.max(1),
+            brute_time * 1e3,
+            grid_time * 1e3,
+            brute_time / grid_time,
+            100.0 * stats.tested_fraction(),
+        );
+    }
+}

@@ -59,6 +59,19 @@ pub struct RawObjects {
 /// Runs Algorithm 1 over a parsed SVG document.
 pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
     let mut out = RawObjects::default();
+    algorithm1_into(doc, &mut out)?;
+    Ok(out)
+}
+
+/// [`algorithm1`] writing into caller-owned storage, so batch runs reuse
+/// the three object vectors' capacity across snapshots.
+///
+/// `out` is cleared first; on error it holds the partial parse and must
+/// not be read (the next call clears it again).
+pub fn algorithm1_into(doc: &Document, out: &mut RawObjects) -> Result<(), ExtractError> {
+    out.routers.clear();
+    out.links.clear();
+    out.labels.clear();
     // Temporary variables, exactly as in the paper's pseudocode.
     let mut link: Option<RawLink> = None;
     let mut label_rect: Option<Rect> = None;
@@ -163,7 +176,7 @@ pub fn algorithm1(doc: &Document) -> Result<RawObjects, ExtractError> {
             "document ended with an object box awaiting its name",
         ));
     }
-    Ok(out)
+    Ok(())
 }
 
 fn text_of(elem: &Element) -> Result<&str, ExtractError> {

@@ -15,12 +15,26 @@
 //! Sanity checks: the attributed label must lie within a few pixels of
 //! the end, the two routers must exist and be distinct, and at completion
 //! every router must have at least one link.
+//!
+//! # Broad phase
+//!
+//! The candidate collection of Lines 3–4 is the hot loop of the whole
+//! pipeline: naively it tests every router and label box against every
+//! link's carrier line, O(links × boxes) exact predicates per snapshot.
+//! When [`ExtractConfig::use_spatial_index`] is set (the default), boxes
+//! are bucketed into a [`GridIndex`] once per snapshot and each line only
+//! exact-tests the boxes in the cells it crosses. The grid is strictly a
+//! superset filter — every candidate is re-checked with the same
+//! [`wm_geometry::Rect::intersects_line`] predicate in the same ascending
+//! index order — so the output is byte-identical to brute force (pinned
+//! by the equivalence property tests).
 
-use wm_geometry::{Line, Point};
-use wm_model::{Link, LinkEnd, MapKind, Node, Timestamp, TopologySnapshot};
+use wm_geometry::{GridIndex, GridScratch, Line, Point};
+use wm_model::{Link, LinkEnd, Load, MapKind, Node, Timestamp, TopologySnapshot};
 
 use crate::algorithm1::RawObjects;
 use crate::error::ExtractError;
+use crate::metrics::BroadPhaseStats;
 
 /// Tunable thresholds of the attribution step.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +49,10 @@ pub struct ExtractConfig {
     /// line-intersection test, absorbing the coordinate rounding of
     /// machine-written SVGs (weathermaps print two decimals).
     pub geometry_tolerance: f64,
+    /// Cull candidates with a uniform-grid broad phase before the exact
+    /// intersection test. Output is identical either way; disabling is
+    /// only useful for benchmarking the brute-force baseline.
+    pub use_spatial_index: bool,
 }
 
 impl Default for ExtractConfig {
@@ -43,7 +61,43 @@ impl Default for ExtractConfig {
             label_distance_threshold: 12.0,
             require_all_routers_linked: true,
             geometry_tolerance: 0.25,
+            use_spatial_index: true,
         }
+    }
+}
+
+/// Reusable working memory of [`algorithm2_with`].
+///
+/// One instance per worker thread: every buffer is cleared and refilled
+/// per snapshot, so after the first few snapshots the attribution step
+/// performs no heap allocation beyond the output snapshot itself.
+#[derive(Debug, Default)]
+pub struct AttributionScratch {
+    grid: GridIndex,
+    grid_scratch: GridScratch,
+    candidate_routers: Vec<usize>,
+    candidate_labels: Vec<usize>,
+    labels_available: Vec<bool>,
+    router_linked: Vec<bool>,
+    /// One interned [`Node`] per router box; link ends clone these
+    /// (a reference-count bump) instead of re-allocating name strings.
+    interned: Vec<Node>,
+    /// Broad-phase work counters, accumulated across snapshots until
+    /// drained by the caller (see [`AttributionScratch::take_stats`]).
+    broad_phase: BroadPhaseStats,
+}
+
+impl AttributionScratch {
+    /// Creates empty working memory.
+    #[must_use]
+    pub fn new() -> AttributionScratch {
+        AttributionScratch::default()
+    }
+
+    /// Returns the broad-phase counters accumulated since the last call
+    /// and resets them.
+    pub fn take_stats(&mut self) -> BroadPhaseStats {
+        std::mem::take(&mut self.broad_phase)
     }
 }
 
@@ -54,10 +108,57 @@ pub fn algorithm2(
     timestamp: Timestamp,
     config: &ExtractConfig,
 ) -> Result<TopologySnapshot, ExtractError> {
+    algorithm2_with(
+        objects,
+        map,
+        timestamp,
+        config,
+        &mut AttributionScratch::new(),
+    )
+}
+
+/// [`algorithm2`] with caller-provided working memory, for batch runs
+/// that process many snapshots per thread.
+pub fn algorithm2_with(
+    objects: &RawObjects,
+    map: MapKind,
+    timestamp: Timestamp,
+    config: &ExtractConfig,
+    scratch: &mut AttributionScratch,
+) -> Result<TopologySnapshot, ExtractError> {
     let mut snapshot = TopologySnapshot::new(map, timestamp);
+    let tol = config.geometry_tolerance;
+
     // Label pool; entries are consumed as they are attributed (Line 9).
-    let mut labels_available: Vec<bool> = vec![true; objects.labels.len()];
-    let mut router_linked: Vec<bool> = vec![false; objects.routers.len()];
+    scratch.labels_available.clear();
+    scratch.labels_available.resize(objects.labels.len(), true);
+    scratch.router_linked.clear();
+    scratch.router_linked.resize(objects.routers.len(), false);
+    scratch.interned.clear();
+    scratch.interned.extend(
+        objects
+            .routers
+            .iter()
+            .map(|r| Node::from_name(r.name.as_str())),
+    );
+
+    // Broad phase: one grid over routers [0, R) and labels [R, R+B),
+    // built per snapshot so a single cell walk serves both queries.
+    let total_rects = objects.routers.len() + objects.labels.len();
+    let use_grid = config.use_spatial_index && total_rects > 0 && !objects.links.is_empty();
+    if use_grid {
+        scratch.grid.rebuild(
+            objects
+                .routers
+                .iter()
+                .map(|r| r.rect)
+                .chain(objects.labels.iter().map(|l| l.rect)),
+            tol,
+        );
+        scratch.broad_phase.grid_builds += 1;
+        scratch.broad_phase.grid_cells += scratch.grid.cell_count() as u64;
+        scratch.broad_phase.grid_occupied_cells += scratch.grid.occupied_cells() as u64;
+    }
 
     for (link_index, raw) in objects.links.iter().enumerate() {
         debug_assert_eq!(raw.arrows.len(), 2, "Algorithm 1 guarantees two arrows");
@@ -71,65 +172,73 @@ pub fn algorithm2(
         let line = Line::through(basis_a, basis_b);
 
         // Lines 3–4: candidates intersecting the line (within tolerance).
-        let tol = config.geometry_tolerance;
-        let candidate_routers: Vec<usize> = (0..objects.routers.len())
-            .filter(|&i| objects.routers[i].rect.inflated(tol).intersects_line(&line))
-            .collect();
-        let candidate_labels: Vec<usize> = (0..objects.labels.len())
-            .filter(|&i| {
-                labels_available[i] && objects.labels[i].rect.inflated(tol).intersects_line(&line)
-            })
-            .collect();
+        // Candidate lists stay ascending by index in both paths, so
+        // closest-candidate ties resolve identically to brute force.
+        scratch.broad_phase.lines += 1;
+        scratch.broad_phase.rects_baseline += total_rects as u64;
+        scratch.candidate_routers.clear();
+        scratch.candidate_labels.clear();
+        if use_grid {
+            scratch
+                .grid
+                .line_candidates(&line, &mut scratch.grid_scratch);
+            scratch.broad_phase.rects_tested += scratch.grid_scratch.out.len() as u64;
+            let routers = objects.routers.len();
+            for &id in &scratch.grid_scratch.out {
+                let id = id as usize;
+                if id < routers {
+                    if objects.routers[id]
+                        .rect
+                        .inflated(tol)
+                        .intersects_line(&line)
+                    {
+                        scratch.candidate_routers.push(id);
+                    }
+                } else {
+                    let i = id - routers;
+                    if scratch.labels_available[i]
+                        && objects.labels[i].rect.inflated(tol).intersects_line(&line)
+                    {
+                        scratch.candidate_labels.push(i);
+                    }
+                }
+            }
+        } else {
+            scratch.broad_phase.rects_tested += total_rects as u64;
+            scratch.candidate_routers.extend(
+                (0..objects.routers.len())
+                    .filter(|&i| objects.routers[i].rect.inflated(tol).intersects_line(&line)),
+            );
+            scratch
+                .candidate_labels
+                .extend((0..objects.labels.len()).filter(|&i| {
+                    scratch.labels_available[i]
+                        && objects.labels[i].rect.inflated(tol).intersects_line(&line)
+                }));
+        }
 
         // Lines 5–9: attach each end to its closest router and label.
-        let mut ends: Vec<LinkEnd> = Vec::with_capacity(2);
-        for (end_pos, load) in [(basis_a, raw.loads[0]), (basis_b, raw.loads[1])] {
-            let router_idx = closest_router(&candidate_routers, objects, end_pos)
-                .ok_or(ExtractError::DanglingLink { link_index })?;
-            router_linked[router_idx] = true;
-
-            let label = closest_label(&candidate_labels, &labels_available, objects, end_pos);
-            let label_text = match label {
-                Some((label_idx, distance)) => {
-                    if distance > config.label_distance_threshold {
-                        return Err(ExtractError::LabelTooFar {
-                            link_index,
-                            distance,
-                        });
-                    }
-                    labels_available[label_idx] = false; // Line 9.
-                    Some(objects.labels[label_idx].text.clone())
-                }
-                None => None,
-            };
-
-            ends.push(LinkEnd::new(
-                Node::from_name(objects.routers[router_idx].name.clone()),
-                label_text,
-                load,
-            ));
-        }
-        let end_b = ends.pop().expect("two ends");
-        let end_a = ends.pop().expect("two ends");
+        let end_a = attach_end(objects, scratch, config, link_index, basis_a, raw.loads[0])?;
+        let end_b = attach_end(objects, scratch, config, link_index, basis_b, raw.loads[1])?;
         if end_a.node.name == end_b.node.name {
             return Err(ExtractError::SelfLoop {
-                router: end_a.node.name,
+                router: end_a.node.name.to_string(),
             });
         }
         snapshot.links.push(Link::new(end_a, end_b));
     }
 
     // Node list: every parsed router/peering box, deduplicated by name.
-    for router in &objects.routers {
+    for (i, router) in objects.routers.iter().enumerate() {
         if snapshot.node(&router.name).is_none() {
-            snapshot.nodes.push(Node::from_name(router.name.clone()));
+            snapshot.nodes.push(scratch.interned[i].clone());
         }
     }
 
     // Completion check: each router is attributed at least one link.
     if config.require_all_routers_linked {
         for (i, router) in objects.routers.iter().enumerate() {
-            if !router_linked[i] {
+            if !scratch.router_linked[i] {
                 return Err(ExtractError::UnlinkedRouter {
                     router: router.name.clone(),
                 });
@@ -138,6 +247,47 @@ pub fn algorithm2(
     }
 
     Ok(snapshot)
+}
+
+/// Builds one link end: closest candidate router plus closest available
+/// label (consuming it), per the paper's Lines 5–9.
+fn attach_end(
+    objects: &RawObjects,
+    scratch: &mut AttributionScratch,
+    config: &ExtractConfig,
+    link_index: usize,
+    end_pos: Point,
+    load: Load,
+) -> Result<LinkEnd, ExtractError> {
+    let router_idx = closest_router(&scratch.candidate_routers, objects, end_pos)
+        .ok_or(ExtractError::DanglingLink { link_index })?;
+    scratch.router_linked[router_idx] = true;
+
+    let label = closest_label(
+        &scratch.candidate_labels,
+        &scratch.labels_available,
+        objects,
+        end_pos,
+    );
+    let label_text = match label {
+        Some((label_idx, distance)) => {
+            if distance > config.label_distance_threshold {
+                return Err(ExtractError::LabelTooFar {
+                    link_index,
+                    distance,
+                });
+            }
+            scratch.labels_available[label_idx] = false; // Line 9.
+            Some(objects.labels[label_idx].text.clone())
+        }
+        None => None,
+    };
+
+    Ok(LinkEnd::new(
+        scratch.interned[router_idx].clone(),
+        label_text,
+        load,
+    ))
 }
 
 /// Index of the candidate router whose box is closest to `end`.
@@ -151,6 +301,10 @@ fn closest_router(candidates: &[usize], objects: &RawObjects, end: Point) -> Opt
 }
 
 /// Index and distance of the closest *still available* candidate label.
+///
+/// Candidates are computed once per link, but availability must be
+/// re-checked here: a label consumed by end A (Line 9) is no longer
+/// available when end B of the same link looks for its own label.
 fn closest_label(
     candidates: &[usize],
     available: &[bool],
@@ -421,5 +575,62 @@ mod tests {
         )
         .unwrap();
         assert!(snapshot.nodes.is_empty() && snapshot.links.is_empty());
+    }
+
+    /// Pins the paper's Line 9 consumption semantics: candidate labels
+    /// are collected once per link (while the pool is still full), but
+    /// availability must be re-checked per end. With a single label near
+    /// end A, end B's candidate list still contains that label — if the
+    /// re-filter in `closest_label` were dropped, end B would pick the
+    /// consumed label ~190 px away and fail the distance check.
+    #[test]
+    fn consumed_label_is_not_reconsidered_by_the_other_end() {
+        let mut objects = scene();
+        objects.labels.truncate(1); // Only the label near end A remains.
+        let snapshot = algorithm2(&objects, MapKind::Europe, ts(), &ExtractConfig::default())
+            .expect("end B must see the label as consumed, not as too far");
+        assert_eq!(snapshot.links[0].a.label.as_deref(), Some("#1"));
+        assert_eq!(snapshot.links[0].b.label, None);
+    }
+
+    #[test]
+    fn grid_and_brute_force_agree() {
+        let brute = ExtractConfig {
+            use_spatial_index: false,
+            ..ExtractConfig::default()
+        };
+        let grid = ExtractConfig::default();
+        assert!(grid.use_spatial_index);
+        let objects = scene();
+        assert_eq!(
+            algorithm2(&objects, MapKind::Europe, ts(), &grid).unwrap(),
+            algorithm2(&objects, MapKind::Europe, ts(), &brute).unwrap()
+        );
+    }
+
+    #[test]
+    fn broad_phase_counters_account_for_the_work() {
+        let objects = scene();
+        let mut scratch = AttributionScratch::new();
+        let config = ExtractConfig::default();
+        algorithm2_with(&objects, MapKind::Europe, ts(), &config, &mut scratch).unwrap();
+        let stats = scratch.take_stats();
+        assert_eq!(stats.lines, 1);
+        assert_eq!(stats.grid_builds, 1);
+        assert_eq!(stats.rects_baseline, 4); // 2 routers + 2 labels.
+        assert!(stats.rects_tested <= stats.rects_baseline);
+        assert!(stats.grid_occupied_cells <= stats.grid_cells);
+        // Draining resets the counters.
+        assert_eq!(scratch.take_stats(), BroadPhaseStats::default());
+
+        // The brute-force path reports the full baseline as tested.
+        let brute = ExtractConfig {
+            use_spatial_index: false,
+            ..config
+        };
+        algorithm2_with(&objects, MapKind::Europe, ts(), &brute, &mut scratch).unwrap();
+        let stats = scratch.take_stats();
+        assert_eq!(stats.rects_tested, stats.rects_baseline);
+        assert_eq!(stats.grid_builds, 0);
     }
 }

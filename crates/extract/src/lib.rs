@@ -39,13 +39,13 @@ pub mod pipeline;
 pub mod snapshot_yaml;
 pub mod validate;
 
-pub use algorithm1::{algorithm1, RawLabel, RawLink, RawObjects, RawRouter};
-pub use algorithm2::{algorithm2, ExtractConfig};
+pub use algorithm1::{algorithm1, algorithm1_into, RawLabel, RawLink, RawObjects, RawRouter};
+pub use algorithm2::{algorithm2, algorithm2_with, AttributionScratch, ExtractConfig};
 pub use error::ExtractError;
-pub use metrics::{BatchMetrics, Histogram, MetricsTotals, Stage};
+pub use metrics::{BatchMetrics, BroadPhaseStats, Histogram, MetricsTotals, Stage};
 pub use pipeline::{
-    extract_batch, extract_batch_with, extract_svg, extract_svg_instrumented, BatchInput,
-    BatchStats, Scheduling,
+    extract_batch, extract_batch_with, extract_svg, extract_svg_instrumented, extract_svg_with,
+    BatchInput, BatchStats, ExtractScratch, Scheduling,
 };
 pub use snapshot_yaml::{
     from_yaml_str, snapshot_from_yaml, snapshot_to_yaml, to_yaml_string, SchemaError, SCHEMA_ID,

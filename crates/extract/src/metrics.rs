@@ -177,6 +177,64 @@ impl Histogram {
     }
 }
 
+/// Counters of Algorithm 2's geometric broad phase.
+///
+/// All fields are exact counts of work performed, independent of timing,
+/// worker count and scheduling — they are part of [`MetricsTotals`] and
+/// must be identical across equivalent runs. `rects_baseline` is what a
+/// brute-force scan *would* have tested, so `rects_tested /
+/// rects_baseline` is the surviving fraction after spatial culling (1.0
+/// when the spatial index is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BroadPhaseStats {
+    /// Carrier lines queried (one per link).
+    pub lines: u64,
+    /// Rectangles actually passed to the exact intersection predicate.
+    pub rects_tested: u64,
+    /// Rectangles a brute-force scan would have tested (`lines × rects`).
+    pub rects_baseline: u64,
+    /// Spatial-index constructions (one per snapshot when enabled).
+    pub grid_builds: u64,
+    /// Total grid cells across all builds.
+    pub grid_cells: u64,
+    /// Grid cells holding at least one rectangle, across all builds.
+    pub grid_occupied_cells: u64,
+}
+
+impl BroadPhaseStats {
+    /// Sums another set of counters into this one.
+    pub fn merge(&mut self, other: &BroadPhaseStats) {
+        self.lines += other.lines;
+        self.rects_tested += other.rects_tested;
+        self.rects_baseline += other.rects_baseline;
+        self.grid_builds += other.grid_builds;
+        self.grid_cells += other.grid_cells;
+        self.grid_occupied_cells += other.grid_occupied_cells;
+    }
+
+    /// Fraction of the brute-force work that survived the broad phase
+    /// (1.0 with no baseline recorded).
+    #[must_use]
+    pub fn tested_fraction(&self) -> f64 {
+        if self.rects_baseline == 0 {
+            1.0
+        } else {
+            self.rects_tested as f64 / self.rects_baseline as f64
+        }
+    }
+
+    /// Mean fraction of grid cells occupied across builds (0 when no
+    /// grid was built).
+    #[must_use]
+    pub fn occupancy(&self) -> f64 {
+        if self.grid_cells == 0 {
+            0.0
+        } else {
+            self.grid_occupied_cells as f64 / self.grid_cells as f64
+        }
+    }
+}
+
 /// Metrics of one batch extraction run.
 ///
 /// Workers record into private instances; [`BatchMetrics::merge`]
@@ -194,6 +252,8 @@ pub struct BatchMetrics {
     pub snapshots_out: u64,
     /// Failures per [`crate::ExtractError::kind`] string.
     pub failures_by_kind: BTreeMap<String, u64>,
+    /// Broad-phase work counters from Algorithm 2.
+    pub broad_phase: BroadPhaseStats,
     /// Wall-clock span of the whole batch, nanoseconds; 0 until set.
     pub wall_ns: u64,
 }
@@ -243,6 +303,7 @@ impl BatchMetrics {
         for (kind, n) in &other.failures_by_kind {
             *self.failures_by_kind.entry(kind.clone()).or_default() += n;
         }
+        self.broad_phase.merge(&other.broad_phase);
     }
 
     /// Input throughput over the run's wall time, bytes per second.
@@ -277,6 +338,7 @@ impl BatchMetrics {
             files_seen: self.files_seen,
             snapshots_out: self.snapshots_out,
             failures_by_kind: self.failures_by_kind.clone(),
+            broad_phase: self.broad_phase,
             stage_samples: [
                 self.stages[0].count(),
                 self.stages[1].count(),
@@ -298,6 +360,8 @@ pub struct MetricsTotals {
     pub snapshots_out: u64,
     /// Failures per error-kind string.
     pub failures_by_kind: BTreeMap<String, u64>,
+    /// Broad-phase work counters (exact counts, timing-free).
+    pub broad_phase: BroadPhaseStats,
     /// Timing-sample counts per stage, in [`Stage::ALL`] order.
     pub stage_samples: [u64; 4],
 }
@@ -340,6 +404,28 @@ impl fmt::Display for BatchMetrics {
                     format_ns(h.quantile_ns(0.50)),
                     format_ns(h.quantile_ns(0.99)),
                     format_ns(h.max_ns()),
+                )?;
+            }
+        }
+        let bp = &self.broad_phase;
+        if bp.lines == 0 {
+            writeln!(f, "  broad phase: (no lines queried)")?;
+        } else {
+            writeln!(
+                f,
+                "  broad phase: {} lines, {} rects tested of {} brute-force ({:.1} %)",
+                bp.lines,
+                bp.rects_tested,
+                bp.rects_baseline,
+                bp.tested_fraction() * 100.0
+            )?;
+            if bp.grid_builds > 0 {
+                writeln!(
+                    f,
+                    "               {} grid builds, mean occupancy {:.0} % of {} cells/build",
+                    bp.grid_builds,
+                    bp.occupancy() * 100.0,
+                    bp.grid_cells / bp.grid_builds
                 )?;
             }
         }

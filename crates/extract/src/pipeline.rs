@@ -14,10 +14,31 @@ use std::time::Instant;
 use wm_model::{MapKind, Timestamp, TopologySnapshot};
 use wm_svg::Document;
 
-use crate::algorithm1::algorithm1;
-use crate::algorithm2::{algorithm2, ExtractConfig};
+use crate::algorithm1::{algorithm1_into, RawObjects};
+use crate::algorithm2::{algorithm2_with, AttributionScratch, ExtractConfig};
 use crate::error::ExtractError;
 use crate::metrics::{BatchMetrics, Stage};
+
+/// Per-worker reusable storage for the whole extraction pipeline.
+///
+/// Holds the parsed document, the Algorithm 1 object lists and the
+/// Algorithm 2 working memory, so a worker that extracts thousands of
+/// snapshots allocates these buffers once and then runs allocation-free
+/// in steady state (strings aside).
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    doc: Document,
+    objects: RawObjects,
+    attribution: AttributionScratch,
+}
+
+impl ExtractScratch {
+    /// Creates empty scratch storage.
+    #[must_use]
+    pub fn new() -> ExtractScratch {
+        ExtractScratch::default()
+    }
+}
 
 /// Extracts one snapshot: SVG text → Algorithm 1 → Algorithm 2.
 pub fn extract_svg(
@@ -26,42 +47,70 @@ pub fn extract_svg(
     timestamp: Timestamp,
     config: &ExtractConfig,
 ) -> Result<TopologySnapshot, ExtractError> {
-    let doc = Document::parse(svg).map_err(|e| match &e {
+    extract_svg_with(svg, map, timestamp, config, &mut ExtractScratch::new())
+}
+
+/// [`extract_svg`] with caller-provided scratch storage, for loops that
+/// extract many snapshots on one thread.
+pub fn extract_svg_with(
+    svg: &str,
+    map: MapKind,
+    timestamp: Timestamp,
+    config: &ExtractConfig,
+    scratch: &mut ExtractScratch,
+) -> Result<TopologySnapshot, ExtractError> {
+    Document::parse_into(svg, &mut scratch.doc).map_err(|e| match &e {
         wm_svg::ParseError::Xml(_) => ExtractError::InvalidXml(e.to_string()),
         _ => ExtractError::InvalidSvg(e.to_string()),
     })?;
-    let objects = algorithm1(&doc)?;
-    algorithm2(&objects, map, timestamp, config)
+    algorithm1_into(&scratch.doc, &mut scratch.objects)?;
+    algorithm2_with(
+        &scratch.objects,
+        map,
+        timestamp,
+        config,
+        &mut scratch.attribution,
+    )
 }
 
-/// [`extract_svg`] with per-stage timings recorded into `metrics`.
+/// [`extract_svg`] with per-stage timings recorded into `metrics` and
+/// scratch storage reused across calls.
 ///
 /// A stage's duration is recorded even when it fails, so sample counts
 /// stay deterministic: every attempted file contributes exactly one
-/// sample to each stage it reached.
+/// sample to each stage it reached. Broad-phase work counters are drained
+/// from the scratch into `metrics` after the attribution stage.
 pub fn extract_svg_instrumented(
     svg: &str,
     map: MapKind,
     timestamp: Timestamp,
     config: &ExtractConfig,
     metrics: &mut BatchMetrics,
+    scratch: &mut ExtractScratch,
 ) -> Result<TopologySnapshot, ExtractError> {
     let start = Instant::now();
-    let parsed = Document::parse(svg);
+    let parsed = Document::parse_into(svg, &mut scratch.doc);
     metrics.record_stage(Stage::XmlParse, start.elapsed());
-    let doc = parsed.map_err(|e| match &e {
+    parsed.map_err(|e| match &e {
         wm_svg::ParseError::Xml(_) => ExtractError::InvalidXml(e.to_string()),
         _ => ExtractError::InvalidSvg(e.to_string()),
     })?;
 
     let start = Instant::now();
-    let objects = algorithm1(&doc);
+    let objects = algorithm1_into(&scratch.doc, &mut scratch.objects);
     metrics.record_stage(Stage::Algorithm1, start.elapsed());
-    let objects = objects?;
+    objects?;
 
     let start = Instant::now();
-    let snapshot = algorithm2(&objects, map, timestamp, config);
+    let snapshot = algorithm2_with(
+        &scratch.objects,
+        map,
+        timestamp,
+        config,
+        &mut scratch.attribution,
+    );
     metrics.record_stage(Stage::Algorithm2, start.elapsed());
+    metrics.broad_phase.merge(&scratch.attribution.take_stats());
     snapshot
 }
 
@@ -132,13 +181,21 @@ struct WorkerOutput {
     results: Vec<(usize, TopologySnapshot)>,
     stats: BatchStats,
     metrics: BatchMetrics,
+    /// Buffers reused across every file this worker processes.
+    scratch: ExtractScratch,
 }
 
 impl WorkerOutput {
     fn process(&mut self, index: usize, input: &BatchInput, map: MapKind, config: &ExtractConfig) {
         self.metrics.record_input(input.svg.len());
-        match extract_svg_instrumented(&input.svg, map, input.timestamp, config, &mut self.metrics)
-        {
+        match extract_svg_instrumented(
+            &input.svg,
+            map,
+            input.timestamp,
+            config,
+            &mut self.metrics,
+            &mut self.scratch,
+        ) {
             Ok(snapshot) => {
                 self.stats.processed += 1;
                 self.metrics.record_success();

@@ -136,7 +136,7 @@ pub fn snapshot_from_yaml(value: &Value) -> Result<TopologySnapshot, SchemaError
             .parse()
             .map_err(SchemaError::new)?;
         snapshot.nodes.push(Node {
-            name: name.to_owned(),
+            name: name.into(),
             kind,
         });
     }

@@ -1,0 +1,508 @@
+//! A uniform-grid spatial index for line-vs-rectangle broad-phase queries.
+//!
+//! Algorithm 2 asks, for every link, "which router and label boxes does
+//! this carrier line cross?". Testing every box against every line is
+//! O(links × boxes); a full-scale Europe snapshot pays ~1 200 × ~1 700
+//! exact intersection tests. [`GridIndex`] cuts that down with a classic
+//! broad phase: boxes are bucketed into the cells of a uniform grid at
+//! construction, and a line query walks only the cells the line crosses,
+//! returning the union of their buckets as *candidates*.
+//!
+//! The broad phase is deliberately conservative — it may return boxes the
+//! line misses, never the other way around — so callers re-check every
+//! candidate with the exact [`Rect::intersects_line`] predicate and get
+//! results identical to brute force (pinned by a property test).
+//!
+//! Both construction ([`GridIndex::rebuild`]) and queries
+//! ([`GridIndex::line_candidates`]) reuse their buffers: after warm-up a
+//! build-query cycle performs no heap allocation, which is what the
+//! extraction pipeline's per-worker scratch relies on.
+
+use crate::{Line, Rect};
+
+/// Hard cap on grid resolution per axis, bounding memory for degenerate
+/// inputs (e.g. thousands of tiny boxes spread over a huge canvas).
+const MAX_CELLS_PER_AXIS: usize = 512;
+
+/// A uniform grid over axis-aligned rectangles answering "which rects may
+/// intersect this infinite line?".
+///
+/// Build it with [`GridIndex::rebuild`] (reusable, allocation-free after
+/// warm-up) and query with [`GridIndex::line_candidates`]. Indices into
+/// the original rect slice are returned in ascending order, so a caller
+/// that filters them with an exact predicate visits rects in exactly the
+/// order a brute-force scan would.
+#[derive(Debug, Clone, Default)]
+pub struct GridIndex {
+    /// Bounding box of all indexed (inflated) rects.
+    min_x: f64,
+    min_y: f64,
+    /// Cell extents; the grid spans `nx × ny` cells from `(min_x, min_y)`.
+    cell_w: f64,
+    cell_h: f64,
+    /// Cached reciprocals: cell lookup is a multiply, not a divide.
+    inv_cell_w: f64,
+    inv_cell_h: f64,
+    nx: usize,
+    ny: usize,
+    /// CSR buckets in column-major order (cell `col · ny + row`): the
+    /// cells of one column are adjacent, so a near-horizontal query
+    /// reads each column's row span as ONE contiguous entry range.
+    col_starts: Vec<u32>,
+    col_entries: Vec<u32>,
+    /// The same buckets in row-major order (cell `row · nx + col`), for
+    /// near-vertical queries. Duplicating the layout costs a few dozen
+    /// kilobytes and removes all per-cell lookup overhead from queries.
+    row_starts: Vec<u32>,
+    row_entries: Vec<u32>,
+    /// Reusable bucket-fill cursors (see `rebuild`).
+    col_cursors: Vec<u32>,
+    row_cursors: Vec<u32>,
+    /// Number of indexed rects.
+    len: usize,
+}
+
+/// Reusable query state for [`GridIndex::line_candidates`].
+///
+/// Candidate deduplication uses generation stamps instead of clearing a
+/// bitmap per query, so a query costs only the cells it visits. One
+/// scratch may serve grids of any size; it grows monotonically and never
+/// shrinks, which is the point: steady-state queries allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct GridScratch {
+    stamps: Vec<u32>,
+    generation: u32,
+    /// Candidate rect indices of the last query, ascending.
+    pub out: Vec<u32>,
+}
+
+impl GridIndex {
+    /// Creates an empty index (no rects, every query returns nothing).
+    #[must_use]
+    pub fn new() -> GridIndex {
+        GridIndex::default()
+    }
+
+    /// (Re)builds the index over `rects`, each inflated by `inflate` on
+    /// every side — matching a caller that exact-tests
+    /// `rect.inflated(tol).intersects_line(..)`.
+    ///
+    /// The iterator is consumed three times (bounds, bucket counts,
+    /// bucket fill), hence `Clone`. Existing buffers are reused.
+    pub fn rebuild<I>(&mut self, rects: I, inflate: f64)
+    where
+        I: Iterator<Item = Rect> + Clone,
+    {
+        self.col_starts.clear();
+        self.col_entries.clear();
+        self.row_starts.clear();
+        self.row_entries.clear();
+        self.len = 0;
+
+        // Pass 1: bounding box and mean extents of the inflated rects.
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut sum_w = 0.0;
+        let mut sum_h = 0.0;
+        let mut len = 0usize;
+        for rect in rects.clone() {
+            let r = rect.inflated(inflate);
+            min_x = min_x.min(r.x);
+            min_y = min_y.min(r.y);
+            max_x = max_x.max(r.right());
+            max_y = max_y.max(r.bottom());
+            sum_w += r.width;
+            sum_h += r.height;
+            len += 1;
+        }
+        if len == 0 {
+            self.nx = 0;
+            self.ny = 0;
+            return;
+        }
+        self.len = len;
+        self.min_x = min_x;
+        self.min_y = min_y;
+
+        // Cell size: twice the mean box extent keeps most boxes within
+        // one or two cells while a line crossing the canvas visits only
+        // O(nx + ny) cells. Guard against zero-extent degenerate input.
+        let width = (max_x - min_x).max(crate::EPSILON);
+        let height = (max_y - min_y).max(crate::EPSILON);
+        let target_w = (2.0 * sum_w / len as f64).max(crate::EPSILON);
+        let target_h = (2.0 * sum_h / len as f64).max(crate::EPSILON);
+        self.nx = ((width / target_w).ceil() as usize).clamp(1, MAX_CELLS_PER_AXIS);
+        self.ny = ((height / target_h).ceil() as usize).clamp(1, MAX_CELLS_PER_AXIS);
+        self.cell_w = width / self.nx as f64;
+        self.cell_h = height / self.ny as f64;
+        self.inv_cell_w = 1.0 / self.cell_w;
+        self.inv_cell_h = 1.0 / self.cell_h;
+
+        // Pass 2: bucket sizes (shifted by one for the prefix sums),
+        // counted for both layouts at once.
+        let cells = self.nx * self.ny;
+        self.col_starts.resize(cells + 1, 0);
+        self.row_starts.resize(cells + 1, 0);
+        for rect in rects.clone() {
+            let (c0, c1, r0, r1) = self.cell_span(&rect.inflated(inflate));
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    self.col_starts[col * self.ny + row + 1] += 1;
+                    self.row_starts[row * self.nx + col + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=cells {
+            self.col_starts[i] += self.col_starts[i - 1];
+            self.row_starts[i] += self.row_starts[i - 1];
+        }
+
+        // Pass 3: fill both bucket sets, advancing per-bucket cursors.
+        let total = self.col_starts[cells] as usize;
+        self.col_entries.resize(total, 0);
+        self.row_entries.resize(total, 0);
+        self.col_cursors.clear();
+        self.col_cursors
+            .extend_from_slice(&self.col_starts[..cells]);
+        self.row_cursors.clear();
+        self.row_cursors
+            .extend_from_slice(&self.row_starts[..cells]);
+        for (index, rect) in rects.enumerate() {
+            let (c0, c1, r0, r1) = self.cell_span(&rect.inflated(inflate));
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    let cm = col * self.ny + row;
+                    self.col_entries[self.col_cursors[cm] as usize] = index as u32;
+                    self.col_cursors[cm] += 1;
+                    let rm = row * self.nx + col;
+                    self.row_entries[self.row_cursors[rm] as usize] = index as u32;
+                    self.row_cursors[rm] += 1;
+                }
+            }
+        }
+    }
+
+    /// Number of indexed rects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no rects are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of grid cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of cells holding at least one rect.
+    #[must_use]
+    pub fn occupied_cells(&self) -> usize {
+        self.row_starts
+            .windows(2)
+            .filter(|pair| pair[1] > pair[0])
+            .count()
+    }
+
+    /// Collects into `scratch.out` the indices (ascending, deduplicated)
+    /// of every rect whose cells the line crosses.
+    ///
+    /// This is a superset of the rects actually intersecting the line;
+    /// callers must re-check candidates with an exact predicate. The
+    /// walk is padded by one cell on each side of the line's row/column
+    /// span, so floating-point rounding at cell boundaries can never
+    /// drop a true intersection.
+    pub fn line_candidates(&self, line: &Line, scratch: &mut GridScratch) {
+        scratch.out.clear();
+        if self.len == 0 {
+            return;
+        }
+        scratch.begin(self.len);
+
+        // Sweep the axis the line is most aligned with: for each column
+        // (resp. row), the line's span over the cross axis is the
+        // interval between its values at the two cell edges. The cells
+        // of that span are adjacent in the matching CSR layout, so the
+        // whole span is scanned as one contiguous entry range — the
+        // per-cell lookup cost of a naive grid walk disappears.
+        let d = line.direction();
+        if d.x.abs() >= d.y.abs() {
+            // More horizontal: for column i over x ∈ [x0, x1], visit the
+            // rows covering [min, max] of y(x0), y(x1). A line this flat
+            // always has a y(x) (its normal's y component dominates), and
+            // y advances by a constant per column, so the sweep is pure
+            // adds — no division in the loop. The incremental drift is
+            // orders of magnitude below the ±1-row padding.
+            let (Some(first), Some(second)) =
+                (line.y_at(self.min_x), line.y_at(self.min_x + self.cell_w))
+            else {
+                return;
+            };
+            let dy = second - first;
+            let mut y0 = first;
+            for col in 0..self.nx {
+                let y1 = y0 + dy;
+                let (ymin, ymax) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+                let lo = self.row_of(ymin).saturating_sub(1);
+                let hi = (self.row_of(ymax) + 1).min(self.ny - 1);
+                let base = col * self.ny;
+                Self::visit_span(
+                    &self.col_entries,
+                    self.col_starts[base + lo],
+                    self.col_starts[base + hi + 1],
+                    scratch,
+                );
+                y0 = y1;
+            }
+        } else {
+            // More vertical: sweep rows, spanning columns via x(y).
+            let (Some(first), Some(second)) =
+                (line.x_at(self.min_y), line.x_at(self.min_y + self.cell_h))
+            else {
+                return;
+            };
+            let dx = second - first;
+            let mut x0 = first;
+            for row in 0..self.ny {
+                let x1 = x0 + dx;
+                let (xmin, xmax) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+                let lo = self.col_of(xmin).saturating_sub(1);
+                let hi = (self.col_of(xmax) + 1).min(self.nx - 1);
+                let base = row * self.nx;
+                Self::visit_span(
+                    &self.row_entries,
+                    self.row_starts[base + lo],
+                    self.row_starts[base + hi + 1],
+                    scratch,
+                );
+                x0 = x1;
+            }
+        }
+        scratch.out.sort_unstable();
+    }
+
+    /// Pushes a contiguous run of bucket entries, deduplicating.
+    fn visit_span(entries: &[u32], from: u32, to: u32, scratch: &mut GridScratch) {
+        for &index in &entries[from as usize..to as usize] {
+            if scratch.stamps[index as usize] != scratch.generation {
+                scratch.stamps[index as usize] = scratch.generation;
+                scratch.out.push(index);
+            }
+        }
+    }
+
+    /// Clamped column index of an x coordinate.
+    fn col_of(&self, x: f64) -> usize {
+        (((x - self.min_x) * self.inv_cell_w) as usize).min(self.nx - 1)
+    }
+
+    /// Clamped row index of a y coordinate.
+    fn row_of(&self, y: f64) -> usize {
+        (((y - self.min_y) * self.inv_cell_h) as usize).min(self.ny - 1)
+    }
+
+    /// Inclusive (col0, col1, row0, row1) cell span of a rect.
+    fn cell_span(&self, r: &Rect) -> (usize, usize, usize, usize) {
+        (
+            self.col_of(r.x),
+            self.col_of(r.right()),
+            self.row_of(r.y),
+            self.row_of(r.bottom()),
+        )
+    }
+}
+
+impl GridScratch {
+    /// Creates an empty scratch.
+    #[must_use]
+    pub fn new() -> GridScratch {
+        GridScratch::default()
+    }
+
+    /// Starts a new query over `len` rects: bumps the generation and
+    /// grows the stamp table if this grid is larger than any before.
+    fn begin(&mut self, len: usize) {
+        if self.stamps.len() < len {
+            self.stamps.resize(len, 0);
+        }
+        // On wrap-around every stale stamp could collide with the new
+        // generation; reset the table (once per ~4 billion queries).
+        let (generation, wrapped) = self.generation.overflowing_add(1);
+        self.generation = generation;
+        if wrapped || generation == 0 {
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    /// Brute-force reference: indices of rects intersecting the line.
+    fn brute(rects: &[Rect], line: &Line, inflate: f64) -> Vec<u32> {
+        (0..rects.len() as u32)
+            .filter(|&i| rects[i as usize].inflated(inflate).intersects_line(line))
+            .collect()
+    }
+
+    /// Grid result after the exact re-check — must equal `brute`.
+    fn grid(rects: &[Rect], line: &Line, inflate: f64) -> Vec<u32> {
+        let mut index = GridIndex::new();
+        index.rebuild(rects.iter().copied(), inflate);
+        let mut scratch = GridScratch::new();
+        index.line_candidates(line, &mut scratch);
+        scratch
+            .out
+            .iter()
+            .copied()
+            .filter(|&i| rects[i as usize].inflated(inflate).intersects_line(line))
+            .collect()
+    }
+
+    fn row_of_boxes() -> Vec<Rect> {
+        (0..20)
+            .map(|i| Rect::new(f64::from(i) * 50.0, f64::from(i % 5) * 40.0, 30.0, 12.0))
+            .collect()
+    }
+
+    #[test]
+    fn empty_grid_returns_no_candidates() {
+        let index = GridIndex::new();
+        let mut scratch = GridScratch::new();
+        let line = Line::through(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        index.line_candidates(&line, &mut scratch);
+        assert!(scratch.out.is_empty());
+        assert!(index.is_empty());
+        assert_eq!(index.cell_count(), 0);
+    }
+
+    #[test]
+    fn horizontal_line_matches_brute_force() {
+        let rects = row_of_boxes();
+        let line = Line::through(Point::new(-10.0, 46.0), Point::new(2000.0, 46.0));
+        assert_eq!(grid(&rects, &line, 0.0), brute(&rects, &line, 0.0));
+        assert!(!brute(&rects, &line, 0.0).is_empty());
+    }
+
+    #[test]
+    fn vertical_line_matches_brute_force() {
+        let rects = row_of_boxes();
+        let line = Line::through(Point::new(105.0, -5.0), Point::new(105.0, 500.0));
+        assert_eq!(grid(&rects, &line, 0.0), brute(&rects, &line, 0.0));
+        assert!(!brute(&rects, &line, 0.0).is_empty());
+    }
+
+    #[test]
+    fn diagonal_line_matches_brute_force_across_tolerances() {
+        let rects = row_of_boxes();
+        let line = Line::through(Point::new(0.0, 0.0), Point::new(950.0, 170.0));
+        for inflate in [0.0, 0.25, 2.0, 25.0] {
+            assert_eq!(
+                grid(&rects, &line, inflate),
+                brute(&rects, &line, inflate),
+                "inflate {inflate}"
+            );
+        }
+    }
+
+    #[test]
+    fn line_through_shared_corner_is_not_missed() {
+        // Four boxes meeting at (100, 100); the diagonal through the
+        // corner must report all four (corner contact intersects).
+        let rects = vec![
+            Rect::new(80.0, 80.0, 20.0, 20.0),
+            Rect::new(100.0, 80.0, 20.0, 20.0),
+            Rect::new(80.0, 100.0, 20.0, 20.0),
+            Rect::new(100.0, 100.0, 20.0, 20.0),
+        ];
+        let line = Line::through(Point::new(0.0, 200.0), Point::new(200.0, 0.0));
+        assert_eq!(grid(&rects, &line, 0.0), brute(&rects, &line, 0.0));
+        assert_eq!(brute(&rects, &line, 0.0).len(), 4);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        // Zero-size rects, coincident rects, a degenerate line.
+        let rects = vec![
+            Rect::new(5.0, 5.0, 0.0, 0.0),
+            Rect::new(5.0, 5.0, 0.0, 0.0),
+            Rect::new(5.0, 5.0, 1.0, 1.0),
+        ];
+        let line = Line::through(Point::new(5.5, 5.5), Point::new(5.5, 5.5));
+        assert_eq!(grid(&rects, &line, 0.0), brute(&rects, &line, 0.0));
+        let far = Line::through(Point::new(0.0, 50.0), Point::new(10.0, 50.0));
+        assert_eq!(grid(&rects, &far, 0.0), brute(&rects, &far, 0.0));
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_replaces_contents() {
+        let mut index = GridIndex::new();
+        index.rebuild(row_of_boxes().iter().copied(), 0.0);
+        assert_eq!(index.len(), 20);
+        let occupied = index.occupied_cells();
+        assert!(occupied > 0 && occupied <= index.cell_count());
+
+        index.rebuild(std::iter::once(Rect::new(0.0, 0.0, 10.0, 10.0)), 0.0);
+        assert_eq!(index.len(), 1);
+        let mut scratch = GridScratch::new();
+        let line = Line::through(Point::new(-1.0, 5.0), Point::new(20.0, 5.0));
+        index.line_candidates(&line, &mut scratch);
+        assert_eq!(scratch.out, [0]);
+    }
+
+    #[test]
+    fn candidates_are_ascending_and_deduplicated() {
+        // One big box spanning many cells must appear exactly once.
+        let mut rects = row_of_boxes();
+        rects.push(Rect::new(0.0, 0.0, 1000.0, 200.0));
+        let line = Line::through(Point::new(0.0, 100.0), Point::new(1000.0, 90.0));
+        let mut index = GridIndex::new();
+        index.rebuild(rects.iter().copied(), 0.0);
+        let mut scratch = GridScratch::new();
+        index.line_candidates(&line, &mut scratch);
+        let mut sorted = scratch.out.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(scratch.out, sorted, "ascending and unique");
+        assert!(scratch.out.contains(&20));
+    }
+
+    #[test]
+    fn broad_phase_prunes_most_of_a_spread_scene() {
+        // Boxes on a wide grid; an axis-aligned line crosses one row.
+        let rects: Vec<Rect> = (0..30)
+            .flat_map(|i| {
+                (0..30)
+                    .map(move |j| Rect::new(f64::from(i) * 100.0, f64::from(j) * 100.0, 40.0, 16.0))
+            })
+            .collect();
+        let line = Line::through(Point::new(-5.0, 208.0), Point::new(3000.0, 208.0));
+        let mut index = GridIndex::new();
+        index.rebuild(rects.iter().copied(), 0.25);
+        let mut scratch = GridScratch::new();
+        index.line_candidates(&line, &mut scratch);
+        assert!(
+            scratch.out.len() * 3 < rects.len(),
+            "broad phase should prune: {} of {}",
+            scratch.out.len(),
+            rects.len()
+        );
+        let exact: Vec<u32> = scratch
+            .out
+            .iter()
+            .copied()
+            .filter(|&i| rects[i as usize].inflated(0.25).intersects_line(&line))
+            .collect();
+        assert_eq!(exact, brute(&rects, &line, 0.25));
+    }
+}

@@ -13,20 +13,25 @@
 //! * [`Segment`] — the finite line joining the two arrow bases of a link,
 //! * [`Line`] — the infinite carrier line of a segment,
 //! * [`Polygon`] — arrow heads as drawn by the weathermap renderer,
+//! * [`GridIndex`] — a uniform-grid broad phase over many rectangles,
 //! * intersection and distance predicates connecting them.
 //!
 //! All coordinates are `f64` in SVG user units (pixels). The crate is
-//! dependency-free and allocation-free except for [`Polygon`] storage.
+//! dependency-free; the primitives are allocation-free except for
+//! [`Polygon`] storage and the reusable buffers held by [`GridIndex`] /
+//! [`GridScratch`], which allocate only while warming up.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod grid;
 mod line;
 mod point;
 mod polygon;
 mod rect;
 mod segment;
 
+pub use grid::{GridIndex, GridScratch};
 pub use line::Line;
 pub use point::{Point, Vec2};
 pub use polygon::Polygon;

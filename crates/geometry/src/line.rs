@@ -77,6 +77,30 @@ impl Line {
         Vec2::new(-self.b, self.a)
     }
 
+    /// The `y` coordinate of the line at `x`, or `None` when the line is
+    /// (near-)vertical and has no single value there.
+    #[inline]
+    #[must_use]
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        if self.b.abs() <= crate::EPSILON {
+            None
+        } else {
+            Some(-(self.a * x + self.c) / self.b)
+        }
+    }
+
+    /// The `x` coordinate of the line at `y`, or `None` when the line is
+    /// (near-)horizontal and has no single value there.
+    #[inline]
+    #[must_use]
+    pub fn x_at(&self, y: f64) -> Option<f64> {
+        if self.a.abs() <= crate::EPSILON {
+            None
+        } else {
+            Some(-(self.b * y + self.c) / self.a)
+        }
+    }
+
     /// Intersection point with another line, or `None` when parallel.
     #[must_use]
     pub fn intersection(&self, other: &Line) -> Option<Point> {

@@ -32,7 +32,7 @@ pub mod time;
 pub use diff::{diff, GroupDelta, SnapshotDiff};
 pub use link::{Link, LinkEnd, LinkKind};
 pub use map::MapKind;
-pub use node::{Node, NodeKind};
+pub use node::{Node, NodeKind, NodeName};
 pub use snapshot::{ParallelGroup, TopologySnapshot};
 pub use time::{Duration, Timestamp};
 

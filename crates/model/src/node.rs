@@ -1,6 +1,120 @@
 //! Weathermap nodes: OVH routers and physical peerings.
 
+use std::borrow::Borrow;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An interned node name.
+///
+/// A snapshot mentions each router name once per incident link (~6 000
+/// link ends vs. ~800 distinct names), and the batch pipeline builds
+/// hundreds of thousands of snapshots. Backing names with a shared
+/// [`Arc<str>`] makes cloning a name a reference-count bump instead of a
+/// heap allocation; the extraction pipeline interns one `Node` per router
+/// and clones it into every link end.
+///
+/// `NodeName` dereferences to `str` and compares like one, so call sites
+/// that treat names as strings keep working unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeName(Arc<str>);
+
+impl NodeName {
+    /// The name as a string slice.
+    #[inline]
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for NodeName {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for NodeName {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for NodeName {
+    #[inline]
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for NodeName {
+    fn from(s: &str) -> NodeName {
+        NodeName(Arc::from(s))
+    }
+}
+
+impl From<String> for NodeName {
+    fn from(s: String) -> NodeName {
+        NodeName(Arc::from(s))
+    }
+}
+
+impl From<&NodeName> for NodeName {
+    fn from(s: &NodeName) -> NodeName {
+        s.clone()
+    }
+}
+
+impl From<NodeName> for String {
+    fn from(s: NodeName) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<str> for NodeName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for NodeName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for NodeName {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<NodeName> for str {
+    fn eq(&self, other: &NodeName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<NodeName> for &str {
+    fn eq(&self, other: &NodeName) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<NodeName> for String {
+    fn eq(&self, other: &NodeName) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl fmt::Display for NodeName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
 
 /// The kind of a weathermap node.
 ///
@@ -61,8 +175,8 @@ impl std::str::FromStr for NodeKind {
 /// A node of the weathermap: a named router or peering box.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Node {
-    /// The name as displayed on the map.
-    pub name: String,
+    /// The name as displayed on the map (interned, cheap to clone).
+    pub name: NodeName,
     /// Router or peering.
     pub kind: NodeKind,
 }
@@ -70,7 +184,7 @@ pub struct Node {
 impl Node {
     /// Creates a node, classifying its kind from the name convention.
     #[must_use]
-    pub fn from_name(name: impl Into<String>) -> Node {
+    pub fn from_name(name: impl Into<NodeName>) -> Node {
         let name = name.into();
         let kind = NodeKind::classify(&name);
         Node { name, kind }
@@ -78,7 +192,7 @@ impl Node {
 
     /// Creates a router node (does not re-classify).
     #[must_use]
-    pub fn router(name: impl Into<String>) -> Node {
+    pub fn router(name: impl Into<NodeName>) -> Node {
         Node {
             name: name.into(),
             kind: NodeKind::Router,
@@ -87,7 +201,7 @@ impl Node {
 
     /// Creates a peering node (does not re-classify).
     #[must_use]
-    pub fn peering(name: impl Into<String>) -> Node {
+    pub fn peering(name: impl Into<NodeName>) -> Node {
         Node {
             name: name.into(),
             kind: NodeKind::Peering,
@@ -111,7 +225,7 @@ impl Node {
         if !self.is_router() {
             return None;
         }
-        Some(self.name.split('-').next().unwrap_or(&self.name))
+        self.name.split('-').next()
     }
 }
 

@@ -70,7 +70,7 @@ pub fn render(
         builder.rect("object", node_layout.rect);
         builder.text("object", node_layout.name_anchor, &node.name);
         truth.nodes.push(Node {
-            name: node.name.clone(),
+            name: node.name.as_str().into(),
             kind: node.kind,
         });
     }
@@ -152,7 +152,7 @@ pub fn render(
 fn node_of(state: &NetworkState, idx: usize) -> Node {
     let n = &state.nodes[idx];
     Node {
-        name: n.name.clone(),
+        name: n.name.as_str().into(),
         kind: n.kind,
     }
 }

@@ -83,7 +83,7 @@ impl Element {
 }
 
 /// A parsed SVG document: canvas size plus the flat element list.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Document {
     /// Canvas width in user units (0 when unspecified).
     pub width: f64,

@@ -154,16 +154,33 @@ impl Document {
     /// geometry; elements the pipeline does not use are kept as
     /// [`Shape::Other`] placeholders so document order stays faithful.
     pub fn parse(text: &str) -> Result<Document, ParseError> {
-        let mut reader = Reader::new(text);
         let mut doc = Document {
             width: 0.0,
             height: 0.0,
             elements: Vec::new(),
         };
-        // Transform stack entries: (transform, tag) pushed per open element.
-        let mut stack: Vec<(Affine, String)> = Vec::new();
+        Document::parse_into(text, &mut doc)?;
+        Ok(doc)
+    }
+
+    /// Parses SVG text into an existing document, reusing its element
+    /// storage.
+    ///
+    /// `doc` is cleared first; on success it holds exactly what
+    /// [`Document::parse`] would have returned, but the element vector's
+    /// capacity is retained across calls — the batch pipeline parses
+    /// thousands of similarly-sized snapshots per worker and reuses one
+    /// document per thread. On error the document's contents are
+    /// unspecified (cleared or partially filled).
+    pub fn parse_into(text: &str, doc: &mut Document) -> Result<(), ParseError> {
+        let mut reader = Reader::new(text);
+        doc.width = 0.0;
+        doc.height = 0.0;
+        doc.elements.clear();
+        // Transform stack: one entry per open element.
+        let mut stack: Vec<Affine> = Vec::new();
         let mut seen_svg = false;
-        // In-progress <text> element: (element index, depth at open).
+        // Index of the in-progress <text> element.
         let mut open_text: Option<usize> = None;
         // Depth of an open element whose text content must be ignored.
         let mut skip_text_depth: Option<usize> = None;
@@ -181,29 +198,33 @@ impl Document {
                         }
                         seen_svg = true;
                     }
-                    let attr =
-                        |key: &str| attributes.iter().find(|a| a.name == key).map(|a| &a.value);
-                    let parent = stack.last().map_or(Affine::IDENTITY, |(t, _)| *t);
-                    let local = attr("transform").map_or(Affine::IDENTITY, |t| parse_transform(t));
+                    let attr = |key: &str| {
+                        attributes
+                            .iter()
+                            .find(|a| a.name == key)
+                            .map(|a| a.value.as_ref())
+                    };
+                    let parent = stack.last().copied().unwrap_or(Affine::IDENTITY);
+                    let local = attr("transform").map_or(Affine::IDENTITY, parse_transform);
                     let transform = parent.then(local);
 
                     if name == "svg" && stack.is_empty() {
-                        doc.width = attr("width").and_then(|v| parse_length(v)).unwrap_or(0.0);
-                        doc.height = attr("height").and_then(|v| parse_length(v)).unwrap_or(0.0);
+                        doc.width = attr("width").and_then(parse_length).unwrap_or(0.0);
+                        doc.height = attr("height").and_then(parse_length).unwrap_or(0.0);
                     }
 
-                    let class = attr("class").cloned();
-                    let id = attr("id").cloned();
-                    let get = |key: &str| attr(key).and_then(|v| parse_length(v));
+                    let class = attr("class").map(str::to_owned);
+                    let id = attr("id").map(str::to_owned);
+                    let get = |key: &str| attr(key).and_then(parse_length);
 
-                    let shape = match name.as_str() {
+                    let shape = match name {
                         "rect" => {
                             let x = get("x").unwrap_or(0.0);
                             let y = get("y").unwrap_or(0.0);
                             let w = get("width").unwrap_or(0.0);
                             let h = get("height").unwrap_or(0.0);
                             if !(x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite()) {
-                                return Err(bad(&name, "non-finite rect coordinates"));
+                                return Err(bad(name, "non-finite rect coordinates"));
                             }
                             let p1 = transform.apply(Point::new(x, y));
                             let p2 = transform.apply(Point::new(x + w, y + h));
@@ -211,9 +232,9 @@ impl Document {
                         }
                         "polygon" | "polyline" => {
                             let raw = attr("points")
-                                .ok_or_else(|| bad(&name, "missing points attribute"))?;
+                                .ok_or_else(|| bad(name, "missing points attribute"))?;
                             let pts = parse_points(raw)
-                                .ok_or_else(|| bad(&name, "unparsable points attribute"))?;
+                                .ok_or_else(|| bad(name, "unparsable points attribute"))?;
                             let pts: Vec<Point> =
                                 pts.into_iter().map(|p| transform.apply(p)).collect();
                             Some(Shape::Polygon(Polygon::new(pts)))
@@ -245,7 +266,7 @@ impl Document {
                         let is_text = matches!(shape, Shape::Text { .. });
                         let records_text = is_text && !self_closing;
                         doc.elements.push(Element {
-                            tag: name.clone(),
+                            tag: name.to_owned(),
                             class,
                             id,
                             shape,
@@ -258,7 +279,7 @@ impl Document {
                         }
                     }
                     if !self_closing {
-                        stack.push((transform, name));
+                        stack.push(transform);
                     }
                 }
                 Event::EndElement { name } => {
@@ -272,16 +293,8 @@ impl Document {
                         }
                     }
                 }
-                Event::Text(t) | Event::CData(t) => {
-                    if skip_text_depth.is_some() {
-                        continue;
-                    }
-                    if let Some(idx) = open_text {
-                        if let Shape::Text { content, .. } = &mut doc.elements[idx].shape {
-                            content.push_str(&t);
-                        }
-                    }
-                }
+                Event::Text(t) => append_text(doc, skip_text_depth, open_text, &t),
+                Event::CData(t) => append_text(doc, skip_text_depth, open_text, t),
                 Event::Declaration(_)
                 | Event::Doctype(_)
                 | Event::Comment(_)
@@ -291,7 +304,19 @@ impl Document {
         if !seen_svg {
             return Err(ParseError::NotSvg);
         }
-        Ok(doc)
+        Ok(())
+    }
+}
+
+/// Folds character data into the currently open `<text>` element.
+fn append_text(doc: &mut Document, skip: Option<usize>, open_text: Option<usize>, t: &str) {
+    if skip.is_some() {
+        return;
+    }
+    if let Some(idx) = open_text {
+        if let Shape::Text { content, .. } = &mut doc.elements[idx].shape {
+            content.push_str(t);
+        }
     }
 }
 

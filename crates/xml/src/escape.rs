@@ -1,6 +1,7 @@
 //! Entity escaping and unescaping.
 
 use crate::{Error, ErrorKind, Result};
+use std::borrow::Cow;
 
 /// Escapes character data for use as element text.
 ///
@@ -43,9 +44,12 @@ fn escape(raw: &str, quotes: bool) -> String {
 ///
 /// `offset` is the byte position of `raw` within the overall document and
 /// is used to report error positions in the document's coordinate space.
-pub fn unescape(raw: &str, offset: usize) -> Result<String> {
+///
+/// Borrows the input unchanged when it contains no entity — the common
+/// case for weathermap SVGs — so the hot parsing path allocates nothing.
+pub fn unescape(raw: &str, offset: usize) -> Result<Cow<'_, str>> {
     if !raw.contains('&') {
-        return Ok(raw.to_owned());
+        return Ok(Cow::Borrowed(raw));
     }
     let mut out = String::with_capacity(raw.len());
     let mut rest = raw;
@@ -75,7 +79,7 @@ pub fn unescape(raw: &str, offset: usize) -> Result<String> {
         rest = &rest[amp + 1 + semi + 1..];
     }
     out.push_str(rest);
-    Ok(out)
+    Ok(Cow::Owned(out))
 }
 
 fn decode_entity(entity: &str) -> Option<char> {

@@ -2,52 +2,60 @@
 
 use crate::escape::unescape;
 use crate::{Error, ErrorKind, Result};
+use std::borrow::Cow;
 
 /// One attribute of an element, with entities already decoded.
+///
+/// Both fields borrow from the document; the value is only owned when it
+/// contained entity references that had to be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Attribute {
+pub struct Attribute<'a> {
     /// Attribute name, verbatim (namespace prefixes are kept as written).
-    pub name: String,
+    pub name: &'a str,
     /// Decoded attribute value.
-    pub value: String,
+    pub value: Cow<'a, str>,
 }
 
 /// One parse event produced by [`Reader::next_event`].
+///
+/// Events borrow from the input document, so steady-state parsing does
+/// not allocate: only text and attribute values containing entities are
+/// decoded into owned buffers (as [`Cow::Owned`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Event {
+pub enum Event<'a> {
     /// The `<?xml ... ?>` declaration, raw content between the markers.
-    Declaration(String),
+    Declaration(&'a str),
     /// A `<!DOCTYPE ...>` definition, raw content (not interpreted).
-    Doctype(String),
+    Doctype(&'a str),
     /// A processing instruction other than the XML declaration.
-    ProcessingInstruction(String),
+    ProcessingInstruction(&'a str),
     /// A `<!-- ... -->` comment, without the markers.
-    Comment(String),
+    Comment(&'a str),
     /// A `<![CDATA[ ... ]]>` section, verbatim.
-    CData(String),
+    CData(&'a str),
     /// An opening tag. For self-closing tags no matching
     /// [`Event::EndElement`] is produced and `self_closing` is `true`.
     StartElement {
         /// Element name.
-        name: String,
+        name: &'a str,
         /// Attributes in document order.
-        attributes: Vec<Attribute>,
+        attributes: Vec<Attribute<'a>>,
         /// Whether the tag was written `<name ... />`.
         self_closing: bool,
     },
     /// A closing tag.
     EndElement {
         /// Element name.
-        name: String,
+        name: &'a str,
     },
     /// Character data with entities decoded.
     ///
     /// Whitespace-only runs between markup are *not* reported; weathermap
     /// data never encodes information in inter-element whitespace.
-    Text(String),
+    Text(Cow<'a, str>),
 }
 
-impl Event {
+impl<'a> Event<'a> {
     /// For a start element, looks up an attribute value by name.
     #[must_use]
     pub fn attribute(&self, name: &str) -> Option<&str> {
@@ -55,7 +63,7 @@ impl Event {
             Event::StartElement { attributes, .. } => attributes
                 .iter()
                 .find(|a| a.name == name)
-                .map(|a| a.value.as_str()),
+                .map(|a| a.value.as_ref()),
             _ => None,
         }
     }
@@ -70,7 +78,7 @@ pub struct Reader<'a> {
     input: &'a [u8],
     text: &'a str,
     pos: usize,
-    stack: Vec<String>,
+    stack: Vec<&'a str>,
     seen_root: bool,
 }
 
@@ -100,7 +108,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Produces the next event, `Ok(None)` at a well-formed end of input.
-    pub fn next_event(&mut self) -> Result<Option<Event>> {
+    pub fn next_event(&mut self) -> Result<Option<Event<'a>>> {
         loop {
             if self.pos >= self.input.len() {
                 if !self.stack.is_empty() {
@@ -133,7 +141,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads markup starting at `<`.
-    fn read_markup(&mut self) -> Result<Event> {
+    fn read_markup(&mut self) -> Result<Event<'a>> {
         debug_assert_eq!(self.input[self.pos], b'<');
         let at = self.pos;
         match self.input.get(self.pos + 1) {
@@ -149,7 +157,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `<? ... ?>`.
-    fn read_pi(&mut self) -> Result<Event> {
+    fn read_pi(&mut self) -> Result<Event<'a>> {
         let at = self.pos;
         let body_start = self.pos + 2;
         let end = find(self.input, b"?>", body_start).ok_or_else(|| {
@@ -160,17 +168,17 @@ impl<'a> Reader<'a> {
                 at,
             )
         })?;
-        let body = self.text[body_start..end].to_owned();
+        let body = &self.text[body_start..end];
         self.pos = end + 2;
         if body.starts_with("xml") && body[3..].starts_with(|c: char| c.is_ascii_whitespace()) {
-            Ok(Event::Declaration(body[3..].trim().to_owned()))
+            Ok(Event::Declaration(body[3..].trim()))
         } else {
             Ok(Event::ProcessingInstruction(body))
         }
     }
 
     /// Reads `<!-- -->`, `<![CDATA[ ]]>` or `<!DOCTYPE >`.
-    fn read_bang(&mut self) -> Result<Event> {
+    fn read_bang(&mut self) -> Result<Event<'a>> {
         let at = self.pos;
         let rest = &self.input[self.pos..];
         if rest.starts_with(b"<!--") {
@@ -182,7 +190,7 @@ impl<'a> Reader<'a> {
                     at,
                 )
             })?;
-            let body = self.text[self.pos + 4..end].to_owned();
+            let body = &self.text[self.pos + 4..end];
             self.pos = end + 3;
             return Ok(Event::Comment(body));
         }
@@ -195,7 +203,7 @@ impl<'a> Reader<'a> {
                     at,
                 )
             })?;
-            let body = self.text[self.pos + 9..end].to_owned();
+            let body = &self.text[self.pos + 9..end];
             self.pos = end + 3;
             if self.stack.is_empty() {
                 return Err(Error::new(ErrorKind::TrailingContent, at));
@@ -211,7 +219,7 @@ impl<'a> Reader<'a> {
                     b'[' => depth += 1,
                     b']' => depth = depth.saturating_sub(1),
                     b'>' if depth == 0 => {
-                        let body = self.text[self.pos + 9..i].trim().to_owned();
+                        let body = self.text[self.pos + 9..i].trim();
                         self.pos = i + 1;
                         return Ok(Event::Doctype(body));
                     }
@@ -236,7 +244,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `</name>`.
-    fn read_close_tag(&mut self) -> Result<Event> {
+    fn read_close_tag(&mut self) -> Result<Event<'a>> {
         let at = self.pos;
         self.pos += 2; // consume "</"
         let name = self.read_name()?;
@@ -246,14 +254,14 @@ impl<'a> Reader<'a> {
             Some(open) if open == name => Ok(Event::EndElement { name }),
             Some(open) => Err(Error::new(
                 ErrorKind::MismatchedCloseTag {
-                    found: name,
-                    expected: Some(open),
+                    found: name.to_owned(),
+                    expected: Some(open.to_owned()),
                 },
                 at,
             )),
             None => Err(Error::new(
                 ErrorKind::MismatchedCloseTag {
-                    found: name,
+                    found: name.to_owned(),
                     expected: None,
                 },
                 at,
@@ -262,14 +270,14 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `<name attr="v" ...>` or `<name ... />`.
-    fn read_open_tag(&mut self) -> Result<Event> {
+    fn read_open_tag(&mut self) -> Result<Event<'a>> {
         let at = self.pos;
         if self.seen_root && self.stack.is_empty() {
             return Err(Error::new(ErrorKind::TrailingContent, at));
         }
         self.pos += 1; // consume '<'
         let name = self.read_name()?;
-        let mut attributes: Vec<Attribute> = Vec::new();
+        let mut attributes: Vec<Attribute<'a>> = Vec::new();
         loop {
             self.skip_whitespace();
             match self.peek() {
@@ -281,7 +289,7 @@ impl<'a> Reader<'a> {
                 }
                 Some(b'>') => {
                     self.pos += 1;
-                    self.stack.push(name.clone());
+                    self.stack.push(name);
                     self.seen_root = true;
                     return Ok(Event::StartElement {
                         name,
@@ -303,7 +311,9 @@ impl<'a> Reader<'a> {
                     let attr = self.read_attribute()?;
                     if attributes.iter().any(|a| a.name == attr.name) {
                         return Err(Error::new(
-                            ErrorKind::DuplicateAttribute { name: attr.name },
+                            ErrorKind::DuplicateAttribute {
+                                name: attr.name.to_owned(),
+                            },
                             self.pos,
                         ));
                     }
@@ -314,7 +324,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads `name = "value"` (single or double quotes).
-    fn read_attribute(&mut self) -> Result<Attribute> {
+    fn read_attribute(&mut self) -> Result<Attribute<'a>> {
         let name = self.read_name()?;
         self.skip_whitespace();
         self.expect(b'=', "'=' after attribute name")?;
@@ -355,7 +365,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Reads an XML name at the current position.
-    fn read_name(&mut self) -> Result<String> {
+    fn read_name(&mut self) -> Result<&'a str> {
         let start = self.pos;
         let mut end = start;
         while end < self.input.len() {
@@ -374,7 +384,7 @@ impl<'a> Reader<'a> {
             return Err(Error::new(ErrorKind::InvalidName, start));
         }
         self.pos = end;
-        Ok(self.text[start..end].to_owned())
+        Ok(&self.text[start..end])
     }
 
     fn skip_whitespace(&mut self) {
@@ -431,7 +441,7 @@ fn find(haystack: &[u8], needle: &[u8], from: usize) -> Option<usize> {
 mod tests {
     use super::*;
 
-    fn events(xml: &str) -> Result<Vec<Event>> {
+    fn events(xml: &str) -> Result<Vec<Event<'_>>> {
         let mut r = Reader::new(xml);
         let mut out = Vec::new();
         while let Some(e) = r.next_event()? {
@@ -579,7 +589,7 @@ mod tests {
     #[test]
     fn unicode_names_and_text_survive() {
         let evts = events("<réseau>déjà</réseau>").unwrap();
-        assert!(matches!(&evts[0], Event::StartElement { name, .. } if name == "réseau"));
+        assert!(matches!(&evts[0], Event::StartElement { name, .. } if *name == "réseau"));
         assert_eq!(evts[1], Event::Text("déjà".into()));
     }
 

@@ -87,22 +87,22 @@ fn write_node(writer: &mut Writer, node: &Node) {
     }
 }
 
-/// Flattens a tree into the expected event stream.
-fn expected_events(node: &Node, out: &mut Vec<Event>) {
+/// Flattens a tree into the expected event stream (borrowing from it).
+fn expected_events<'a>(node: &'a Node, out: &mut Vec<Event<'a>>) {
     match node {
-        Node::Text(text) => out.push(Event::Text(text.clone())),
+        Node::Text(text) => out.push(Event::Text(text.as_str().into())),
         Node::Element {
             name,
             attrs,
             children,
         } => {
             out.push(Event::StartElement {
-                name: name.clone(),
+                name,
                 attributes: attrs
                     .iter()
                     .map(|(k, v)| wm_xml::Attribute {
-                        name: k.clone(),
-                        value: v.clone(),
+                        name: k,
+                        value: v.as_str().into(),
                     })
                     .collect(),
                 self_closing: children.is_empty(),
@@ -111,7 +111,7 @@ fn expected_events(node: &Node, out: &mut Vec<Event>) {
                 expected_events(child, out);
             }
             if !children.is_empty() {
-                out.push(Event::EndElement { name: name.clone() });
+                out.push(Event::EndElement { name });
             }
         }
     }
@@ -119,11 +119,11 @@ fn expected_events(node: &Node, out: &mut Vec<Event>) {
 
 /// Merges adjacent text events (the writer concatenates adjacent text
 /// calls into one run, which the reader reports as a single event).
-fn merge_text(events: Vec<Event>) -> Vec<Event> {
-    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+fn merge_text<'a>(events: Vec<Event<'a>>) -> Vec<Event<'a>> {
+    let mut out: Vec<Event<'a>> = Vec::with_capacity(events.len());
     for event in events {
         if let (Some(Event::Text(last)), Event::Text(new)) = (out.last_mut(), &event) {
-            last.push_str(new);
+            last.to_mut().push_str(new);
             continue;
         }
         out.push(event);
@@ -166,7 +166,9 @@ proptest! {
 
     #[test]
     fn escape_unescape_round_trip(s in content_strategy()) {
-        prop_assert_eq!(unescape(&escape_text(&s), 0).expect("valid"), s.clone());
-        prop_assert_eq!(unescape(&escape_attribute(&s), 0).expect("valid"), s);
+        let text = escape_text(&s);
+        let attribute = escape_attribute(&s);
+        prop_assert_eq!(unescape(&text, 0).expect("valid"), s.clone());
+        prop_assert_eq!(unescape(&attribute, 0).expect("valid"), s);
     }
 }

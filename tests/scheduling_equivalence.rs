@@ -116,3 +116,49 @@ fn metrics_totals_mirror_batch_stats() {
     assert!(totals.stage_samples[1] <= totals.stage_samples[0]);
     assert!(totals.stage_samples[2] <= totals.stage_samples[1]);
 }
+
+#[test]
+fn spatial_index_never_changes_results() {
+    // The grid broad phase is a pure candidate filter: over a corpus with
+    // clean and corrupted files alike, disabling it must reproduce the
+    // exact same snapshots, statistics and YAML bytes.
+    let inputs = skewed_corpus();
+    let grid_config = ExtractConfig::default();
+    assert!(grid_config.use_spatial_index, "grid is the default");
+    let brute_config = ExtractConfig {
+        use_spatial_index: false,
+        ..ExtractConfig::default()
+    };
+
+    let (grid, grid_stats, grid_metrics) = extract_batch_with(
+        &inputs,
+        MapKind::Europe,
+        &grid_config,
+        4,
+        Scheduling::WorkStealing,
+    );
+    let (brute, brute_stats, brute_metrics) = extract_batch_with(
+        &inputs,
+        MapKind::Europe,
+        &brute_config,
+        4,
+        Scheduling::WorkStealing,
+    );
+
+    assert_eq!(grid, brute, "snapshots must be identical");
+    assert_eq!(grid_stats, brute_stats, "stats must be identical");
+    let grid_yaml: Vec<String> = grid.iter().map(to_yaml_string).collect();
+    let brute_yaml: Vec<String> = brute.iter().map(to_yaml_string).collect();
+    assert_eq!(grid_yaml, brute_yaml, "emitted YAML must be byte-identical");
+
+    // The work counters tell the two paths apart: same lines and
+    // baseline, but the grid exact-tests only a fraction of the boxes.
+    let g = grid_metrics.totals().broad_phase;
+    let b = brute_metrics.totals().broad_phase;
+    assert_eq!(g.lines, b.lines);
+    assert_eq!(g.rects_baseline, b.rects_baseline);
+    assert_eq!(b.rects_tested, b.rects_baseline);
+    assert!(g.rects_tested < b.rects_tested, "grid must cull candidates");
+    assert!(g.grid_builds > 0);
+    assert_eq!(b.grid_builds, 0);
+}
