@@ -3,8 +3,16 @@
 set -eux
 
 cargo build --release
+cargo build --release --examples
 cargo test -q
 cargo test -q --test scheduling_equivalence
+cargo test -q --test analysis_equivalence
 cargo bench --no-run --workspace
 cargo clippy -- -D warnings
 cargo fmt --check
+
+# Smoke test: a tiny corpus through the single-pass analysis engine.
+smoke_dir="$(mktemp -d)"
+target/release/ovh-weather generate --out "$smoke_dir" --from 2022-02-01 --to 2022-02-02 --map europe --scale 0.05
+target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --metrics
+rm -rf "$smoke_dir"

@@ -2,6 +2,8 @@
 
 use wm_model::{Timestamp, TopologySnapshot};
 
+use crate::suite::AnalysisPass;
+
 /// One point of the infrastructure evolution series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvolutionPoint {
@@ -95,6 +97,64 @@ pub fn classify_pair(first: &ChangeEvent, second: &ChangeEvent) -> EventPattern 
         (true, false) => EventPattern::MakeBeforeBreak,
         (false, true) => EventPattern::MaintenanceDip,
         _ => EventPattern::Monotonic,
+    }
+}
+
+/// The finished evolution artifact: the Fig. 4a/4b series plus the
+/// change events §5 narrates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvolutionReport {
+    /// The evolution series, sorted by timestamp.
+    pub series: Vec<EvolutionPoint>,
+    /// Router-count steps of at least the configured delta.
+    pub router_events: Vec<ChangeEvent>,
+    /// Internal-link-count steps of at least the configured delta.
+    pub internal_link_events: Vec<ChangeEvent>,
+}
+
+/// Streaming fold producing an [`EvolutionReport`] — the
+/// [`AnalysisPass`] form of [`evolution_series`] + [`detect_changes`].
+#[derive(Debug, Clone)]
+pub struct EvolutionPass {
+    min_router_delta: usize,
+    min_link_delta: usize,
+    series: Vec<EvolutionPoint>,
+}
+
+impl EvolutionPass {
+    /// Creates a pass with the given change-detection thresholds.
+    #[must_use]
+    pub fn new(min_router_delta: usize, min_link_delta: usize) -> EvolutionPass {
+        EvolutionPass {
+            min_router_delta,
+            min_link_delta,
+            series: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisPass for EvolutionPass {
+    type Output = EvolutionReport;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.series.push(EvolutionPoint {
+            timestamp: snapshot.timestamp,
+            routers: snapshot.router_count(),
+            internal_links: snapshot.internal_link_count(),
+            external_links: snapshot.external_link_count(),
+        });
+    }
+
+    fn finish(mut self) -> EvolutionReport {
+        self.series.sort_by_key(|p| p.timestamp);
+        let router_events = detect_changes(&self.series, |p| p.routers, self.min_router_delta);
+        let internal_link_events =
+            detect_changes(&self.series, |p| p.internal_links, self.min_link_delta);
+        EvolutionReport {
+            series: self.series,
+            router_events,
+            internal_link_events,
+        }
     }
 }
 

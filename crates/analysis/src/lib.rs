@@ -29,17 +29,29 @@ pub mod loads;
 pub mod maintenance;
 pub mod sites;
 pub mod stats;
+pub mod suite;
 pub mod tables;
 pub mod timeframe;
 pub mod upgrades;
 
-pub use degree::DegreeAnalysis;
-pub use evolution::{detect_changes, evolution_series, ChangeEvent, EvolutionPoint};
+pub use degree::{DegreeAnalysis, DegreePass};
+pub use evolution::{
+    detect_changes, evolution_series, ChangeEvent, EvolutionPass, EvolutionPoint, EvolutionReport,
+};
 pub use imbalance::{group_imbalances, GroupImbalance, ImbalanceCdf};
 pub use loads::{HourlyLoads, LoadCdf};
-pub use maintenance::{disabled_fraction, maintenance_windows, LinkKey, MaintenanceWindow};
-pub use sites::{site_counts, site_growth, SiteCounts, SiteGrowth};
+pub use maintenance::{
+    disabled_fraction, maintenance_windows, LinkKey, MaintenancePass, MaintenanceReport,
+    MaintenanceWindow,
+};
+pub use sites::{site_counts, site_growth, SiteCounts, SiteGrowth, SitesPass};
 pub use stats::{Distribution, WhiskerSummary};
-pub use tables::{table1, Table1, Table1Row};
-pub use timeframe::{coverage_segments, CoverageSegment, GapDistribution};
-pub use upgrades::{detect_upgrade, observe_group, CapacityRecord, UpgradeReport};
+pub use suite::{AnalysisPass, AnalysisSuite, SuiteConfig, SuiteReport};
+pub use tables::{table1, Table1, Table1Row, TablePass};
+pub use timeframe::{
+    coverage_segments, CoverageSegment, GapDistribution, TimeframePass, TimeframeReport,
+};
+pub use upgrades::{
+    detect_upgrade, observe_group, CapacityRecord, UpgradeOutcome, UpgradePass, UpgradeReport,
+    UpgradeTarget,
+};

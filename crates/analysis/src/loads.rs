@@ -3,12 +3,13 @@
 use wm_model::{LinkKind, TopologySnapshot};
 
 use crate::stats::{Distribution, WhiskerSummary};
+use crate::suite::AnalysisPass;
 
 /// Loads grouped by hour of day — the Fig. 5a machinery.
 ///
 /// Every directed load of every snapshot lands in its capture hour's
 /// bucket; the figure then draws the per-hour whisker summaries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HourlyLoads {
     buckets: [Vec<f64>; 24],
 }
@@ -63,8 +64,22 @@ impl HourlyLoads {
     }
 }
 
+/// [`HourlyLoads`] is its own artifact: the pass accumulates and
+/// finishes into itself.
+impl AnalysisPass for HourlyLoads {
+    type Output = HourlyLoads;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.add_snapshot(snapshot);
+    }
+
+    fn finish(self) -> HourlyLoads {
+        self
+    }
+}
+
 /// Load CDFs split by link kind — the Fig. 5b machinery.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct LoadCdf {
     all: Vec<f64>,
     internal: Vec<f64>,
@@ -118,6 +133,20 @@ impl LoadCdf {
         let above60 = all.ccdf(60.0);
         let delta = self.external().mean()? - self.internal().mean()?;
         Some((p75, above60, delta))
+    }
+}
+
+/// [`LoadCdf`] is its own artifact: the pass accumulates and finishes
+/// into itself.
+impl AnalysisPass for LoadCdf {
+    type Output = LoadCdf;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.add_snapshot(snapshot);
+    }
+
+    fn finish(self) -> LoadCdf {
+        self
     }
 }
 

@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 
 use wm_model::{Timestamp, TopologySnapshot};
 
+use crate::suite::AnalysisPass;
+
 /// Identity of one physical link across snapshots: the unordered endpoint
 /// pair plus the `#n` labels (parallel links are distinguished by label;
 /// links without labels collapse per pair).
@@ -48,62 +50,104 @@ pub struct MaintenanceWindow {
 /// sighting).
 #[must_use]
 pub fn maintenance_windows(snapshots: &[TopologySnapshot]) -> Vec<MaintenanceWindow> {
-    // Open windows: key -> (start, last_seen, count).
-    let mut open: BTreeMap<LinkKey, (Timestamp, Timestamp, usize)> = BTreeMap::new();
-    let mut closed: Vec<MaintenanceWindow> = Vec::new();
-
-    for snapshot in snapshots {
-        for link in &snapshot.links {
-            let key = key_of(link);
-            if link.is_disabled() {
-                open.entry(key)
-                    .and_modify(|(_, last, count)| {
-                        *last = snapshot.timestamp;
-                        *count += 1;
-                    })
-                    .or_insert((snapshot.timestamp, snapshot.timestamp, 1));
-            } else if let Some((start, last, count)) = open.remove(&key) {
-                closed.push(MaintenanceWindow {
-                    link: key,
-                    start,
-                    end: last,
-                    snapshots: count,
-                });
-                let _ = (start, count);
-            }
-        }
-    }
-    // Windows still open at the end of the series.
-    for (key, (start, last, count)) in open {
-        closed.push(MaintenanceWindow {
-            link: key,
-            start,
-            end: last,
-            snapshots: count,
-        });
-    }
-    closed.sort_by(|x, y| x.start.cmp(&y.start).then_with(|| x.link.cmp(&y.link)));
-    closed
+    run_pass(snapshots).windows
 }
 
 /// Fraction of link-snapshot observations that were disabled — a
 /// one-number health summary of the series.
 #[must_use]
 pub fn disabled_fraction(snapshots: &[TopologySnapshot]) -> f64 {
-    let mut total = 0usize;
-    let mut disabled = 0usize;
+    run_pass(snapshots).disabled_fraction()
+}
+
+fn run_pass(snapshots: &[TopologySnapshot]) -> MaintenanceReport {
+    let mut pass = MaintenancePass::default();
     for snapshot in snapshots {
+        pass.observe(snapshot);
+    }
+    pass.finish()
+}
+
+/// The finished maintenance artifact of one series scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// All detected windows, sorted by `(start, link)`.
+    pub windows: Vec<MaintenanceWindow>,
+    /// Total link-snapshot observations.
+    pub observations: usize,
+    /// Observations that read disabled (0 % both directions).
+    pub disabled: usize,
+}
+
+impl MaintenanceReport {
+    /// Fraction of observations that were disabled (0 on an empty
+    /// series).
+    #[must_use]
+    pub fn disabled_fraction(&self) -> f64 {
+        if self.observations == 0 {
+            0.0
+        } else {
+            self.disabled as f64 / self.observations as f64
+        }
+    }
+}
+
+/// Streaming fold producing a [`MaintenanceReport`] — the
+/// [`AnalysisPass`] behind [`maintenance_windows`] and
+/// [`disabled_fraction`].
+#[derive(Debug, Clone, Default)]
+pub struct MaintenancePass {
+    /// Open windows: key -> (start, last_seen, count).
+    open: BTreeMap<LinkKey, (Timestamp, Timestamp, usize)>,
+    closed: Vec<MaintenanceWindow>,
+    observations: usize,
+    disabled: usize,
+}
+
+impl AnalysisPass for MaintenancePass {
+    type Output = MaintenanceReport;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
         for link in &snapshot.links {
-            total += 1;
+            self.observations += 1;
+            let key = key_of(link);
             if link.is_disabled() {
-                disabled += 1;
+                self.disabled += 1;
+                self.open
+                    .entry(key)
+                    .and_modify(|(_, last, count)| {
+                        *last = snapshot.timestamp;
+                        *count += 1;
+                    })
+                    .or_insert((snapshot.timestamp, snapshot.timestamp, 1));
+            } else if let Some((start, last, count)) = self.open.remove(&key) {
+                self.closed.push(MaintenanceWindow {
+                    link: key,
+                    start,
+                    end: last,
+                    snapshots: count,
+                });
             }
         }
     }
-    if total == 0 {
-        0.0
-    } else {
-        disabled as f64 / total as f64
+
+    fn finish(self) -> MaintenanceReport {
+        let mut windows = self.closed;
+        // Windows still open at the end of the series.
+        for (key, (start, last, count)) in self.open {
+            windows.push(MaintenanceWindow {
+                link: key,
+                start,
+                end: last,
+                snapshots: count,
+            });
+        }
+        windows.sort_by(|x, y| x.start.cmp(&y.start).then_with(|| x.link.cmp(&y.link)));
+        MaintenanceReport {
+            windows,
+            observations: self.observations,
+            disabled: self.disabled,
+        }
     }
 }
 

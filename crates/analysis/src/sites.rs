@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 
 use wm_model::{Timestamp, TopologySnapshot};
 
+use crate::suite::AnalysisPass;
+
 /// Router and attached-link counts of one site at one instant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SiteCounts {
@@ -75,10 +77,26 @@ impl SiteGrowth {
 /// by descending link growth (the "which parts grow fastest" ranking).
 #[must_use]
 pub fn site_growth(snapshots: &[TopologySnapshot]) -> Vec<SiteGrowth> {
-    let mut growth: BTreeMap<String, SiteGrowth> = BTreeMap::new();
+    let mut pass = SitesPass::default();
     for snapshot in snapshots {
+        pass.observe(snapshot);
+    }
+    pass.finish()
+}
+
+/// Streaming fold producing the per-site growth ranking — the
+/// [`AnalysisPass`] behind [`site_growth`].
+#[derive(Debug, Clone, Default)]
+pub struct SitesPass {
+    growth: BTreeMap<String, SiteGrowth>,
+}
+
+impl AnalysisPass for SitesPass {
+    type Output = Vec<SiteGrowth>;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
         for (site, counts) in site_counts(snapshot) {
-            growth
+            self.growth
                 .entry(site.clone())
                 .and_modify(|g| {
                     if snapshot.timestamp >= g.last_seen {
@@ -99,13 +117,16 @@ pub fn site_growth(snapshots: &[TopologySnapshot]) -> Vec<SiteGrowth> {
                 });
         }
     }
-    let mut out: Vec<SiteGrowth> = growth.into_values().collect();
-    out.sort_by(|a, b| {
-        b.link_growth()
-            .cmp(&a.link_growth())
-            .then(a.site.cmp(&b.site))
-    });
-    out
+
+    fn finish(self) -> Vec<SiteGrowth> {
+        let mut out: Vec<SiteGrowth> = self.growth.into_values().collect();
+        out.sort_by(|a, b| {
+            b.link_growth()
+                .cmp(&a.link_growth())
+                .then(a.site.cmp(&b.site))
+        });
+        out
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,487 @@
+//! The single-pass §5 analysis engine.
+//!
+//! Historically every analysis consumed its own `&[TopologySnapshot]`
+//! slice, so regenerating the paper's artifacts meant loading the corpus
+//! once per figure. [`AnalysisPass`] recasts each analysis as a streaming
+//! fold — observe snapshots one at a time, produce the artifact at the
+//! end — and [`AnalysisSuite`] runs all nine §5 modules concurrently over
+//! one corpus scan. The suite is itself a pass, so it composes: anything
+//! that can drive one pass (a snapshot slice, a
+//! `LongitudinalStore`'s reconstruction iterator) can drive all of them.
+
+use std::borrow::Borrow;
+
+use wm_model::{Duration, TopologySnapshot};
+
+use crate::degree::{DegreeAnalysis, DegreePass};
+use crate::evolution::{EvolutionPass, EvolutionReport};
+use crate::imbalance::ImbalanceCdf;
+use crate::loads::{HourlyLoads, LoadCdf};
+use crate::maintenance::{MaintenancePass, MaintenanceReport};
+use crate::sites::{SiteGrowth, SitesPass};
+use crate::tables::{Table1, TablePass};
+use crate::timeframe::{TimeframePass, TimeframeReport};
+use crate::upgrades::{UpgradeOutcome, UpgradePass, UpgradeTarget};
+
+/// A streaming analysis: folds snapshots one at a time, then finishes
+/// into its artifact.
+///
+/// Implementations must not assume they see every snapshot of a corpus
+/// or that snapshots arrive from a single map — only that arrival order
+/// is ascending `(timestamp, extraction order)`, which is what the
+/// shared loader guarantees.
+pub trait AnalysisPass {
+    /// The finished artifact.
+    type Output;
+
+    /// Folds one snapshot into the running state.
+    fn observe(&mut self, snapshot: &TopologySnapshot);
+
+    /// Consumes the state and produces the artifact.
+    fn finish(self) -> Self::Output;
+}
+
+/// Tuning knobs of an [`AnalysisSuite`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteConfig {
+    /// Gap above which a Fig. 2 coverage segment breaks.
+    pub max_gap: Duration,
+    /// Minimum router-count step reported as a Fig. 4a change event.
+    pub min_router_delta: usize,
+    /// Minimum internal-link step reported as a Fig. 4b change event.
+    pub min_link_delta: usize,
+    /// When set, the Fig. 6 upgrade forensics to run alongside.
+    pub upgrade: Option<UpgradeTarget>,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> SuiteConfig {
+        SuiteConfig {
+            max_gap: Duration::from_hours(1),
+            min_router_delta: 1,
+            min_link_delta: 4,
+            upgrade: None,
+        }
+    }
+}
+
+/// All nine §5 analyses folded concurrently over one snapshot stream.
+#[derive(Debug, Clone)]
+pub struct AnalysisSuite {
+    snapshots: usize,
+    timeframe: TimeframePass,
+    evolution: EvolutionPass,
+    degree: DegreePass,
+    hourly: HourlyLoads,
+    load_cdf: LoadCdf,
+    imbalance: ImbalanceCdf,
+    table: TablePass,
+    sites: SitesPass,
+    maintenance: MaintenancePass,
+    upgrade: Option<UpgradePass>,
+}
+
+impl AnalysisSuite {
+    /// Creates a suite with the given configuration.
+    #[must_use]
+    pub fn new(config: SuiteConfig) -> AnalysisSuite {
+        AnalysisSuite {
+            snapshots: 0,
+            timeframe: TimeframePass::new(config.max_gap),
+            evolution: EvolutionPass::new(config.min_router_delta, config.min_link_delta),
+            degree: DegreePass::default(),
+            hourly: HourlyLoads::new(),
+            load_cdf: LoadCdf::new(),
+            imbalance: ImbalanceCdf::new(),
+            table: TablePass::default(),
+            sites: SitesPass::default(),
+            maintenance: MaintenancePass::default(),
+            upgrade: config.upgrade.map(UpgradePass::new),
+        }
+    }
+
+    /// Runs the whole suite over an already-materialised snapshot source
+    /// — a slice, an owned vector, or a columnar store's reconstruction
+    /// iterator.
+    pub fn run<I, T>(config: SuiteConfig, snapshots: I) -> SuiteReport
+    where
+        I: IntoIterator<Item = T>,
+        T: Borrow<TopologySnapshot>,
+    {
+        let mut suite = AnalysisSuite::new(config);
+        for snapshot in snapshots {
+            suite.observe(snapshot.borrow());
+        }
+        suite.finish()
+    }
+}
+
+impl AnalysisPass for AnalysisSuite {
+    type Output = SuiteReport;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.snapshots += 1;
+        self.timeframe.observe(snapshot);
+        self.evolution.observe(snapshot);
+        self.degree.observe(snapshot);
+        self.hourly.observe(snapshot);
+        self.load_cdf.observe(snapshot);
+        self.imbalance.observe(snapshot);
+        self.table.observe(snapshot);
+        self.sites.observe(snapshot);
+        self.maintenance.observe(snapshot);
+        if let Some(upgrade) = &mut self.upgrade {
+            upgrade.observe(snapshot);
+        }
+    }
+
+    fn finish(self) -> SuiteReport {
+        SuiteReport {
+            snapshots: self.snapshots,
+            timeframe: self.timeframe.finish(),
+            evolution: self.evolution.finish(),
+            degree: self.degree.finish(),
+            hourly: self.hourly.finish(),
+            load_cdf: self.load_cdf.finish(),
+            imbalance: self.imbalance.finish(),
+            table1: self.table.finish(),
+            sites: self.sites.finish(),
+            maintenance: self.maintenance.finish(),
+            upgrade: self.upgrade.map(AnalysisPass::finish),
+        }
+    }
+}
+
+/// Every §5 artifact of one corpus scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteReport {
+    /// Snapshots observed.
+    pub snapshots: usize,
+    /// Fig. 2 / Fig. 3: coverage segments and gap distribution.
+    pub timeframe: TimeframeReport,
+    /// Fig. 4a / Fig. 4b: evolution series and change events.
+    pub evolution: EvolutionReport,
+    /// Fig. 4c: degree analysis of the final snapshot (`None` on an
+    /// empty corpus).
+    pub degree: Option<DegreeAnalysis>,
+    /// Fig. 5a: loads bucketed by hour of day.
+    pub hourly: HourlyLoads,
+    /// Fig. 5b: load CDFs by link kind.
+    pub load_cdf: LoadCdf,
+    /// Fig. 5c: ECMP imbalance CDFs.
+    pub imbalance: ImbalanceCdf,
+    /// Table 1, assembled from the last snapshot seen per map.
+    pub table1: Table1,
+    /// Per-site growth ranking.
+    pub sites: Vec<SiteGrowth>,
+    /// Maintenance windows and disabled-link counters.
+    pub maintenance: MaintenanceReport,
+    /// Fig. 6 forensics, when a target was configured.
+    pub upgrade: Option<UpgradeOutcome>,
+}
+
+impl SuiteReport {
+    /// Renders the headline facts of every artifact as plain text — the
+    /// `ovh-weather analyze` output.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("snapshots analysed: {}\n", self.snapshots));
+
+        let tf = &self.timeframe;
+        out.push_str(&format!(
+            "coverage: {} segment(s); {:.2} % of gaps at 5-min resolution",
+            tf.segments.len(),
+            tf.gaps.fraction_at_resolution() * 100.0
+        ));
+        match tf.gaps.max_gap() {
+            Some(gap) => out.push_str(&format!("; largest gap {gap}\n")),
+            None => out.push('\n'),
+        }
+
+        let ev = &self.evolution;
+        if let (Some(first), Some(last)) = (ev.series.first(), ev.series.last()) {
+            out.push_str(&format!(
+                "evolution: routers {} -> {}, internal links {} -> {}, external links {} -> {}\n",
+                first.routers,
+                last.routers,
+                first.internal_links,
+                last.internal_links,
+                first.external_links,
+                last.external_links
+            ));
+            out.push_str(&format!(
+                "changes: {} router event(s), {} internal-link step(s)\n",
+                ev.router_events.len(),
+                ev.internal_link_events.len()
+            ));
+        }
+
+        if let Some(degree) = &self.degree {
+            out.push_str(&format!(
+                "degrees (final snapshot): {:.1} % single-link, {:.1} % above 20 links\n",
+                degree.fraction_single_link() * 100.0,
+                degree.fraction_above(20) * 100.0
+            ));
+        }
+
+        if let Some((p75, above60, delta)) = self.load_cdf.headline() {
+            out.push_str(&format!(
+                "loads: p75 = {:.1} %, {:.2} % above 60 %, externals {:.1} pts {} than internals\n",
+                p75,
+                above60 * 100.0,
+                delta.abs(),
+                if delta <= 0.0 { "cooler" } else { "hotter" }
+            ));
+        }
+        if let Some((trough, peak)) = self.hourly.extreme_hours() {
+            out.push_str(&format!(
+                "diurnal cycle: trough at {trough:02}h, peak at {peak:02}h UTC\n"
+            ));
+        }
+
+        let (all_le_1, external_le_2) = self.imbalance.headline();
+        if !self.imbalance.internal().is_empty() || !self.imbalance.external().is_empty() {
+            out.push_str(&format!(
+                "imbalance: {:.1} % of directed sets within 1 pt; {:.1} % of external sets within 2 pts\n",
+                all_le_1 * 100.0,
+                external_le_2 * 100.0
+            ));
+        }
+
+        if !self.table1.rows.is_empty() {
+            out.push('\n');
+            out.push_str(&self.table1.render());
+        }
+
+        if let Some(top) = self.sites.first() {
+            out.push_str(&format!(
+                "fastest-growing site: {} ({:+} link ends, {:+} routers)\n",
+                top.site,
+                top.link_growth(),
+                top.router_growth()
+            ));
+        }
+
+        let maint = &self.maintenance;
+        out.push_str(&format!(
+            "maintenance: {} window(s), {:.2} % of link observations disabled\n",
+            maint.windows.len(),
+            maint.disabled_fraction() * 100.0
+        ));
+
+        if let Some(upgrade) = &self.upgrade {
+            let report = &upgrade.report;
+            out.push_str("upgrade forensics:");
+            match report.link_added {
+                Some(at) => out.push_str(&format!(" added {at};")),
+                None => out.push_str(" no addition seen;"),
+            }
+            if let Some(at) = report.link_activated {
+                out.push_str(&format!(" activated {at};"));
+            }
+            if let Some(capacity) = report.inferred_link_capacity_gbps {
+                out.push_str(&format!(" inferred {capacity:.0} Gbps/link;"));
+            }
+            if let Some(ratio) = report.load_drop_ratio() {
+                out.push_str(&format!(" load ratio {ratio:.2}"));
+            }
+            out.push('\n');
+        }
+
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evolution::{detect_changes, evolution_series};
+    use crate::maintenance::{disabled_fraction, maintenance_windows};
+    use crate::sites::site_growth;
+    use crate::tables::table1;
+    use crate::timeframe::{coverage_segments, GapDistribution};
+    use wm_model::{Link, LinkEnd, Load, MapKind, Node, Timestamp};
+
+    /// A small two-map series with a diurnal load swing, a disabled
+    /// window and a mid-series router addition.
+    fn corpus() -> Vec<TopologySnapshot> {
+        let mut snapshots = Vec::new();
+        for i in 0..12i64 {
+            let t = Timestamp::from_ymd_hms(2021, 6, 1, (2 * i) as u8, 0, 0);
+            let mut s = TopologySnapshot::new(MapKind::Europe, t);
+            s.nodes.push(Node::router("rbx-g1-nc5"));
+            s.nodes.push(Node::router("fra-fr5-sbb1"));
+            s.nodes.push(Node::peering("ARELION"));
+            if i >= 6 {
+                s.nodes.push(Node::router("waw-1-n6"));
+            }
+            let load = |v: u8| Load::new(v).unwrap();
+            let wave = (10 + 3 * (i % 4)) as u8;
+            for label in ["#1", "#2"] {
+                let disabled = label == "#2" && (4..7).contains(&i);
+                let (la, lb) = if disabled { (0, 0) } else { (wave, wave / 2) };
+                s.links.push(Link::new(
+                    LinkEnd::new(Node::router("rbx-g1-nc5"), Some(label.into()), load(la)),
+                    LinkEnd::new(Node::router("fra-fr5-sbb1"), Some(label.into()), load(lb)),
+                ));
+            }
+            s.links.push(Link::new(
+                LinkEnd::new(Node::router("rbx-g1-nc5"), None, load(wave / 3)),
+                LinkEnd::new(Node::peering("ARELION"), None, load(2)),
+            ));
+            snapshots.push(s);
+        }
+        // One World snapshot so Table 1 has two rows.
+        let mut w = TopologySnapshot::new(
+            MapKind::World,
+            Timestamp::from_ymd_hms(2021, 6, 1, 23, 0, 0),
+        );
+        w.nodes.push(Node::router("sin-1-a9"));
+        snapshots.push(w);
+        snapshots
+    }
+
+    #[test]
+    fn suite_matches_legacy_analyses() {
+        let snapshots = corpus();
+        let config = SuiteConfig::default();
+        let report = AnalysisSuite::run(config.clone(), &snapshots);
+
+        assert_eq!(report.snapshots, snapshots.len());
+
+        let times: Vec<Timestamp> = snapshots.iter().map(|s| s.timestamp).collect();
+        assert_eq!(
+            report.timeframe.segments,
+            coverage_segments(&times, config.max_gap)
+        );
+        assert_eq!(report.timeframe.gaps, GapDistribution::new(&times));
+
+        let series = evolution_series(&snapshots);
+        assert_eq!(report.evolution.series, series);
+        assert_eq!(
+            report.evolution.router_events,
+            detect_changes(&series, |p| p.routers, config.min_router_delta)
+        );
+
+        let last = snapshots.last().unwrap();
+        assert_eq!(report.degree, Some(DegreeAnalysis::of(last)));
+
+        let mut hourly = HourlyLoads::new();
+        let mut cdf = LoadCdf::new();
+        let mut imbalance = ImbalanceCdf::new();
+        for s in &snapshots {
+            hourly.add_snapshot(s);
+            cdf.add_snapshot(s);
+            imbalance.add_snapshot(s);
+        }
+        assert_eq!(report.hourly, hourly);
+        assert_eq!(report.load_cdf, cdf);
+        assert_eq!(report.imbalance, imbalance);
+
+        // Table 1 from the last snapshot per map.
+        let last_europe = snapshots
+            .iter()
+            .rev()
+            .find(|s| s.map == MapKind::Europe)
+            .unwrap();
+        let last_world = snapshots
+            .iter()
+            .rev()
+            .find(|s| s.map == MapKind::World)
+            .unwrap();
+        assert_eq!(
+            report.table1,
+            table1(&[last_europe.clone(), last_world.clone()])
+        );
+
+        assert_eq!(report.sites, site_growth(&snapshots));
+        assert_eq!(report.maintenance.windows, maintenance_windows(&snapshots));
+        assert!(
+            (report.maintenance.disabled_fraction() - disabled_fraction(&snapshots)).abs() < 1e-12
+        );
+        assert_eq!(report.upgrade, None);
+    }
+
+    #[test]
+    fn render_mentions_every_section() {
+        let report = AnalysisSuite::run(SuiteConfig::default(), &corpus());
+        let text = report.render();
+        for needle in [
+            "snapshots analysed",
+            "coverage",
+            "evolution",
+            "degrees",
+            "loads",
+            "imbalance",
+            "Network Map",
+            "fastest-growing site",
+            "maintenance",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_is_well_formed() {
+        let report = AnalysisSuite::run(SuiteConfig::default(), &[] as &[TopologySnapshot]);
+        assert_eq!(report.snapshots, 0);
+        assert_eq!(report.degree, None);
+        assert!(report.table1.rows.is_empty());
+        assert!(report.sites.is_empty());
+        assert!(report.render().contains("snapshots analysed: 0"));
+    }
+
+    #[test]
+    fn upgrade_target_runs_fig6() {
+        use crate::upgrades::CapacityRecord;
+        // 3 parallel r-a <-> AMS-IX links; a 4th appears and activates.
+        let mut snapshots = Vec::new();
+        for day in 0..8i64 {
+            let t = Timestamp::from_unix(day * 86_400);
+            let mut s = TopologySnapshot::new(MapKind::Europe, t);
+            s.nodes.push(Node::router("r-a"));
+            s.nodes.push(Node::peering("AMS-IX"));
+            let count = if day < 3 { 3 } else { 4 };
+            for i in 0..count {
+                let new_active = day >= 6 || i < 3;
+                let load = if new_active { 40 } else { 0 };
+                s.links.push(Link::new(
+                    LinkEnd::new(
+                        Node::router("r-a"),
+                        Some(format!("#{}", i + 1)),
+                        Load::new(load).unwrap(),
+                    ),
+                    LinkEnd::new(
+                        Node::peering("AMS-IX"),
+                        Some(format!("#{}", i + 1)),
+                        Load::new(load / 4).unwrap(),
+                    ),
+                ));
+            }
+            snapshots.push(s);
+        }
+        let config = SuiteConfig {
+            upgrade: Some(UpgradeTarget {
+                from: "r-a".into(),
+                to: "AMS-IX".into(),
+                records: vec![CapacityRecord {
+                    at: Timestamp::from_unix(4 * 86_400),
+                    total_capacity_gbps: 400,
+                }],
+            }),
+            ..SuiteConfig::default()
+        };
+        let report = AnalysisSuite::run(config, &snapshots);
+        let upgrade = report.upgrade.expect("upgrade outcome");
+        assert_eq!(upgrade.observations.len(), snapshots.len());
+        assert_eq!(
+            upgrade.report.link_added,
+            Some(Timestamp::from_unix(3 * 86_400))
+        );
+        assert_eq!(
+            upgrade.report.link_activated,
+            Some(Timestamp::from_unix(6 * 86_400))
+        );
+    }
+}

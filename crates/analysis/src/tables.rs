@@ -1,8 +1,10 @@
 //! Table 1 — the network-size summary.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use wm_model::{MapKind, TopologySnapshot};
+
+use crate::suite::AnalysisPass;
 
 /// One row of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,27 @@ impl Table1 {
             "Total", self.total_routers, self.total_internal, self.total_external
         ));
         out
+    }
+}
+
+/// Streaming fold assembling Table 1 from the *last* snapshot observed
+/// per map — the paper builds the table from one capture date, and on a
+/// mixed-map stream the most recent state per map is that date.
+#[derive(Debug, Clone, Default)]
+pub struct TablePass {
+    latest: BTreeMap<MapKind, TopologySnapshot>,
+}
+
+impl AnalysisPass for TablePass {
+    type Output = Table1;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.latest.insert(snapshot.map, snapshot.clone());
+    }
+
+    fn finish(self) -> Table1 {
+        let snapshots: Vec<TopologySnapshot> = self.latest.into_values().collect();
+        table1(&snapshots)
     }
 }
 

@@ -4,9 +4,10 @@
 //! available at the five-minute resolution; Fig. 3 reports the
 //! distribution of the time distance between consecutive data files.
 
-use wm_model::{time::SNAPSHOT_INTERVAL, Duration, Timestamp};
+use wm_model::{time::SNAPSHOT_INTERVAL, Duration, Timestamp, TopologySnapshot};
 
 use crate::stats::Distribution;
+use crate::suite::AnalysisPass;
 
 /// A contiguous stretch of collected data (one Fig. 2 bar segment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +103,50 @@ impl GapDistribution {
             .samples()
             .last()
             .map(|s| Duration::from_secs(*s as i64))
+    }
+}
+
+/// The finished timeframe artifact: Fig. 2's segments plus Fig. 3's gap
+/// distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeframeReport {
+    /// Coverage segments, in time order.
+    pub segments: Vec<CoverageSegment>,
+    /// The inter-snapshot gap distribution.
+    pub gaps: GapDistribution,
+}
+
+/// Streaming fold producing a [`TimeframeReport`] — the [`AnalysisPass`]
+/// form of [`coverage_segments`] + [`GapDistribution`].
+#[derive(Debug, Clone)]
+pub struct TimeframePass {
+    max_gap: Duration,
+    times: Vec<Timestamp>,
+}
+
+impl TimeframePass {
+    /// Creates a pass breaking segments on gaps larger than `max_gap`.
+    #[must_use]
+    pub fn new(max_gap: Duration) -> TimeframePass {
+        TimeframePass {
+            max_gap,
+            times: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisPass for TimeframePass {
+    type Output = TimeframeReport;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        self.times.push(snapshot.timestamp);
+    }
+
+    fn finish(self) -> TimeframeReport {
+        TimeframeReport {
+            segments: coverage_segments(&self.times, self.max_gap),
+            gaps: GapDistribution::new(&self.times),
+        }
     }
 }
 

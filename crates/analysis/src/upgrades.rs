@@ -8,6 +8,8 @@
 
 use wm_model::{Timestamp, TopologySnapshot};
 
+use crate::suite::AnalysisPass;
+
 /// A dated total-capacity record for a peering LAN, as PeeringDB
 /// publishes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +156,65 @@ pub fn detect_upgrade(
         }
     }
     report
+}
+
+/// The monitored group and PeeringDB records of one Fig. 6 run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpgradeTarget {
+    /// One endpoint of the monitored group (the OVH side in Fig. 6).
+    pub from: String,
+    /// The other endpoint (the peering LAN in Fig. 6).
+    pub to: String,
+    /// The peering's dated capacity records.
+    pub records: Vec<CapacityRecord>,
+}
+
+/// The finished Fig. 6 artifact: the full observation series plus the
+/// reconstructed storyline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpgradeOutcome {
+    /// Per-snapshot observations of the monitored group, in observation
+    /// order (snapshots without the group are skipped).
+    pub observations: Vec<GroupObservation>,
+    /// The detected milestones.
+    pub report: UpgradeReport,
+}
+
+/// Streaming fold producing an [`UpgradeOutcome`] — the [`AnalysisPass`]
+/// form of [`observe_group`] + [`detect_upgrade`].
+#[derive(Debug, Clone)]
+pub struct UpgradePass {
+    target: UpgradeTarget,
+    observations: Vec<GroupObservation>,
+}
+
+impl UpgradePass {
+    /// Creates a pass monitoring `target`.
+    #[must_use]
+    pub fn new(target: UpgradeTarget) -> UpgradePass {
+        UpgradePass {
+            target,
+            observations: Vec::new(),
+        }
+    }
+}
+
+impl AnalysisPass for UpgradePass {
+    type Output = UpgradeOutcome;
+
+    fn observe(&mut self, snapshot: &TopologySnapshot) {
+        if let Some(observation) = observe_group(snapshot, &self.target.from, &self.target.to) {
+            self.observations.push(observation);
+        }
+    }
+
+    fn finish(self) -> UpgradeOutcome {
+        let report = detect_upgrade(&self.observations, &self.target.records);
+        UpgradeOutcome {
+            observations: self.observations,
+            report,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! ovh-weather inspect  FILE.svg|FILE.yaml [--map M]
 //! ovh-weather validate FILE.yaml
 //! ovh-weather verify   [--map M] [--at DATE] [--seed N] [--scale X]
-//! ovh-weather analyze  --in DIR [--map M]
+//! ovh-weather analyze  --in DIR [--map M] [--threads N] [--metrics]
 //! ovh-weather diff     OLD.yaml NEW.yaml
 //! ```
 //!
@@ -16,7 +16,8 @@
 //! an existing corpus; `stats` prints Table 2 for a corpus directory;
 //! `inspect` extracts or parses one file and summarises it; `validate`
 //! audits a YAML snapshot; `verify` runs the simulator round-trip check;
-//! `analyze` runs the §5 analyses over a stored corpus; `diff` names the
+//! `analyze` loads a stored corpus into the columnar longitudinal store
+//! and runs all nine §5 analyses in one pass; `diff` names the
 //! structural changes between two snapshots.
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -64,14 +65,14 @@ commands:
   inspect  FILE.svg|FILE.yaml [--map M]
   validate FILE.yaml
   verify   [--map M] [--at YYYY-MM-DD] [--seed N] [--scale X]
-  analyze  --in DIR [--map M]
+  analyze  --in DIR [--map M] [--threads N] [--metrics]
   diff     OLD.yaml NEW.yaml
 
 common options:
   --seed N     simulation seed (default 42)
   --scale X    network scale, 1.0 = paper size (default 0.2)
   --map M      europe|world|north-america|asia-pacific (default all/europe)
-  --threads N  batch extraction workers (default: available parallelism)
+  --threads N  extraction / corpus-loading workers (default: available parallelism)
   --metrics    print per-stage timing histograms and throughput";
 
 /// Options that are boolean switches rather than `--key value` pairs.
@@ -206,7 +207,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     let options = Options::parse(args)?;
     let dir = options.required("in")?;
     let threads = options.threads()?;
-    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
     let config = ExtractConfig::default();
     let mut files_found = 0usize;
     for map in options.maps()? {
@@ -266,7 +267,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let options = Options::parse(args)?;
     let dir = options.required("in")?;
-    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
     let entries = store.entries().map_err(|e| e.to_string())?;
     if entries.is_empty() {
         return Err(format!("no corpus files under {dir}"));
@@ -334,24 +335,47 @@ fn cmd_validate(args: &[String]) -> Result<(), String> {
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let options = Options::parse(args)?;
     let dir = options.required("in")?;
-    let store = DatasetStore::open(dir).map_err(|e| e.to_string())?;
+    let threads = options.threads()?;
+    let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
+    let mut maps_analyzed = 0usize;
     for map in options.maps()? {
-        let entries = store
-            .entries_of(map, FileKind::Yaml)
-            .map_err(|e| e.to_string())?;
-        if entries.is_empty() {
+        let load_started = std::time::Instant::now();
+        let (columnar, load_stats) =
+            build_longitudinal(&store, map, threads).map_err(|e| e.to_string())?;
+        if columnar.is_empty() {
             continue;
         }
-        let mut snapshots = Vec::with_capacity(entries.len());
-        for entry in &entries {
-            let bytes = store
-                .read(map, FileKind::Yaml, entry.timestamp)
-                .map_err(|e| e.to_string())?;
-            let text = std::str::from_utf8(&bytes).map_err(|e| e.to_string())?;
-            snapshots.push(from_yaml_str(text).map_err(|e| e.to_string())?);
-        }
+        maps_analyzed += 1;
+        let load_elapsed = load_started.elapsed();
+        let analyze_started = std::time::Instant::now();
+        let report = AnalysisSuite::run(SuiteConfig::default(), columnar.snapshots());
+        let analyze_elapsed = analyze_started.elapsed();
         println!("=== {} ===", map.display_name());
-        println!("{}", summarize(&snapshots));
+        print!("{}", report.render());
+        if options.flag("metrics") {
+            println!(
+                "corpus: {} files, {} parsed, {} failed, {:.1} MiB read in {:.2?} ({threads} threads)",
+                load_stats.files,
+                load_stats.parsed,
+                load_stats.failed,
+                load_stats.bytes as f64 / (1024.0 * 1024.0),
+                load_elapsed
+            );
+            println!(
+                "columnar store: {} snapshots, {} nodes, {} link identities, {} load rows, {} topology events, ~{:.1} MiB",
+                columnar.len(),
+                columnar.nodes().len(),
+                columnar.link_defs().len(),
+                columnar.observations(),
+                columnar.events().len(),
+                columnar.approx_bytes() as f64 / (1024.0 * 1024.0)
+            );
+            println!("single-pass analysis: {analyze_elapsed:.2?}");
+        }
+        println!();
+    }
+    if maps_analyzed == 0 {
+        return Err(format!("no YAML snapshots under {dir}"));
     }
     Ok(())
 }

@@ -61,13 +61,17 @@ pub mod prelude {
     pub use crate::{summarize, CorpusSummary, Pipeline, PipelineReport, WindowResult};
     pub use wm_analysis::{
         coverage_segments, detect_changes, detect_upgrade, evolution_series, group_imbalances,
-        observe_group, table1, CapacityRecord, DegreeAnalysis, Distribution, GapDistribution,
-        HourlyLoads, ImbalanceCdf, LoadCdf, WhiskerSummary,
+        observe_group, table1, AnalysisPass, AnalysisSuite, CapacityRecord, DegreeAnalysis,
+        Distribution, GapDistribution, HourlyLoads, ImbalanceCdf, LoadCdf, SuiteConfig,
+        SuiteReport, WhiskerSummary,
     };
-    pub use wm_dataset::{CorpusStats, DatasetStore, FileKind};
+    pub use wm_dataset::{
+        build_longitudinal, load_snapshots, CorpusLoadStats, CorpusStats, DatasetStore, FileKind,
+        LinkDef, LinkId, LongitudinalStore, NodeId, TopologyEvent,
+    };
     pub use wm_extract::{
         extract_batch, extract_batch_with, extract_svg, from_yaml_str, to_yaml_string, BatchInput,
-        BatchMetrics, BatchStats, ExtractConfig, MetricsTotals, Scheduling, Stage,
+        BatchMetrics, BatchStats, ExtractConfig, MetricsTotals, Scheduling, SnapshotSink, Stage,
     };
     pub use wm_model::{
         Duration, Link, LinkEnd, LinkKind, Load, MapKind, Node, NodeKind, Timestamp,

@@ -6,10 +6,7 @@
 
 use std::fmt;
 
-use wm_analysis::{
-    evolution_series, maintenance_windows, site_growth, EvolutionPoint, HourlyLoads, ImbalanceCdf,
-    LoadCdf,
-};
+use wm_analysis::{AnalysisSuite, EvolutionPoint, SuiteConfig, SuiteReport};
 use wm_model::TopologySnapshot;
 
 /// Headline analysis results over one time-ordered snapshot series.
@@ -33,31 +30,32 @@ pub struct CorpusSummary {
     pub maintenance_windows: usize,
 }
 
-/// Computes the bundled summary.
+/// Computes the bundled summary — one [`AnalysisSuite`] scan, then the
+/// headline projection.
 #[must_use]
 pub fn summarize(snapshots: &[TopologySnapshot]) -> CorpusSummary {
-    let series = evolution_series(snapshots);
-    let mut hourly = HourlyLoads::new();
-    let mut cdf = LoadCdf::new();
-    let mut imbalance = ImbalanceCdf::new();
-    for snapshot in snapshots {
-        hourly.add_snapshot(snapshot);
-        cdf.add_snapshot(snapshot);
-        imbalance.add_snapshot(snapshot);
-    }
-    let growth = site_growth(snapshots);
-    CorpusSummary {
-        snapshots: snapshots.len(),
-        first: series.first().copied(),
-        last: series.last().copied(),
-        load_headline: cdf.headline(),
-        diurnal_extremes: hourly.extreme_hours(),
-        imbalance_headline: imbalance.headline(),
-        fastest_site: growth
-            .first()
-            .filter(|g| g.link_growth() != 0)
-            .map(|g| (g.site.clone(), g.link_growth())),
-        maintenance_windows: maintenance_windows(snapshots).len(),
+    CorpusSummary::from_report(&AnalysisSuite::run(SuiteConfig::default(), snapshots))
+}
+
+impl CorpusSummary {
+    /// Projects the headline numbers out of a full [`SuiteReport`], so a
+    /// caller who already ran the suite pays nothing extra.
+    #[must_use]
+    pub fn from_report(report: &SuiteReport) -> CorpusSummary {
+        CorpusSummary {
+            snapshots: report.snapshots,
+            first: report.evolution.series.first().copied(),
+            last: report.evolution.series.last().copied(),
+            load_headline: report.load_cdf.headline(),
+            diurnal_extremes: report.hourly.extreme_hours(),
+            imbalance_headline: report.imbalance.headline(),
+            fastest_site: report
+                .sites
+                .first()
+                .filter(|g| g.link_growth() != 0)
+                .map(|g| (g.site.clone(), g.link_growth())),
+            maintenance_windows: report.maintenance.windows.len(),
+        }
     }
 }
 

@@ -9,15 +9,27 @@
 //!   timestamp codec, so a file's snapshot instant comes from its path;
 //! * [`DatasetStore`] — writing, reading and enumerating snapshot files;
 //! * [`CorpusStats`] — the per-map file-count/size aggregation reported in
-//!   the paper's Table 2.
+//!   the paper's Table 2;
+//! * [`longitudinal`] — the columnar longitudinal store: interned
+//!   node/link symbol tables, per-link load time series and the topology
+//!   event log, built in one deterministic streaming pass;
+//! * [`loader`] — the shared parallel YAML corpus loader feeding either a
+//!   snapshot vector or the columnar store.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod loader;
+pub mod longitudinal;
 pub mod paths;
 mod stats;
 mod store;
 
+pub use loader::{build_longitudinal, load_snapshots, CorpusLoadStats};
+pub use longitudinal::{
+    extract_longitudinal, ColumnarBuilder, LinkDef, LinkId, LinkSample, LongitudinalStore, NodeId,
+    TopologyEvent,
+};
 pub use paths::{parse_path, relative_path, FileKind};
 pub use stats::{CellStats, CorpusStats};
 pub use store::{DatasetEntry, DatasetStore};

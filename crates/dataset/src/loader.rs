@@ -1,0 +1,251 @@
+//! The shared corpus loader: YAML files on disk to snapshots or a
+//! [`LongitudinalStore`], read and parsed in parallel.
+//!
+//! Before this module every consumer of a corpus — the CLI's analyses,
+//! each example — walked the tree and parsed YAML with its own loop.
+//! This is the one canonical path. Workers claim files from a shared
+//! cursor (same work-stealing shape as the extraction batch runner) and
+//! fold parsed snapshots into per-worker [`SnapshotSink`]s; the merge is
+//! keyed on file order, so results are byte-identical for any thread
+//! count. Files that fail to parse are counted and skipped, like the
+//! paper's scripts leaving a handful of unprocessed files per map; I/O
+//! errors abort the load.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wm_extract::{from_yaml_str, SnapshotSink};
+use wm_model::{MapKind, Timestamp, TopologySnapshot};
+
+use crate::longitudinal::{ColumnarBuilder, LongitudinalStore};
+use crate::paths::FileKind;
+use crate::store::DatasetStore;
+
+/// Counters of one corpus load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorpusLoadStats {
+    /// YAML files read.
+    pub files: usize,
+    /// Files successfully parsed into snapshots.
+    pub parsed: usize,
+    /// Files rejected by the YAML schema parser (counted, skipped).
+    pub failed: usize,
+    /// Total bytes read.
+    pub bytes: u64,
+}
+
+impl CorpusLoadStats {
+    fn merge(&mut self, other: CorpusLoadStats) {
+        self.files += other.files;
+        self.parsed += other.parsed;
+        self.failed += other.failed;
+        self.bytes += other.bytes;
+    }
+}
+
+/// Loads every YAML snapshot of `map`, sorted by `(timestamp, file
+/// order)` — the legacy materialised form, now behind the shared
+/// parallel loader.
+pub fn load_snapshots(
+    store: &DatasetStore,
+    map: MapKind,
+    threads: usize,
+) -> io::Result<(Vec<TopologySnapshot>, CorpusLoadStats)> {
+    let (sinks, stats) = load_fold::<Vec<(usize, TopologySnapshot)>>(store, map, threads)?;
+    let mut results: Vec<(usize, TopologySnapshot)> = sinks.into_iter().flatten().collect();
+    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
+    Ok((
+        results.into_iter().map(|(_, snapshot)| snapshot).collect(),
+        stats,
+    ))
+}
+
+/// Loads every YAML snapshot of `map` straight into a
+/// [`LongitudinalStore`] in one streaming pass — no intermediate
+/// `Vec<TopologySnapshot>`.
+pub fn build_longitudinal(
+    store: &DatasetStore,
+    map: MapKind,
+    threads: usize,
+) -> io::Result<(LongitudinalStore, CorpusLoadStats)> {
+    let (builders, stats) = load_fold::<ColumnarBuilder>(store, map, threads)?;
+    Ok((ColumnarBuilder::finish(builders), stats))
+}
+
+/// The loader core: reads and parses all YAML entries of `map`, folding
+/// snapshots into one [`SnapshotSink`] per worker (returned in worker
+/// order, never finish order).
+fn load_fold<S: SnapshotSink>(
+    store: &DatasetStore,
+    map: MapKind,
+    threads: usize,
+) -> io::Result<(Vec<S>, CorpusLoadStats)> {
+    let entries = store.entries_of(map, FileKind::Yaml)?;
+    let threads = threads.max(1).min(entries.len().max(1));
+
+    if threads == 1 {
+        // Serial fast path, same code per file.
+        let mut sink = S::default();
+        let mut stats = CorpusLoadStats::default();
+        for (index, entry) in entries.iter().enumerate() {
+            read_one(store, map, entry.timestamp, index, &mut sink, &mut stats)?;
+        }
+        return Ok((vec![sink], stats));
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (cursor, entries) = (&cursor, &entries);
+    let outcomes: Vec<io::Result<(S, CorpusLoadStats)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut sink = S::default();
+                    let mut stats = CorpusLoadStats::default();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(entry) = entries.get(index) else {
+                            break;
+                        };
+                        read_one(store, map, entry.timestamp, index, &mut sink, &mut stats)?;
+                    }
+                    Ok((sink, stats))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("corpus loader worker panicked"))
+            .collect()
+    });
+
+    let mut sinks = Vec::with_capacity(threads);
+    let mut stats = CorpusLoadStats::default();
+    for outcome in outcomes {
+        let (sink, worker_stats) = outcome?;
+        sinks.push(sink);
+        stats.merge(worker_stats);
+    }
+    Ok((sinks, stats))
+}
+
+fn read_one<S: SnapshotSink>(
+    store: &DatasetStore,
+    map: MapKind,
+    timestamp: Timestamp,
+    index: usize,
+    sink: &mut S,
+    stats: &mut CorpusLoadStats,
+) -> io::Result<()> {
+    let bytes = store.read(map, FileKind::Yaml, timestamp)?;
+    stats.files += 1;
+    stats.bytes += bytes.len() as u64;
+    let text = String::from_utf8_lossy(&bytes);
+    match from_yaml_str(&text) {
+        Ok(snapshot) => {
+            stats.parsed += 1;
+            sink.accept(index, snapshot);
+        }
+        Err(_) => stats.failed += 1,
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wm_extract::to_yaml_string;
+    use wm_model::{Duration, Link, LinkEnd, Load, Node};
+
+    fn temp_store(tag: &str) -> DatasetStore {
+        let dir = std::env::temp_dir().join(format!("wm-loader-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DatasetStore::open(dir).expect("temp store")
+    }
+
+    fn snapshot(t: Timestamp, load: u8) -> TopologySnapshot {
+        let mut s = TopologySnapshot::new(MapKind::Europe, t);
+        s.nodes = vec![Node::from_name("rbx-g1"), Node::from_name("fra-fr5")];
+        s.links = vec![Link::new(
+            LinkEnd::new(
+                Node::from_name("rbx-g1"),
+                Some("#1".into()),
+                Load::new(load).unwrap(),
+            ),
+            LinkEnd::new(
+                Node::from_name("fra-fr5"),
+                Some("#1".into()),
+                Load::new(100 - load).unwrap(),
+            ),
+        )];
+        s
+    }
+
+    fn write_corpus(store: &DatasetStore, count: usize) -> Vec<TopologySnapshot> {
+        let base = Timestamp::from_ymd(2021, 5, 1);
+        (0..count)
+            .map(|i| {
+                let t = base + Duration::from_minutes(5 * i as i64);
+                let snap = snapshot(t, (i % 100) as u8);
+                store
+                    .write(
+                        MapKind::Europe,
+                        FileKind::Yaml,
+                        t,
+                        to_yaml_string(&snap).as_bytes(),
+                    )
+                    .unwrap();
+                snap
+            })
+            .collect()
+    }
+
+    #[test]
+    fn loads_match_written_corpus_at_any_thread_count() {
+        let store = temp_store("threads");
+        let written = write_corpus(&store, 13);
+        // One garbage file: counted as failed, skipped.
+        let bad_t = Timestamp::from_ymd(2021, 5, 2);
+        store
+            .write(MapKind::Europe, FileKind::Yaml, bad_t, b"not: [yaml")
+            .unwrap();
+
+        let (serial, serial_stats) = load_snapshots(&store, MapKind::Europe, 1).unwrap();
+        assert_eq!(serial, written);
+        assert_eq!(serial_stats.files, 14);
+        assert_eq!(serial_stats.parsed, 13);
+        assert_eq!(serial_stats.failed, 1);
+        for threads in [2, 8] {
+            let (parallel, stats) = load_snapshots(&store, MapKind::Europe, threads).unwrap();
+            assert_eq!(parallel, serial, "{threads} threads");
+            assert_eq!(stats, serial_stats, "{threads} threads");
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn longitudinal_build_is_thread_invariant() {
+        let store = temp_store("columnar");
+        let written = write_corpus(&store, 11);
+        let (baseline, stats) = build_longitudinal(&store, MapKind::Europe, 1).unwrap();
+        assert_eq!(baseline.len(), written.len());
+        assert_eq!(stats.parsed, written.len());
+        for (i, snap) in written.iter().enumerate() {
+            assert_eq!(&baseline.snapshot(i), snap);
+        }
+        for threads in [2, 8] {
+            let (store2, stats2) = build_longitudinal(&store, MapKind::Europe, threads).unwrap();
+            assert_eq!(store2, baseline, "{threads} threads");
+            assert_eq!(stats2, stats, "{threads} threads");
+        }
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn empty_map_loads_empty() {
+        let store = temp_store("empty");
+        let (snaps, stats) = load_snapshots(&store, MapKind::World, 4).unwrap();
+        assert!(snaps.is_empty());
+        assert_eq!(stats, CorpusLoadStats::default());
+        std::fs::remove_dir_all(store.root()).unwrap();
+    }
+}

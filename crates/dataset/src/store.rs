@@ -41,6 +41,27 @@ impl DatasetStore {
         Ok(DatasetStore { root })
     }
 
+    /// Opens a corpus that must already exist at `root`.
+    ///
+    /// Read-only consumers (analyses, stats, re-extraction) want a typo'd
+    /// path to fail loudly, not to silently create an empty tree and
+    /// report an empty corpus — use this instead of [`DatasetStore::open`]
+    /// whenever the caller does not intend to write.
+    pub fn open_existing(root: impl Into<PathBuf>) -> io::Result<DatasetStore> {
+        let root = root.into();
+        if root.is_dir() {
+            Ok(DatasetStore { root })
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "corpus root {} is not a directory (DatasetStore::open creates one for writing)",
+                    root.display()
+                ),
+            ))
+        }
+    }
+
     /// The root directory.
     #[must_use]
     pub fn root(&self) -> &Path {
@@ -170,6 +191,24 @@ mod tests {
         assert!(europe.windows(2).all(|w| w[0].timestamp < w[1].timestamp));
         assert_eq!(europe[0].size, 1);
         fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn open_existing_rejects_missing_roots() {
+        let dir = std::env::temp_dir().join(format!(
+            "wm-dataset-test-absent-{}-does-not-exist",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let err = DatasetStore::open_existing(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        assert!(!dir.exists(), "open_existing must not create the root");
+
+        // Once the tree exists, the same path opens fine.
+        let created = temp_store("absent-then-present");
+        let reopened = DatasetStore::open_existing(created.root()).unwrap();
+        assert_eq!(reopened.root(), created.root());
+        fs::remove_dir_all(created.root()).unwrap();
     }
 
     #[test]

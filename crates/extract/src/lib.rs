@@ -44,8 +44,8 @@ pub use algorithm2::{algorithm2, algorithm2_with, AttributionScratch, ExtractCon
 pub use error::ExtractError;
 pub use metrics::{BatchMetrics, BroadPhaseStats, Histogram, MetricsTotals, Stage};
 pub use pipeline::{
-    extract_batch, extract_batch_with, extract_svg, extract_svg_instrumented, extract_svg_with,
-    BatchInput, BatchStats, ExtractScratch, Scheduling,
+    extract_batch, extract_batch_sink, extract_batch_with, extract_svg, extract_svg_instrumented,
+    extract_svg_with, BatchInput, BatchStats, ExtractScratch, Scheduling, SnapshotSink,
 };
 pub use snapshot_yaml::{
     from_yaml_str, snapshot_from_yaml, snapshot_to_yaml, to_yaml_string, SchemaError, SCHEMA_ID,

@@ -173,19 +173,42 @@ pub enum Scheduling {
     WorkStealing,
 }
 
+/// Where successfully extracted snapshots flow during a batch run.
+///
+/// One sink lives per worker, accumulating that worker's share of the
+/// batch; the coordinator collects the sinks in worker order at join, so
+/// any merge a caller performs over them is independent of thread timing.
+/// `accept` receives the input index alongside the snapshot: folding the
+/// index into the sink's state is what lets a downstream merge
+/// reconstruct input order (and thus stay byte-identical across thread
+/// counts and scheduling policies).
+pub trait SnapshotSink: Send + Default {
+    /// Folds the successfully extracted snapshot of input `index` into
+    /// this worker's state. Called once per processed file, in the order
+    /// this worker claimed them.
+    fn accept(&mut self, index: usize, snapshot: TopologySnapshot);
+}
+
+/// The trivial sink: collect `(index, snapshot)` pairs for a later sort.
+impl SnapshotSink for Vec<(usize, TopologySnapshot)> {
+    fn accept(&mut self, index: usize, snapshot: TopologySnapshot) {
+        self.push((index, snapshot));
+    }
+}
+
 /// A worker's private accumulator, merged by the coordinator at join.
 #[derive(Default)]
-struct WorkerOutput {
-    /// `(input index, snapshot)` so output order is reconstructed from
-    /// the inputs, never from worker timing.
-    results: Vec<(usize, TopologySnapshot)>,
+struct WorkerOutput<S: SnapshotSink> {
+    /// Snapshots flow here together with their input index, so output
+    /// order is reconstructed from the inputs, never from worker timing.
+    sink: S,
     stats: BatchStats,
     metrics: BatchMetrics,
     /// Buffers reused across every file this worker processes.
     scratch: ExtractScratch,
 }
 
-impl WorkerOutput {
+impl<S: SnapshotSink> WorkerOutput<S> {
     fn process(&mut self, index: usize, input: &BatchInput, map: MapKind, config: &ExtractConfig) {
         self.metrics.record_input(input.svg.len());
         match extract_svg_instrumented(
@@ -199,7 +222,7 @@ impl WorkerOutput {
             Ok(snapshot) => {
                 self.stats.processed += 1;
                 self.metrics.record_success();
-                self.results.push((index, snapshot));
+                self.sink.accept(index, snapshot);
             }
             Err(error) => {
                 self.stats.record_failure(&error);
@@ -236,10 +259,37 @@ pub fn extract_batch_with(
     threads: usize,
     scheduling: Scheduling,
 ) -> (Vec<TopologySnapshot>, BatchStats, BatchMetrics) {
+    let (sinks, stats, metrics) = extract_batch_sink::<Vec<(usize, TopologySnapshot)>>(
+        inputs, map, config, threads, scheduling,
+    );
+    let mut results: Vec<(usize, TopologySnapshot)> = sinks.into_iter().flatten().collect();
+    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
+    let snapshots = results.into_iter().map(|(_, snapshot)| snapshot).collect();
+    (snapshots, stats, metrics)
+}
+
+/// The streaming core of the batch runner: extracts every input and
+/// folds the successful snapshots into one [`SnapshotSink`] per worker,
+/// returned in worker order (never in finish order).
+///
+/// This is how large corpora are consumed without materialising a
+/// `Vec<TopologySnapshot>`: a sink can intern, column-encode or discard
+/// each snapshot as it arrives. Determinism contract: per-file work is
+/// pure and each input index reaches exactly one sink exactly once, so a
+/// sink merge keyed on indices is byte-identical for any thread count
+/// and either scheduling policy. Statistics and metrics are merged here
+/// (they are order-independent sums).
+pub fn extract_batch_sink<S: SnapshotSink>(
+    inputs: &[BatchInput],
+    map: MapKind,
+    config: &ExtractConfig,
+    threads: usize,
+    scheduling: Scheduling,
+) -> (Vec<S>, BatchStats, BatchMetrics) {
     let threads = threads.max(1).min(inputs.len().max(1));
     let started = Instant::now();
 
-    let mut outputs: Vec<WorkerOutput> = if threads == 1 {
+    let mut outputs: Vec<WorkerOutput<S>> = if threads == 1 {
         // Serial fast path: no spawn overhead, same code path per file.
         let mut out = WorkerOutput::default();
         for (index, input) in inputs.iter().enumerate() {
@@ -277,26 +327,26 @@ pub fn extract_batch_with(
         }
     };
 
-    let mut results = Vec::with_capacity(inputs.len());
+    let mut sinks = Vec::with_capacity(outputs.len());
     let mut stats = BatchStats::default();
     let mut metrics = BatchMetrics::default();
     for output in &mut outputs {
-        results.append(&mut output.results);
         stats.merge(std::mem::take(&mut output.stats));
         metrics.merge(&output.metrics);
     }
+    for output in outputs {
+        sinks.push(output.sink);
+    }
     metrics.set_wall_time(started.elapsed());
-
-    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
-    let snapshots = results.into_iter().map(|(_, snapshot)| snapshot).collect();
-    (snapshots, stats, metrics)
+    (sinks, stats, metrics)
 }
 
 /// Runs `threads` scoped workers and collects their outputs in worker
 /// order (merge order therefore never depends on finish order).
-fn run_workers<F>(threads: usize, work: F) -> Vec<WorkerOutput>
+fn run_workers<S, F>(threads: usize, work: F) -> Vec<WorkerOutput<S>>
 where
-    F: Fn(usize) -> WorkerOutput + Sync,
+    S: SnapshotSink,
+    F: Fn(usize) -> WorkerOutput<S> + Sync,
 {
     let work = &work;
     std::thread::scope(|scope| {

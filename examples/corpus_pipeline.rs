@@ -55,20 +55,34 @@ fn main() {
         );
     }
 
-    // Re-reading a stored YAML gives back a typed snapshot.
-    let sample = entries
-        .iter()
-        .find(|e| e.kind == FileKind::Yaml)
-        .expect("some yaml stored");
-    let text = store
-        .read(sample.map, FileKind::Yaml, sample.timestamp)
-        .expect("read yaml");
-    let snapshot = from_yaml_str(std::str::from_utf8(&text).expect("utf-8")).expect("valid schema");
+    // Read-only consumers reopen the corpus with the strict constructor
+    // (a typo'd path fails loudly instead of creating an empty tree) and
+    // load through the shared parallel loader.
+    let reader = DatasetStore::open_existing(&out_dir).expect("corpus exists");
+    let (snapshots, load_stats) =
+        load_snapshots(&reader, MapKind::Europe, 4).expect("load Europe corpus");
     println!(
-        "\nre-read {} {}: {} routers, {} links",
-        sample.map,
-        snapshot.timestamp,
-        snapshot.router_count(),
-        snapshot.links.len()
+        "re-loaded Europe: {} files, {} parsed, {} failed",
+        load_stats.files, load_stats.parsed, load_stats.failed
     );
+    let sample = snapshots.first().expect("some yaml stored");
+    println!(
+        "first snapshot {}: {} routers, {} links",
+        sample.timestamp,
+        sample.router_count(),
+        sample.links.len()
+    );
+
+    // The same files can stream straight into the columnar longitudinal
+    // store — no intermediate snapshot vector.
+    let (columnar, _) = build_longitudinal(&reader, MapKind::Europe, 4).expect("columnar build");
+    println!(
+        "columnar store: {} snapshots, {} nodes, {} link identities, {} topology events, ~{:.1} MiB",
+        columnar.len(),
+        columnar.nodes().len(),
+        columnar.link_defs().len(),
+        columnar.events().len(),
+        columnar.approx_bytes() as f64 / (1024.0 * 1024.0)
+    );
+    assert_eq!(columnar.snapshot(0), snapshots[0]);
 }

@@ -21,8 +21,19 @@ fn main() {
     let result = pipeline.run_window_sampled(MapKind::Europe, config.start, config.end, 2016);
     println!("  {} snapshots extracted\n", result.snapshots.len());
 
+    // One suite scan produces every artifact below (series, change
+    // events, degree CCDF, site growth) instead of one pass per figure.
+    let min_step = (4.0 * scale).ceil() as usize;
+    let report = AnalysisSuite::run(
+        SuiteConfig {
+            min_link_delta: min_step,
+            ..SuiteConfig::default()
+        },
+        &result.snapshots,
+    );
+
     // --- Fig. 4a/4b: infrastructure series --------------------------------
-    let series = evolution_series(&result.snapshots);
+    let series = &report.evolution.series;
     println!(
         "{:<22} {:>8} {:>15} {:>15}",
         "date", "routers", "internal links", "external links"
@@ -39,9 +50,8 @@ fn main() {
 
     // Abrupt router-count changes (the make-before-break and maintenance
     // events §5 narrates).
-    let router_events = detect_changes(&series, |p| p.routers, 1);
     println!("\nrouter-count change events:");
-    for event in &router_events {
+    for event in &report.evolution.router_events {
         println!(
             "  {}: {} -> {} ({:+})",
             event.at,
@@ -52,10 +62,8 @@ fn main() {
     }
 
     // Internal-link steps (Fig. 4b's stepped growth).
-    let min_step = (4.0 * scale).ceil() as usize;
-    let link_steps = detect_changes(&series, |p| p.internal_links, min_step);
     println!("\ninternal-link step events (>= {min_step} links at once):");
-    for event in &link_steps {
+    for event in &report.evolution.internal_link_events {
         println!(
             "  {}: {} -> {} ({:+})",
             event.at,
@@ -74,7 +82,7 @@ fn main() {
 
     // --- Fig. 4c: degree CCDF ----------------------------------------------
     let final_snapshot = result.snapshots.last().expect("data");
-    let degrees = DegreeAnalysis::of(final_snapshot);
+    let degrees = report.degree.as_ref().expect("data");
     println!("\nrouter-degree CCDF on {}:", final_snapshot.timestamp);
     println!("{:>8} {:>10}", "degree", "CCDF");
     for (degree, ccdf) in degrees.ccdf_points().iter().step_by(2) {
@@ -92,10 +100,8 @@ fn main() {
     // --- Paper future work: which sites grow fastest? ----------------------
     // §5 suggests using router names to localise the growth; site prefixes
     // (rbx, gra, fra, ...) are the natural grouping.
-    use ovh_weather::analysis::sites::site_growth;
-    let growth = site_growth(&result.snapshots);
     println!("\nper-site growth over the period (link ends, fastest first):");
-    for site in growth.iter().take(8) {
+    for site in report.sites.iter().take(8) {
         println!(
             "  {:<5} routers {:>3} -> {:>3}   link ends {:>4} -> {:>4}  ({:+})",
             site.site,

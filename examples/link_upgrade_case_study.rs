@@ -31,17 +31,38 @@ fn main() {
     let from = Timestamp::from_ymd(2022, 3, 1);
     let to = Timestamp::from_ymd(2022, 4, 1);
     let result = pipeline.run_window_sampled(MapKind::Europe, from, to, 288);
-    let observations: Vec<_> = result
-        .snapshots
+
+    // The PeeringDB capacity records of the monitored peering (arrow B).
+    let records: Vec<CapacityRecord> = scenario
+        .peeringdb_records
         .iter()
-        .filter_map(|s| observe_group(s, &scenario.router, &scenario.peering))
+        .map(|r| CapacityRecord {
+            at: r.at,
+            total_capacity_gbps: r.total_capacity_gbps,
+        })
         .collect();
+
+    // Configure the suite with the Fig. 6 target: the upgrade forensics
+    // then run in the same scan as every other §5 analysis.
+    let suite_report = AnalysisSuite::run(
+        SuiteConfig {
+            upgrade: Some(ovh_weather::analysis::UpgradeTarget {
+                from: scenario.router.clone(),
+                to: scenario.peering.clone(),
+                records,
+            }),
+            ..SuiteConfig::default()
+        },
+        &result.snapshots,
+    );
+    let upgrade = suite_report.upgrade.expect("upgrade target configured");
+    let observations = &upgrade.observations;
 
     println!(
         "{:<22} {:>6} {:>8} {:>12}",
         "date", "links", "active", "mean load %"
     );
-    for o in &observations {
+    for o in observations {
         println!(
             "{:<22} {:>6} {:>8} {:>12.1}",
             o.timestamp.to_iso8601(),
@@ -51,16 +72,7 @@ fn main() {
         );
     }
 
-    // Correlate with the PeeringDB capacity records (arrow B).
-    let records: Vec<CapacityRecord> = scenario
-        .peeringdb_records
-        .iter()
-        .map(|r| CapacityRecord {
-            at: r.at,
-            total_capacity_gbps: r.total_capacity_gbps,
-        })
-        .collect();
-    let report = detect_upgrade(&observations, &records);
+    let report = &upgrade.report;
 
     println!("\ndetected storyline:");
     println!(

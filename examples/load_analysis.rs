@@ -18,16 +18,11 @@ fn main() {
     let result = pipeline.run_window_sampled(MapKind::Europe, from, to, 24);
     println!("  {} snapshots extracted\n", result.snapshots.len());
 
-    // --- Fig. 5a: loads by hour of day --------------------------------------
-    let mut hourly = HourlyLoads::new();
-    let mut cdf = LoadCdf::new();
-    let mut imbalance = ImbalanceCdf::new();
-    for snapshot in &result.snapshots {
-        hourly.add_snapshot(snapshot);
-        cdf.add_snapshot(snapshot);
-        imbalance.add_snapshot(snapshot);
-    }
+    // One suite scan fills all three Fig. 5 collectors at once.
+    let report = AnalysisSuite::run(SuiteConfig::default(), &result.snapshots);
+    let (hourly, cdf, imbalance) = (&report.hourly, &report.load_cdf, &report.imbalance);
 
+    // --- Fig. 5a: loads by hour of day --------------------------------------
     println!("loads by hour of day (percent):");
     println!(
         "{:>5} {:>7} {:>7} {:>7} {:>7} {:>7}",

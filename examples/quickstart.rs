@@ -50,6 +50,27 @@ fn main() {
         yaml.lines().take(8).collect::<Vec<_>>().join("\n")
     );
 
+    // Stored corpora come back through the shared parallel loader.
+    let dir = std::env::temp_dir().join(format!("ovh-weather-quickstart-{}", std::process::id()));
+    let store = DatasetStore::open(&dir).expect("temp store");
+    for s in &result.snapshots {
+        store
+            .write(
+                MapKind::Europe,
+                FileKind::Yaml,
+                s.timestamp,
+                to_yaml_string(s).as_bytes(),
+            )
+            .expect("write yaml");
+    }
+    let (reloaded, load_stats) = load_snapshots(&store, MapKind::Europe, 2).expect("reload corpus");
+    assert_eq!(reloaded, result.snapshots);
+    println!(
+        "\nstore round trip: {} files reloaded identically",
+        load_stats.parsed
+    );
+    std::fs::remove_dir_all(store.root()).ok();
+
     // And the extraction is verifiably exact against the simulator.
     pipeline
         .verify_roundtrip(MapKind::Europe, from)
