@@ -2,17 +2,22 @@
 # Tier-1 gate: build, test, lint, format. Run from the repo root.
 set -eux
 
-cargo build --release
+cargo build --release --workspace
 cargo build --release --examples
 cargo test -q
 cargo test -q --test scheduling_equivalence
 cargo test -q --test analysis_equivalence
+cargo test -q --test cache_robustness
+cargo test -q --test cache_equivalence
 cargo bench --no-run --workspace
 cargo clippy -- -D warnings
 cargo fmt --check
 
-# Smoke test: a tiny corpus through the single-pass analysis engine.
+# Smoke test: a tiny corpus through the single-pass analysis engine,
+# then through the longitudinal cache (index populates, analyze hits).
 smoke_dir="$(mktemp -d)"
 target/release/ovh-weather generate --out "$smoke_dir" --from 2022-02-01 --to 2022-02-02 --map europe --scale 0.05
 target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --metrics
+target/release/ovh-weather index --in "$smoke_dir" --map europe --threads 2
+target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --cache --metrics | grep -q "cache:"
 rm -rf "$smoke_dir"

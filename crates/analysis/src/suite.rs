@@ -405,7 +405,7 @@ mod tests {
 
     #[test]
     fn render_mentions_every_section() {
-        let report = AnalysisSuite::run(SuiteConfig::default(), &corpus());
+        let report = AnalysisSuite::run(SuiteConfig::default(), corpus());
         let text = report.render();
         for needle in [
             "snapshots analysed",

@@ -1,0 +1,110 @@
+//! Persistent longitudinal cache: cold build vs warm hit vs incremental
+//! append, against the uncached load as baseline.
+//!
+//! The cache turns the dominant cost of every `analyze`/`stats`
+//! invocation — re-parsing the whole YAML tree — into one binary image
+//! read plus a corpus fingerprint. This bench pins the three cache
+//! shapes so a regression in the codec or the fingerprint pass shows up
+//! as a wall-clock change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovh_weather::prelude::*;
+
+const MAP: MapKind = MapKind::Europe;
+const THREADS: usize = 4;
+
+/// Materialises two hours of the Europe map into a temp store shared by
+/// every bench iteration, and returns the prefix cache image covering
+/// all but the last half hour (for the append shape).
+fn corpus_store() -> (DatasetStore, Vec<u8>) {
+    let dir = std::env::temp_dir().join(format!("wm-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DatasetStore::open(&dir).expect("bench corpus dir");
+    let pipeline = Pipeline::new(SimulationConfig::scaled(42, 0.15));
+    let from = Timestamp::from_ymd(2022, 2, 1);
+    let to = from + Duration::from_hours(2);
+    pipeline
+        .materialize_window(&store, MAP, from, to)
+        .expect("materialise bench corpus");
+
+    // Build the prefix image: stash the newest half hour, rebuild the
+    // cache, restore the stashed files.
+    let split = to - Duration::from_minutes(30);
+    let stashed: Vec<(Timestamp, Vec<u8>)> = store
+        .entries_of(MAP, FileKind::Yaml)
+        .expect("entries")
+        .into_iter()
+        .filter(|e| e.timestamp >= split)
+        .map(|e| {
+            let bytes = store.read(MAP, FileKind::Yaml, e.timestamp).expect("read");
+            std::fs::remove_file(store.path_of(MAP, FileKind::Yaml, e.timestamp)).expect("stash");
+            (e.timestamp, bytes)
+        })
+        .collect();
+    assert!(!stashed.is_empty(), "bench needs a tail to append");
+    build_longitudinal_cached(&store, MAP, THREADS, CacheMode::Rebuild).expect("prefix image");
+    let prefix_image = store
+        .open_cache(MAP)
+        .expect("read cache")
+        .expect("cache exists");
+    for (t, bytes) in &stashed {
+        store
+            .write(MAP, FileKind::Yaml, *t, bytes)
+            .expect("restore");
+    }
+    (store, prefix_image)
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let (store, prefix_image) = corpus_store();
+    let mut group = c.benchmark_group("cache/europe-2h");
+    group.sample_size(10);
+
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            build_longitudinal(&store, MAP, THREADS)
+                .expect("build")
+                .0
+                .len()
+        });
+    });
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            store.remove_cache(MAP).expect("reset");
+            build_longitudinal_cached(&store, MAP, THREADS, CacheMode::Auto)
+                .expect("cold")
+                .0
+                .len()
+        });
+    });
+
+    // One populate so every warm iteration hits.
+    build_longitudinal_cached(&store, MAP, THREADS, CacheMode::Auto).expect("populate");
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let (loaded, stats) =
+                build_longitudinal_cached(&store, MAP, THREADS, CacheMode::Auto).expect("warm");
+            assert_eq!(stats.cache.hits, 1);
+            loaded.len()
+        });
+    });
+
+    group.bench_function("append-30min", |b| {
+        b.iter(|| {
+            store
+                .write_cache(MAP, &prefix_image)
+                .expect("reset to prefix");
+            let (loaded, stats) =
+                build_longitudinal_cached(&store, MAP, THREADS, CacheMode::Auto).expect("append");
+            assert_eq!(stats.cache.appends, 1);
+            loaded.len()
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(store.root());
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Cold vs warm vs append longitudinal loads — the measurement behind
+//! the EXPERIMENTS.md "Persistent longitudinal cache" table.
+//!
+//! ```sh
+//! cargo run --release --bin exp_cache -- --threads 8 --hours 6
+//! ```
+//!
+//! Four timed shapes over the same materialised corpus:
+//!
+//! * `uncached`  — `build_longitudinal`, the pre-cache path (streaming
+//!   YAML parse straight into the columnar store);
+//! * `cold`      — cache-aware load with no cache on disk: pays the same
+//!   parse plus fingerprinting and one cache write;
+//! * `warm`      — cache-aware load over a fresh image: fingerprint the
+//!   corpus, decode the image, parse nothing;
+//! * `append`    — cache image covers all but the newest hour: decode,
+//!   parse only the tail, append in place, re-persist.
+//!
+//! Every shape's suite report is compared against the uncached baseline
+//! — the table is only worth printing if the answers are identical.
+
+use std::time::Instant;
+
+use ovh_weather::prelude::*;
+
+struct Options {
+    seed: u64,
+    scale: f64,
+    hours: i64,
+    threads: usize,
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: exp_cache [--seed N] [--scale X|full] [--hours H] [--threads N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        seed: 42,
+        scale: 1.0,
+        hours: 6,
+        threads: 8,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let value = args.get(i + 1).map(String::as_str).unwrap_or("");
+        match args[i].as_str() {
+            "--seed" => options.seed = value.parse().unwrap_or_else(|_| usage("bad --seed")),
+            "--scale" => {
+                options.scale = if value == "full" {
+                    1.0
+                } else {
+                    value.parse().unwrap_or_else(|_| usage("bad --scale"))
+                }
+            }
+            "--hours" => options.hours = value.parse().unwrap_or_else(|_| usage("bad --hours")),
+            "--threads" => {
+                options.threads = value.parse().unwrap_or_else(|_| usage("bad --threads"))
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown option {other:?}")),
+        }
+        i += 2;
+    }
+    options
+}
+
+/// Peak resident set size of this process in KiB, from `VmHWM` in
+/// `/proc/self/status` (Linux; `None` elsewhere).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let options = parse_args();
+    println!("=== exp_cache — persistent longitudinal cache: cold / warm / append ===");
+    println!(
+        "seed {} | scale {} | {} h of Europe | {} loader threads | deterministic\n",
+        options.seed, options.scale, options.hours, options.threads
+    );
+
+    let dir = std::env::temp_dir().join(format!("wm-exp-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DatasetStore::open(&dir).expect("corpus dir");
+    let pipeline = Pipeline::new(SimulationConfig::scaled(options.seed, options.scale));
+    let from = Timestamp::from_ymd(2022, 2, 1);
+    let to = from + Duration::from_hours(options.hours);
+    let map = MapKind::Europe;
+    let threads = options.threads;
+
+    print!("materialising {from} .. {to}... ");
+    let result = pipeline
+        .materialize_window(&store, map, from, to)
+        .expect("materialise corpus");
+    println!("{} snapshots", result.snapshots.len());
+
+    // Uncached baseline: the pre-cache load path and its report.
+    let ((baseline, _), uncached) =
+        timed(|| build_longitudinal(&store, map, threads).expect("build"));
+    let baseline_report = AnalysisSuite::run(SuiteConfig::default(), baseline.snapshots());
+
+    // Cold: no image on disk; parse everything, persist the image.
+    store.remove_cache(map).expect("reset cache");
+    let ((cold_store, cold_stats), cold) = timed(|| {
+        build_longitudinal_cached(&store, map, threads, CacheMode::Auto).expect("cold load")
+    });
+    assert_eq!(cold_stats.cache.misses, 1, "cold must be a miss");
+
+    // Warm: decode the image, parse nothing.
+    let ((warm_store, warm_stats), warm) = timed(|| {
+        build_longitudinal_cached(&store, map, threads, CacheMode::Auto).expect("warm load")
+    });
+    assert_eq!(warm_stats.cache.hits, 1, "warm must be a hit");
+    let cache_bytes = store
+        .open_cache(map)
+        .expect("read cache")
+        .map_or(0, |b| b.len());
+
+    // Append: rebuild the image over all but the newest hour, then grow.
+    let split = to - Duration::from_hours(1);
+    let keep = store
+        .entries_of(map, FileKind::Yaml)
+        .expect("entries")
+        .iter()
+        .filter(|e| e.timestamp < split)
+        .count();
+    let tail_dir = std::env::temp_dir().join(format!("wm-exp-cache-tail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tail_dir);
+    std::fs::create_dir_all(&tail_dir).expect("tail dir");
+    for entry in store.entries_of(map, FileKind::Yaml).expect("entries") {
+        if entry.timestamp >= split {
+            let from_path = store.path_of(map, FileKind::Yaml, entry.timestamp);
+            let to_path = tail_dir.join(format!("{}.yaml", entry.timestamp.unix()));
+            std::fs::rename(&from_path, &to_path).expect("stash tail file");
+        }
+    }
+    build_longitudinal_cached(&store, map, threads, CacheMode::Rebuild).expect("prefix image");
+    for entry in std::fs::read_dir(&tail_dir).expect("tail dir") {
+        let entry = entry.expect("tail entry");
+        let unix: i64 = entry
+            .path()
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .and_then(|s| s.parse().ok())
+            .expect("tail stem");
+        let t = Timestamp::from_unix(unix);
+        std::fs::rename(entry.path(), store.path_of(map, FileKind::Yaml, t))
+            .expect("restore tail file");
+    }
+    std::fs::remove_dir_all(&tail_dir).expect("tail cleanup");
+
+    let ((append_store, append_stats), append) = timed(|| {
+        build_longitudinal_cached(&store, map, threads, CacheMode::Auto).expect("append load")
+    });
+    assert_eq!(append_stats.cache.appends, 1, "tail growth must append");
+    assert_eq!(append_stats.cache.snapshots_from_cache as usize, keep);
+
+    // The whole point: identical answers from every shape.
+    for (label, loaded) in [
+        ("cold", &cold_store),
+        ("warm", &warm_store),
+        ("append", &append_store),
+    ] {
+        assert_eq!(loaded, &baseline, "{label}: store differs");
+        let report = AnalysisSuite::run(SuiteConfig::default(), loaded.snapshots());
+        assert_eq!(report, baseline_report, "{label}: report differs");
+    }
+    println!("suite reports identical across uncached/cold/warm/append: yes\n");
+
+    println!(
+        "cache image            {:>8.2} MiB",
+        cache_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!("uncached (PR 3 path)   {uncached:>8.3} s");
+    println!("cold  (parse+persist)  {cold:>8.3} s");
+    println!(
+        "warm  (decode only)    {warm:>8.3} s   ({:.1}x vs uncached)",
+        uncached / warm
+    );
+    println!(
+        "append (1 h tail)      {append:>8.3} s   ({:.1}x vs uncached)",
+        uncached / append
+    );
+    if let Some(kib) = peak_rss_kib() {
+        println!("peak RSS (VmHWM)       {:>8.1} MiB", kib as f64 / 1024.0);
+    }
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}

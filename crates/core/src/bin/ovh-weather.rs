@@ -3,22 +3,24 @@
 //! ```text
 //! ovh-weather generate --out DIR --from DATE --to DATE [--map M] [--seed N] [--scale X]
 //! ovh-weather extract  --in DIR [--map M] [--threads N] [--metrics]
-//! ovh-weather stats    --in DIR
+//! ovh-weather stats    --in DIR [--cache[=auto|off|rebuild]] [--threads N]
+//! ovh-weather index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--metrics]
 //! ovh-weather inspect  FILE.svg|FILE.yaml [--map M]
 //! ovh-weather validate FILE.yaml
 //! ovh-weather verify   [--map M] [--at DATE] [--seed N] [--scale X]
-//! ovh-weather analyze  --in DIR [--map M] [--threads N] [--metrics]
+//! ovh-weather analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]] [--metrics]
 //! ovh-weather diff     OLD.yaml NEW.yaml
 //! ```
 //!
 //! `generate` materialises a simulated corpus (SVG + YAML trees, exactly
 //! the released dataset's layout); `extract` re-extracts the SVG files of
 //! an existing corpus; `stats` prints Table 2 for a corpus directory;
-//! `inspect` extracts or parses one file and summarises it; `validate`
-//! audits a YAML snapshot; `verify` runs the simulator round-trip check;
-//! `analyze` loads a stored corpus into the columnar longitudinal store
-//! and runs all nine §5 analyses in one pass; `diff` names the
-//! structural changes between two snapshots.
+//! `index` prebuilds the binary longitudinal cache so later `analyze
+//! --cache` runs skip YAML entirely; `inspect` extracts or parses one
+//! file and summarises it; `validate` audits a YAML snapshot; `verify`
+//! runs the simulator round-trip check; `analyze` loads a stored corpus
+//! into the columnar longitudinal store and runs all nine §5 analyses in
+//! one pass; `diff` names the structural changes between two snapshots.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
@@ -35,6 +37,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(rest),
         "extract" => cmd_extract(rest),
         "stats" => cmd_stats(rest),
+        "index" => cmd_index(rest),
         "inspect" => cmd_inspect(rest),
         "validate" => cmd_validate(rest),
         "verify" => cmd_verify(rest),
@@ -61,11 +64,12 @@ ovh-weather — reproduce the OVH Weather dataset pipeline
 commands:
   generate --out DIR --from YYYY-MM-DD --to YYYY-MM-DD [--map M] [--seed N] [--scale X]
   extract  --in DIR [--map M] [--threads N] [--metrics]
-  stats    --in DIR
+  stats    --in DIR [--cache[=auto|off|rebuild]] [--threads N]
+  index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--metrics]
   inspect  FILE.svg|FILE.yaml [--map M]
   validate FILE.yaml
   verify   [--map M] [--at YYYY-MM-DD] [--seed N] [--scale X]
-  analyze  --in DIR [--map M] [--threads N] [--metrics]
+  analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]] [--metrics]
   diff     OLD.yaml NEW.yaml
 
 common options:
@@ -73,10 +77,13 @@ common options:
   --scale X    network scale, 1.0 = paper size (default 0.2)
   --map M      europe|world|north-america|asia-pacific (default all/europe)
   --threads N  extraction / corpus-loading workers (default: available parallelism)
+  --cache[=M]  longitudinal cache mode: auto (bare --cache), off, rebuild
   --metrics    print per-stage timing histograms and throughput";
 
 /// Options that are boolean switches rather than `--key value` pairs.
-const FLAG_KEYS: &[&str] = &["metrics"];
+/// `cache` is a switch with an optional mode: bare `--cache` means
+/// `auto`, and `--cache=MODE` selects one explicitly.
+const FLAG_KEYS: &[&str] = &["metrics", "cache"];
 
 /// Parsed `--key value` options, boolean `--flag`s and positionals.
 struct Options {
@@ -93,7 +100,11 @@ impl Options {
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
-                if FLAG_KEYS.contains(&key) {
+                if let Some((key, value)) = key.split_once('=') {
+                    // `--key=value` spelling, e.g. `--cache=rebuild`.
+                    values.insert(key.to_owned(), value.to_owned());
+                    i += 1;
+                } else if FLAG_KEYS.contains(&key) {
                     flags.insert(key.to_owned());
                     i += 1;
                 } else {
@@ -155,6 +166,17 @@ impl Options {
         match self.values.get(key) {
             None => Ok(None),
             Some(v) => parse_date(v).map(Some),
+        }
+    }
+
+    /// The longitudinal cache mode: absent → `Off`, bare `--cache` →
+    /// `Auto`, `--cache=MODE` → that mode.
+    fn cache_mode(&self) -> Result<CacheMode, String> {
+        match self.values.get("cache") {
+            Some(v) => CacheMode::parse(v)
+                .ok_or_else(|| format!("invalid --cache {v:?} (expected auto, off or rebuild)")),
+            None if self.flag("cache") => Ok(CacheMode::Auto),
+            None => Ok(CacheMode::Off),
         }
     }
 
@@ -273,7 +295,112 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         return Err(format!("no corpus files under {dir}"));
     }
     print!("{}", CorpusStats::from_entries(&entries).render_table());
+    let mode = options.cache_mode()?;
+    if mode != CacheMode::Off {
+        // With caching requested, also summarise each map's longitudinal
+        // store — served from (and persisted to) the cache.
+        let threads = options.threads()?;
+        for map in options.maps()? {
+            let (columnar, load_stats) =
+                build_longitudinal_cached(&store, map, threads, mode).map_err(|e| e.to_string())?;
+            if columnar.is_empty() {
+                continue;
+            }
+            println!(
+                "{:<15} {} snapshots, {} nodes, {} link identities, {} topology events [{}]",
+                map.display_name(),
+                columnar.len(),
+                columnar.nodes().len(),
+                columnar.link_defs().len(),
+                columnar.events().len(),
+                cache_outcome(&load_stats.cache),
+            );
+        }
+    }
     Ok(())
+}
+
+/// One-word description of what the cache-aware load did.
+fn cache_outcome(cache: &CacheStats) -> &'static str {
+    if cache.hits > 0 {
+        "cache hit"
+    } else if cache.appends > 0 {
+        "cache append"
+    } else if cache.corrupt > 0 {
+        "cache corrupt, rebuilt"
+    } else if cache.misses > 0 {
+        "cache miss, rebuilt"
+    } else {
+        "cache off"
+    }
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let options = Options::parse(args)?;
+    let dir = options.required("in")?;
+    let threads = options.threads()?;
+    // `index` exists to build the cache, so bare invocations default to
+    // `auto` (refresh if stale) instead of `off`.
+    let mode = match options.cache_mode()? {
+        CacheMode::Off => CacheMode::Auto,
+        mode => mode,
+    };
+    let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
+    let mut maps_indexed = 0usize;
+    for map in options.maps()? {
+        let started = std::time::Instant::now();
+        let (columnar, load_stats) =
+            build_longitudinal_cached(&store, map, threads, mode).map_err(|e| e.to_string())?;
+        if columnar.is_empty() {
+            continue;
+        }
+        maps_indexed += 1;
+        let cache_bytes = std::fs::metadata(store.cache_path(map))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        println!(
+            "{:<15} indexed {} snapshots into {:.1} MiB cache in {:.2?} [{}]",
+            map.display_name(),
+            columnar.len(),
+            cache_bytes as f64 / (1024.0 * 1024.0),
+            started.elapsed(),
+            cache_outcome(&load_stats.cache),
+        );
+        if options.flag("metrics") {
+            print_load_metrics(&load_stats, &columnar, threads);
+        }
+    }
+    if maps_indexed == 0 {
+        return Err(format!("no YAML snapshots under {dir}"));
+    }
+    Ok(())
+}
+
+/// The deterministic corpus/cache counter block behind `--metrics`.
+fn print_load_metrics(load_stats: &CorpusLoadStats, columnar: &LongitudinalStore, threads: usize) {
+    println!(
+        "corpus: {} files, {} parsed, {} failed, {:.1} MiB read ({threads} threads)",
+        load_stats.files,
+        load_stats.parsed,
+        load_stats.failed,
+        load_stats.bytes as f64 / (1024.0 * 1024.0),
+    );
+    let c = &load_stats.cache;
+    if !c.is_empty() {
+        println!(
+            "cache: {} hit, {} miss, {} append, {} corrupt; {} snapshots from cache, {} appended",
+            c.hits, c.misses, c.appends, c.corrupt, c.snapshots_from_cache, c.snapshots_appended
+        );
+    }
+    println!(
+        "columnar store: {} snapshots, {} nodes, {} link identities, {} load rows, {} topology events, ~{:.1} MiB",
+        columnar.len(),
+        columnar.nodes().len(),
+        columnar.link_defs().len(),
+        columnar.observations(),
+        columnar.events().len(),
+        columnar.approx_bytes() as f64 / (1024.0 * 1024.0)
+    );
 }
 
 fn cmd_inspect(args: &[String]) -> Result<(), String> {
@@ -336,12 +463,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let options = Options::parse(args)?;
     let dir = options.required("in")?;
     let threads = options.threads()?;
+    let mode = options.cache_mode()?;
     let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
     let mut maps_analyzed = 0usize;
     for map in options.maps()? {
         let load_started = std::time::Instant::now();
         let (columnar, load_stats) =
-            build_longitudinal(&store, map, threads).map_err(|e| e.to_string())?;
+            build_longitudinal_cached(&store, map, threads, mode).map_err(|e| e.to_string())?;
         if columnar.is_empty() {
             continue;
         }
@@ -353,23 +481,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!("=== {} ===", map.display_name());
         print!("{}", report.render());
         if options.flag("metrics") {
-            println!(
-                "corpus: {} files, {} parsed, {} failed, {:.1} MiB read in {:.2?} ({threads} threads)",
-                load_stats.files,
-                load_stats.parsed,
-                load_stats.failed,
-                load_stats.bytes as f64 / (1024.0 * 1024.0),
-                load_elapsed
-            );
-            println!(
-                "columnar store: {} snapshots, {} nodes, {} link identities, {} load rows, {} topology events, ~{:.1} MiB",
-                columnar.len(),
-                columnar.nodes().len(),
-                columnar.link_defs().len(),
-                columnar.observations(),
-                columnar.events().len(),
-                columnar.approx_bytes() as f64 / (1024.0 * 1024.0)
-            );
+            print_load_metrics(&load_stats, &columnar, threads);
+            println!("corpus load: {load_elapsed:.2?}");
             println!("single-pass analysis: {analyze_elapsed:.2?}");
         }
         println!();

@@ -66,12 +66,14 @@ pub mod prelude {
         SuiteReport, WhiskerSummary,
     };
     pub use wm_dataset::{
-        build_longitudinal, load_snapshots, CorpusLoadStats, CorpusStats, DatasetStore, FileKind,
-        LinkDef, LinkId, LongitudinalStore, NodeId, TopologyEvent,
+        build_longitudinal, build_longitudinal_cached, load_snapshots, CacheError, CacheMode,
+        CorpusFingerprint, CorpusLoadStats, CorpusStats, DatasetStore, FileKind, LinkDef, LinkId,
+        LongitudinalStore, NodeId, TopologyEvent,
     };
     pub use wm_extract::{
         extract_batch, extract_batch_with, extract_svg, from_yaml_str, to_yaml_string, BatchInput,
-        BatchMetrics, BatchStats, ExtractConfig, MetricsTotals, Scheduling, SnapshotSink, Stage,
+        BatchMetrics, BatchStats, CacheStats, ExtractConfig, MetricsTotals, Scheduling,
+        SnapshotSink, Stage,
     };
     pub use wm_model::{
         Duration, Link, LinkEnd, LinkKind, Load, MapKind, Node, NodeKind, Timestamp,

@@ -14,18 +14,27 @@
 //!   node/link symbol tables, per-link load time series and the topology
 //!   event log, built in one deterministic streaming pass;
 //! * [`loader`] — the shared parallel YAML corpus loader feeding either a
-//!   snapshot vector or the columnar store.
+//!   snapshot vector or the columnar store, with a cache-aware entry
+//!   point ([`build_longitudinal_cached`]) that fingerprints the corpus;
+//! * [`codec`] — the versioned, checksummed binary cache format that
+//!   persists a built store so later runs skip YAML entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod loader;
 pub mod longitudinal;
 pub mod paths;
 mod stats;
 mod store;
 
-pub use loader::{build_longitudinal, load_snapshots, CorpusLoadStats};
+pub use codec::{
+    decode_store, encode_store, CacheError, CorpusFingerprint, FingerprintEntry, CACHE_MAGIC,
+};
+pub use loader::{
+    build_longitudinal, build_longitudinal_cached, load_snapshots, CacheMode, CorpusLoadStats,
+};
 pub use longitudinal::{
     extract_longitudinal, ColumnarBuilder, LinkDef, LinkId, LinkSample, LongitudinalStore, NodeId,
     TopologyEvent,

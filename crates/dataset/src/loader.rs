@@ -14,12 +14,13 @@
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use wm_extract::{from_yaml_str, SnapshotSink};
+use wm_extract::{from_yaml_str, CacheStats, SnapshotSink};
 use wm_model::{MapKind, Timestamp, TopologySnapshot};
 
+use crate::codec::{self, CorpusFingerprint, FingerprintEntry};
 use crate::longitudinal::{ColumnarBuilder, LongitudinalStore};
-use crate::paths::FileKind;
-use crate::store::DatasetStore;
+use crate::paths::{relative_path, FileKind};
+use crate::store::{DatasetEntry, DatasetStore};
 
 /// Counters of one corpus load.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -32,6 +33,9 @@ pub struct CorpusLoadStats {
     pub failed: usize,
     /// Total bytes read.
     pub bytes: u64,
+    /// Cache activity of this load (all zero on the plain, uncached
+    /// paths). Deterministic like every other field.
+    pub cache: CacheStats,
 }
 
 impl CorpusLoadStats {
@@ -40,6 +44,42 @@ impl CorpusLoadStats {
         self.parsed += other.parsed;
         self.failed += other.failed;
         self.bytes += other.bytes;
+        self.cache.merge(&other.cache);
+    }
+
+    /// The counters of the parse work only, cache activity zeroed —
+    /// what a fresh uncached build over the same corpus would report.
+    #[must_use]
+    pub fn base(&self) -> CorpusLoadStats {
+        CorpusLoadStats {
+            cache: CacheStats::default(),
+            ..*self
+        }
+    }
+}
+
+/// How a cache-aware load treats the on-disk cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Use a valid cache (hit or incremental append), rebuild otherwise.
+    #[default]
+    Auto,
+    /// Ignore the cache entirely: plain build, nothing read or written.
+    Off,
+    /// Rebuild from YAML unconditionally and overwrite the cache.
+    Rebuild,
+}
+
+impl CacheMode {
+    /// Parses the CLI spelling (`auto` / `off` / `rebuild`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<CacheMode> {
+        match s {
+            "auto" => Some(CacheMode::Auto),
+            "off" => Some(CacheMode::Off),
+            "rebuild" => Some(CacheMode::Rebuild),
+            _ => None,
+        }
     }
 }
 
@@ -51,13 +91,9 @@ pub fn load_snapshots(
     map: MapKind,
     threads: usize,
 ) -> io::Result<(Vec<TopologySnapshot>, CorpusLoadStats)> {
-    let (sinks, stats) = load_fold::<Vec<(usize, TopologySnapshot)>>(store, map, threads)?;
-    let mut results: Vec<(usize, TopologySnapshot)> = sinks.into_iter().flatten().collect();
-    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
-    Ok((
-        results.into_iter().map(|(_, snapshot)| snapshot).collect(),
-        stats,
-    ))
+    let entries = store.entries_of(map, FileKind::Yaml)?;
+    let (snapshots, stats, _) = load_sorted(store, map, &entries, threads, false)?;
+    Ok((snapshots, stats))
 }
 
 /// Loads every YAML snapshot of `map` straight into a
@@ -68,47 +104,307 @@ pub fn build_longitudinal(
     map: MapKind,
     threads: usize,
 ) -> io::Result<(LongitudinalStore, CorpusLoadStats)> {
-    let (builders, stats) = load_fold::<ColumnarBuilder>(store, map, threads)?;
+    let entries = store.entries_of(map, FileKind::Yaml)?;
+    let (builders, stats, _) =
+        load_fold_entries::<ColumnarBuilder>(store, map, &entries, threads, false)?;
     Ok((ColumnarBuilder::finish(builders), stats))
 }
 
-/// The loader core: reads and parses all YAML entries of `map`, folding
-/// snapshots into one [`SnapshotSink`] per worker (returned in worker
-/// order, never finish order).
-fn load_fold<S: SnapshotSink>(
+/// The cache-aware longitudinal load: consult the on-disk cache per
+/// `mode`, fall back to (and persist) a fresh build when it cannot be
+/// used, and extend it in place when the corpus only grew.
+///
+/// The returned store is always identical to what [`build_longitudinal`]
+/// would produce over the current corpus — the cache changes the work,
+/// never the answer. `stats.cache` records what happened (hit, miss,
+/// append, corrupt), and the non-cache counters always equal a fresh
+/// build's counters, so downstream reports are path-independent.
+///
+/// Cache problems are never fatal: a corrupt or unwritable cache file
+/// degrades to an uncached build with a warning on stderr.
+pub fn build_longitudinal_cached(
     store: &DatasetStore,
     map: MapKind,
     threads: usize,
-) -> io::Result<(Vec<S>, CorpusLoadStats)> {
+    mode: CacheMode,
+) -> io::Result<(LongitudinalStore, CorpusLoadStats)> {
+    if mode == CacheMode::Off {
+        return build_longitudinal(store, map, threads);
+    }
+
     let entries = store.entries_of(map, FileKind::Yaml)?;
+    let mut cache = CacheStats::default();
+
+    let cached = if mode == CacheMode::Rebuild {
+        None
+    } else {
+        match store.open_cache(map)? {
+            None => None,
+            Some(bytes) => match codec::decode_store(&bytes) {
+                Ok(decoded) => Some(decoded),
+                Err(err) => {
+                    eprintln!(
+                        "warning: discarding longitudinal cache for {}: {err}; rebuilding from YAML",
+                        map.slug()
+                    );
+                    cache.corrupt += 1;
+                    None
+                }
+            },
+        }
+    };
+
+    let Some((mut cached_store, cached_fp, cached_stats)) = cached else {
+        cache.misses += 1;
+        return rebuild_and_persist(store, map, &entries, threads, cache);
+    };
+
+    // A usable cache exists: hash the corpus (no parsing) and compare.
+    let hashes = hash_entries(store, map, &entries, threads)?;
+    let current_fp = fingerprint_from(map, &entries, &hashes);
+
+    if current_fp == cached_fp {
+        cache.hits += 1;
+        cache.snapshots_from_cache = cached_store.len() as u64;
+        let mut stats = cached_stats;
+        stats.cache = cache;
+        return Ok((cached_store, stats));
+    }
+
+    if let Some(shared) = cached_fp.strict_prefix_of(&current_fp) {
+        // The corpus only grew: parse the tail, append in place.
+        let (tail, tail_stats, _) = load_sorted(store, map, &entries[shared..], threads, false)?;
+        if can_append(&cached_store, &tail) {
+            cache.appends += 1;
+            cache.snapshots_from_cache = cached_store.len() as u64;
+            cache.snapshots_appended = tail.len() as u64;
+            cached_store.append_snapshots(&tail);
+            let mut stats = cached_stats;
+            stats.merge(tail_stats);
+            persist(store, map, &cached_store, &current_fp, &stats);
+            stats.cache = cache;
+            return Ok((cached_store, stats));
+        }
+    }
+
+    // Shrunk, edited, or a tail that is not strictly newer: full rebuild.
+    cache.misses += 1;
+    rebuild_and_persist(store, map, &entries, threads, cache)
+}
+
+/// An appended tail must be strictly newer than the cached history for
+/// [`LongitudinalStore::append_snapshots`] to reproduce a full rebuild.
+/// Path order implies timestamp order, so this only rejects exotic
+/// corpora (e.g. an equal-timestamp boundary after a re-collection).
+fn can_append(cached: &LongitudinalStore, tail: &[TopologySnapshot]) -> bool {
+    match cached.timestamps().last() {
+        None => true,
+        Some(&last) => tail.iter().all(|snapshot| snapshot.timestamp > last),
+    }
+}
+
+/// Full parse of `entries` (hashing as it reads), persist, return.
+fn rebuild_and_persist(
+    store: &DatasetStore,
+    map: MapKind,
+    entries: &[DatasetEntry],
+    threads: usize,
+    cache: CacheStats,
+) -> io::Result<(LongitudinalStore, CorpusLoadStats)> {
+    let (builders, mut stats, hashes) =
+        load_fold_entries::<ColumnarBuilder>(store, map, entries, threads, true)?;
+    let columnar = ColumnarBuilder::finish(builders);
+    let fingerprint = fingerprint_from(map, entries, &hashes);
+    persist(store, map, &columnar, &fingerprint, &stats);
+    stats.cache = cache;
+    Ok((columnar, stats))
+}
+
+/// Writes the cache image; failure warns and is otherwise ignored (the
+/// build result is already in hand).
+fn persist(
+    store: &DatasetStore,
+    map: MapKind,
+    columnar: &LongitudinalStore,
+    fingerprint: &CorpusFingerprint,
+    stats: &CorpusLoadStats,
+) {
+    let image = codec::encode_store(columnar, fingerprint, &stats.base());
+    if let Err(err) = store.write_cache(map, &image) {
+        eprintln!(
+            "warning: could not write longitudinal cache for {}: {err}",
+            map.slug()
+        );
+    }
+}
+
+/// The corpus fingerprint from enumerated entries plus per-file hashes.
+fn fingerprint_from(map: MapKind, entries: &[DatasetEntry], hashes: &[u64]) -> CorpusFingerprint {
+    CorpusFingerprint {
+        entries: entries
+            .iter()
+            .zip(hashes)
+            .map(|(entry, &hash)| FingerprintEntry {
+                path: relative_path_string(map, entry.timestamp),
+                size: entry.size,
+                hash,
+            })
+            .collect(),
+    }
+}
+
+/// The layout-relative path of one snapshot file as a `/`-joined string
+/// (platform-independent, so fingerprints are portable).
+fn relative_path_string(map: MapKind, timestamp: Timestamp) -> String {
+    let path = relative_path(map, FileKind::Yaml, timestamp);
+    let mut out = String::new();
+    for component in path.iter() {
+        if !out.is_empty() {
+            out.push('/');
+        }
+        out.push_str(&component.to_string_lossy());
+    }
+    out
+}
+
+/// Materialises `entries` as snapshots sorted by `(timestamp, entry
+/// order)`, like the legacy loader, optionally hashing file contents.
+fn load_sorted(
+    store: &DatasetStore,
+    map: MapKind,
+    entries: &[DatasetEntry],
+    threads: usize,
+    hash: bool,
+) -> io::Result<(Vec<TopologySnapshot>, CorpusLoadStats, Vec<u64>)> {
+    let (sinks, stats, hashes) =
+        load_fold_entries::<Vec<(usize, TopologySnapshot)>>(store, map, entries, threads, hash)?;
+    let mut results: Vec<(usize, TopologySnapshot)> = sinks.into_iter().flatten().collect();
+    results.sort_by_key(|(index, snapshot)| (snapshot.timestamp, *index));
+    Ok((
+        results.into_iter().map(|(_, snapshot)| snapshot).collect(),
+        stats,
+        hashes,
+    ))
+}
+
+/// Hashes every entry's contents in parallel without parsing anything —
+/// the cache-validation pass. Returned in entry order.
+fn hash_entries(
+    store: &DatasetStore,
+    map: MapKind,
+    entries: &[DatasetEntry],
+    threads: usize,
+) -> io::Result<Vec<u64>> {
+    let threads = threads.max(1).min(entries.len().max(1));
+    if threads <= 1 {
+        return entries
+            .iter()
+            .map(|entry| {
+                store
+                    .read(map, FileKind::Yaml, entry.timestamp)
+                    .map(|bytes| codec::fnv1a(&bytes))
+            })
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (cursor, entries) = (&cursor, entries);
+    let outcomes: Vec<io::Result<Vec<(usize, u64)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut hashes = Vec::new();
+                    loop {
+                        let index = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(entry) = entries.get(index) else {
+                            break;
+                        };
+                        let bytes = store.read(map, FileKind::Yaml, entry.timestamp)?;
+                        hashes.push((index, codec::fnv1a(&bytes)));
+                    }
+                    Ok(hashes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| handle.join().expect("corpus hasher worker panicked"))
+            .collect()
+    });
+    let mut hashes = vec![0u64; entries.len()];
+    for outcome in outcomes {
+        for (index, hash) in outcome? {
+            hashes[index] = hash;
+        }
+    }
+    Ok(hashes)
+}
+
+/// The loader core: reads and parses the given YAML entries of `map`,
+/// folding snapshots into one [`SnapshotSink`] per worker (returned in
+/// worker order, never finish order). With `hash` set, also returns the
+/// FNV-1a content hash of every entry, in entry order — the combined
+/// parse-and-fingerprint pass of the cache-miss path, which avoids
+/// reading each file twice.
+fn load_fold_entries<S: SnapshotSink>(
+    store: &DatasetStore,
+    map: MapKind,
+    entries: &[DatasetEntry],
+    threads: usize,
+    hash: bool,
+) -> io::Result<(Vec<S>, CorpusLoadStats, Vec<u64>)> {
     let threads = threads.max(1).min(entries.len().max(1));
 
     if threads == 1 {
         // Serial fast path, same code per file.
         let mut sink = S::default();
         let mut stats = CorpusLoadStats::default();
+        let mut hashes = Vec::new();
         for (index, entry) in entries.iter().enumerate() {
-            read_one(store, map, entry.timestamp, index, &mut sink, &mut stats)?;
+            let h = read_one(
+                store,
+                map,
+                entry.timestamp,
+                index,
+                &mut sink,
+                &mut stats,
+                hash,
+            )?;
+            if hash {
+                hashes.push(h);
+            }
         }
-        return Ok((vec![sink], stats));
+        return Ok((vec![sink], stats, hashes));
     }
 
+    type WorkerOut<S> = (S, CorpusLoadStats, Vec<(usize, u64)>);
     let cursor = AtomicUsize::new(0);
-    let (cursor, entries) = (&cursor, &entries);
-    let outcomes: Vec<io::Result<(S, CorpusLoadStats)>> = std::thread::scope(|scope| {
+    let (cursor, entries) = (&cursor, entries);
+    let outcomes: Vec<io::Result<WorkerOut<S>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut sink = S::default();
                     let mut stats = CorpusLoadStats::default();
+                    let mut hashes = Vec::new();
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(entry) = entries.get(index) else {
                             break;
                         };
-                        read_one(store, map, entry.timestamp, index, &mut sink, &mut stats)?;
+                        let h = read_one(
+                            store,
+                            map,
+                            entry.timestamp,
+                            index,
+                            &mut sink,
+                            &mut stats,
+                            hash,
+                        )?;
+                        if hash {
+                            hashes.push((index, h));
+                        }
                     }
-                    Ok((sink, stats))
+                    Ok((sink, stats, hashes))
                 })
             })
             .collect();
@@ -120,14 +416,23 @@ fn load_fold<S: SnapshotSink>(
 
     let mut sinks = Vec::with_capacity(threads);
     let mut stats = CorpusLoadStats::default();
+    let mut hashes = if hash {
+        vec![0u64; entries.len()]
+    } else {
+        Vec::new()
+    };
     for outcome in outcomes {
-        let (sink, worker_stats) = outcome?;
+        let (sink, worker_stats, worker_hashes) = outcome?;
         sinks.push(sink);
         stats.merge(worker_stats);
+        for (index, h) in worker_hashes {
+            hashes[index] = h;
+        }
     }
-    Ok((sinks, stats))
+    Ok((sinks, stats, hashes))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn read_one<S: SnapshotSink>(
     store: &DatasetStore,
     map: MapKind,
@@ -135,10 +440,12 @@ fn read_one<S: SnapshotSink>(
     index: usize,
     sink: &mut S,
     stats: &mut CorpusLoadStats,
-) -> io::Result<()> {
+    hash: bool,
+) -> io::Result<u64> {
     let bytes = store.read(map, FileKind::Yaml, timestamp)?;
     stats.files += 1;
     stats.bytes += bytes.len() as u64;
+    let h = if hash { codec::fnv1a(&bytes) } else { 0 };
     let text = String::from_utf8_lossy(&bytes);
     match from_yaml_str(&text) {
         Ok(snapshot) => {
@@ -147,7 +454,7 @@ fn read_one<S: SnapshotSink>(
         }
         Err(_) => stats.failed += 1,
     }
-    Ok(())
+    Ok(h)
 }
 
 #[cfg(test)]

@@ -132,6 +132,25 @@ mod tests {
     }
 
     #[test]
+    fn cache_and_backup_files_are_rejected() {
+        // The longitudinal cache and common editor droppings must never
+        // parse as corpus members, whatever directory they land in.
+        for bad in [
+            "europe/.longitudinal.cache",
+            "europe/.longitudinal.cache.tmp",
+            "europe/yaml/2021/03/05/1005.yaml~",
+            "europe/yaml/2021/03/05/.1005.yaml.swp",
+            "europe/yaml/2021/03/05/1005.yaml.bak",
+            "europe/yaml/2021/03/05/#1005.yaml#",
+        ] {
+            assert!(
+                parse_path(Path::new(bad)).is_none(),
+                "{bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
     fn leap_day_paths_parse() {
         let p = Path::new("europe/svg/2020/02/29/0000.svg");
         assert!(parse_path(p).is_some());

@@ -123,6 +123,51 @@ impl DatasetStore {
         Ok(entries)
     }
 
+    /// Absolute path of one map's longitudinal cache file.
+    ///
+    /// The name is dot-prefixed and two path components deep, so it can
+    /// never collide with the snapshot layout and [`Self::entries`]
+    /// never surfaces it as a corpus member.
+    #[must_use]
+    pub fn cache_path(&self, map: MapKind) -> PathBuf {
+        self.root.join(map.slug()).join(".longitudinal.cache")
+    }
+
+    /// Writes one map's longitudinal cache image, replacing any previous
+    /// one. The write goes through a temporary sibling plus rename, so a
+    /// crash mid-write leaves either the old cache or none — never a
+    /// torn file presented as current.
+    pub fn write_cache(&self, map: MapKind, bytes: &[u8]) -> io::Result<()> {
+        let path = self.cache_path(map);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_file_name(".longitudinal.cache.tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Reads one map's longitudinal cache image as raw bytes.
+    ///
+    /// Returns `Ok(None)` when no cache exists; decoding (and deciding
+    /// whether the bytes are trustworthy) is [`crate::codec`]'s job.
+    pub fn open_cache(&self, map: MapKind) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.cache_path(map)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Deletes one map's cache file if present (used by forced rebuilds).
+    pub fn remove_cache(&self, map: MapKind) -> io::Result<()> {
+        match fs::remove_file(self.cache_path(map)) {
+            Ok(()) => Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+
     fn walk(&self, dir: &Path, out: &mut Vec<DatasetEntry>) -> io::Result<()> {
         if !dir.is_dir() {
             return Ok(());
@@ -130,6 +175,11 @@ impl DatasetStore {
         for entry in fs::read_dir(dir)? {
             let entry = entry?;
             let path = entry.path();
+            // Dot-prefixed names (the cache file, editor droppings) are
+            // never corpus members; skip them before any path parsing.
+            if entry.file_name().to_string_lossy().starts_with('.') {
+                continue;
+            }
             if path.is_dir() {
                 self.walk(&path, out)?;
             } else if let Ok(relative) = path.strip_prefix(&self.root) {
@@ -218,6 +268,53 @@ mod tests {
         fs::create_dir_all(store.root().join("europe/svg/2021/03/05")).unwrap();
         fs::write(store.root().join("europe/svg/2021/03/05/notes.md"), "x").unwrap();
         assert!(store.entries().unwrap().is_empty());
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn cache_and_dotfiles_never_surface_as_entries() {
+        let store = temp_store("dotfiles");
+        let t = Timestamp::from_ymd_hms(2022, 2, 1, 0, 0, 0);
+        store
+            .write(MapKind::Europe, FileKind::Yaml, t, b"map: europe")
+            .unwrap();
+
+        // The cache file itself, a torn temporary, editor backups next to
+        // a real snapshot, and a hidden swap file in a date directory.
+        store.write_cache(MapKind::Europe, b"cache bytes").unwrap();
+        fs::write(store.root().join("europe/.longitudinal.cache.tmp"), b"torn").unwrap();
+        let date_dir = store.root().join("europe/yaml/2022/02/01");
+        fs::write(date_dir.join("0000.yaml~"), b"backup").unwrap();
+        fs::write(date_dir.join(".0000.yaml.swp"), b"swap").unwrap();
+        fs::write(date_dir.join("0000.yaml.bak"), b"bak").unwrap();
+
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1, "only the real snapshot: {entries:?}");
+        assert_eq!(entries[0].timestamp, t);
+        assert_eq!(entries[0].size, 11);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn cache_round_trip_and_removal() {
+        let store = temp_store("cachefile");
+        assert_eq!(store.open_cache(MapKind::World).unwrap(), None);
+        store.write_cache(MapKind::World, b"abc").unwrap();
+        assert_eq!(
+            store.open_cache(MapKind::World).unwrap().as_deref(),
+            Some(&b"abc"[..])
+        );
+        // Overwrite replaces atomically; the temporary must not linger.
+        store.write_cache(MapKind::World, b"defg").unwrap();
+        assert_eq!(
+            store.open_cache(MapKind::World).unwrap().as_deref(),
+            Some(&b"defg"[..])
+        );
+        assert!(!store.root().join("world/.longitudinal.cache.tmp").exists());
+        store.remove_cache(MapKind::World).unwrap();
+        assert_eq!(store.open_cache(MapKind::World).unwrap(), None);
+        // Removing an absent cache is not an error.
+        store.remove_cache(MapKind::World).unwrap();
         fs::remove_dir_all(store.root()).unwrap();
     }
 

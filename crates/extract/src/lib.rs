@@ -42,7 +42,7 @@ pub mod validate;
 pub use algorithm1::{algorithm1, algorithm1_into, RawLabel, RawLink, RawObjects, RawRouter};
 pub use algorithm2::{algorithm2, algorithm2_with, AttributionScratch, ExtractConfig};
 pub use error::ExtractError;
-pub use metrics::{BatchMetrics, BroadPhaseStats, Histogram, MetricsTotals, Stage};
+pub use metrics::{BatchMetrics, BroadPhaseStats, CacheStats, Histogram, MetricsTotals, Stage};
 pub use pipeline::{
     extract_batch, extract_batch_sink, extract_batch_with, extract_svg, extract_svg_instrumented,
     extract_svg_with, BatchInput, BatchStats, ExtractScratch, Scheduling, SnapshotSink,

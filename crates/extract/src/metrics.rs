@@ -235,6 +235,50 @@ impl BroadPhaseStats {
     }
 }
 
+/// Counters of the longitudinal cache path.
+///
+/// All fields are exact event counts, independent of timing, worker
+/// count and scheduling — like [`BroadPhaseStats`] they ride inside
+/// [`MetricsTotals`] and must be identical across equivalent runs. A
+/// plain `analyze` without caching leaves them all zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache files whose fingerprint matched the corpus exactly (no
+    /// YAML was parsed).
+    pub hits: u64,
+    /// Cache misses: no cache file, or a fingerprint that neither
+    /// matched nor prefixed the corpus — a full rebuild followed.
+    pub misses: u64,
+    /// Incremental appends: the cached fingerprint was a strict prefix
+    /// of the corpus and only the tail was parsed.
+    pub appends: u64,
+    /// Cache files rejected as corrupt (bad magic, version, CRC,
+    /// truncation, invalid contents) before rebuilding.
+    pub corrupt: u64,
+    /// Snapshots served from the cache without parsing YAML.
+    pub snapshots_from_cache: u64,
+    /// Snapshots parsed from YAML to extend a stale cache.
+    pub snapshots_appended: u64,
+}
+
+impl CacheStats {
+    /// Sums another set of counters into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.appends += other.appends;
+        self.corrupt += other.corrupt;
+        self.snapshots_from_cache += other.snapshots_from_cache;
+        self.snapshots_appended += other.snapshots_appended;
+    }
+
+    /// `true` when no cache activity was recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == CacheStats::default()
+    }
+}
+
 /// Metrics of one batch extraction run.
 ///
 /// Workers record into private instances; [`BatchMetrics::merge`]
@@ -254,6 +298,8 @@ pub struct BatchMetrics {
     pub failures_by_kind: BTreeMap<String, u64>,
     /// Broad-phase work counters from Algorithm 2.
     pub broad_phase: BroadPhaseStats,
+    /// Longitudinal-cache counters (zero unless a cache-aware load ran).
+    pub cache: CacheStats,
     /// Wall-clock span of the whole batch, nanoseconds; 0 until set.
     pub wall_ns: u64,
 }
@@ -304,6 +350,7 @@ impl BatchMetrics {
             *self.failures_by_kind.entry(kind.clone()).or_default() += n;
         }
         self.broad_phase.merge(&other.broad_phase);
+        self.cache.merge(&other.cache);
     }
 
     /// Input throughput over the run's wall time, bytes per second.
@@ -339,6 +386,7 @@ impl BatchMetrics {
             snapshots_out: self.snapshots_out,
             failures_by_kind: self.failures_by_kind.clone(),
             broad_phase: self.broad_phase,
+            cache: self.cache,
             stage_samples: [
                 self.stages[0].count(),
                 self.stages[1].count(),
@@ -362,6 +410,8 @@ pub struct MetricsTotals {
     pub failures_by_kind: BTreeMap<String, u64>,
     /// Broad-phase work counters (exact counts, timing-free).
     pub broad_phase: BroadPhaseStats,
+    /// Longitudinal-cache counters (exact counts, timing-free).
+    pub cache: CacheStats,
     /// Timing-sample counts per stage, in [`Stage::ALL`] order.
     pub stage_samples: [u64; 4],
 }
@@ -428,6 +478,19 @@ impl fmt::Display for BatchMetrics {
                     bp.grid_cells / bp.grid_builds
                 )?;
             }
+        }
+        if !self.cache.is_empty() {
+            let c = &self.cache;
+            writeln!(
+                f,
+                "  cache:     {} hit, {} miss, {} append, {} corrupt",
+                c.hits, c.misses, c.appends, c.corrupt
+            )?;
+            writeln!(
+                f,
+                "             {} snapshots from cache, {} appended from YAML",
+                c.snapshots_from_cache, c.snapshots_appended
+            )?;
         }
         if self.failures_by_kind.is_empty() {
             writeln!(f, "  failures:  none")?;

@@ -1,6 +1,48 @@
 //! Parsing YAML text into [`Value`] trees.
+//!
+//! The parser works line-wise over the input bytes. The hot paths are
+//! byte-level: line splitting and comment detection use a SWAR
+//! `memchr`-style scan (eight bytes per step, `std`-only), significant
+//! lines borrow from the input instead of being copied, `key: value`
+//! splitting returns borrowed slices, and plain scalars dispatch on
+//! their first byte into a manual integer parse that skips the generic
+//! `from_str` route. Every fast path is behaviour-equivalent to the
+//! straightforward code it replaces — pinned by the unit tests here and
+//! the property tests in `tests/proptest_fastpath.rs`.
+
+use std::borrow::Cow;
 
 use crate::{Error, Result, Value};
+
+/// Finds the first occurrence of `needle`, scanning eight bytes per
+/// step (SWAR over `u64`, the classic zero-byte trick).
+///
+/// `(x - 0x01…01) & !x & 0x80…80` has a high bit set for every zero
+/// byte of `x = chunk ^ broadcast(needle)`; false positives can only
+/// appear *above* the first true match, so taking the least significant
+/// set bit is exact. `from_le_bytes` maps `haystack[i]` to the low
+/// byte, so `trailing_zeros / 8` is the in-chunk offset on every
+/// platform.
+#[inline]
+pub(crate) fn memchr_byte(needle: u8, haystack: &[u8]) -> Option<usize> {
+    const ONES: u64 = 0x0101_0101_0101_0101;
+    const HIGHS: u64 = 0x8080_8080_8080_8080;
+    let broadcast = u64::from_ne_bytes([needle; 8]);
+    let mut i = 0;
+    while i + 8 <= haystack.len() {
+        let chunk = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte window"));
+        let x = chunk ^ broadcast;
+        let found = x.wrapping_sub(ONES) & !x & HIGHS;
+        if found != 0 {
+            return Some(i + (found.trailing_zeros() / 8) as usize);
+        }
+        i += 8;
+    }
+    haystack[i..]
+        .iter()
+        .position(|&b| b == needle)
+        .map(|p| i + p)
+}
 
 /// Parses a YAML document into a [`Value`].
 ///
@@ -21,20 +63,37 @@ pub fn parse(text: &str) -> Result<Value> {
 }
 
 /// One significant input line.
+///
+/// `text` borrows from the input in the common case; only lines
+/// rewritten by [`Cursor::reinject`] over already-owned text allocate.
 #[derive(Debug, Clone)]
-struct Line {
+struct Line<'a> {
     /// 1-based source line number.
     number: usize,
     /// Leading spaces.
     indent: usize,
     /// Content with indent and trailing comment stripped.
-    text: String,
+    text: Cow<'a, str>,
 }
 
 /// Splits input into significant lines, dropping blanks and comments.
-fn tokenize(text: &str) -> Vec<Line> {
+///
+/// Lines are carved out with the SWAR newline scan and borrowed, never
+/// copied.
+fn tokenize(text: &str) -> Vec<Line<'_>> {
     let mut out = Vec::new();
-    for (i, raw) in text.lines().enumerate() {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    let mut number = 0;
+    while start < bytes.len() {
+        let end = memchr_byte(b'\n', &bytes[start..]).map_or(bytes.len(), |i| start + i);
+        number += 1;
+        let mut raw = &text[start..end];
+        if let Some(stripped) = raw.strip_suffix('\r') {
+            raw = stripped;
+        }
+        start = end + 1;
+
         let without_indent = raw.trim_start_matches(' ');
         let indent = raw.len() - without_indent.len();
         let content = strip_comment(without_indent).trim_end();
@@ -45,9 +104,9 @@ fn tokenize(text: &str) -> Vec<Line> {
             continue; // Tolerate a leading document marker.
         }
         out.push(Line {
-            number: i + 1,
+            number,
             indent,
-            text: content.to_owned(),
+            text: Cow::Borrowed(content),
         });
     }
     out
@@ -56,6 +115,11 @@ fn tokenize(text: &str) -> Vec<Line> {
 /// Removes a trailing ` # comment`, respecting double-quoted spans.
 fn strip_comment(line: &str) -> &str {
     let bytes = line.as_bytes();
+    // Fast path: no `#` anywhere means nothing to strip, and the quote
+    // state machine below is only needed to protect a `#` inside quotes.
+    if memchr_byte(b'#', bytes).is_none() {
+        return line;
+    }
     let mut in_quotes = false;
     let mut escaped = false;
     for (i, &b) in bytes.iter().enumerate() {
@@ -77,13 +141,13 @@ fn strip_comment(line: &str) -> &str {
 
 /// A cursor over the significant lines, allowing in-place rewriting of the
 /// current line (used to parse compact `- key: value` sequence items).
-struct Cursor {
-    lines: Vec<Line>,
+struct Cursor<'a> {
+    lines: Vec<Line<'a>>,
     pos: usize,
 }
 
-impl Cursor {
-    fn current(&self) -> Option<&Line> {
+impl<'a> Cursor<'a> {
+    fn current(&self) -> Option<&Line<'a>> {
         self.lines.get(self.pos)
     }
 
@@ -92,7 +156,7 @@ impl Cursor {
     }
 
     /// Replaces the current line with `text` re-indented at `indent`.
-    fn reinject(&mut self, indent: usize, text: String) {
+    fn reinject(&mut self, indent: usize, text: Cow<'a, str>) {
         let number = self.lines[self.pos].number;
         self.lines[self.pos] = Line {
             number,
@@ -104,7 +168,7 @@ impl Cursor {
 
 /// Parses the block value starting at the current line, expected at
 /// `indent` columns.
-fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+fn parse_value(cursor: &mut Cursor<'_>, indent: usize) -> Result<Value> {
     let line = match cursor.current() {
         Some(line) => line.clone(),
         None => return Ok(Value::Null),
@@ -120,8 +184,7 @@ fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
     }
     if line.text == "-" || line.text.starts_with("- ") {
         parse_sequence(cursor, indent)
-    } else if let Some((key_end, _)) = find_mapping_colon(&line.text, line.number)? {
-        let _ = key_end;
+    } else if find_mapping_colon(&line.text, line.number)?.is_some() {
         parse_mapping(cursor, indent)
     } else {
         cursor.advance();
@@ -130,14 +193,22 @@ fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
 }
 
 /// Parses consecutive `- item` lines at `indent`.
-fn parse_sequence(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+fn parse_sequence<'a>(cursor: &mut Cursor<'a>, indent: usize) -> Result<Value> {
     let mut items = Vec::new();
     while let Some(line) = cursor.current() {
         if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
             break;
         }
-        let number = line.number;
-        let rest = line.text[1..].trim_start().to_owned();
+        // Carve the text after `-` out of the stored line; when the line
+        // still borrows the document the item text does too, so compact
+        // items cost no copy.
+        let rest: Cow<'a, str> = match &cursor.lines[cursor.pos].text {
+            Cow::Borrowed(s) => {
+                let s: &'a str = s;
+                Cow::Borrowed(s[1..].trim_start())
+            }
+            Cow::Owned(s) => Cow::Owned(s[1..].trim_start().to_owned()),
+        };
         if rest.is_empty() {
             // `-` alone: the item is the nested block on following lines.
             cursor.advance();
@@ -154,7 +225,6 @@ fn parse_sequence(cursor: &mut Cursor, indent: usize) -> Result<Value> {
             let item_indent = indent + 2;
             cursor.reinject(item_indent, rest);
             let item = parse_value(cursor, item_indent)?;
-            let _ = number;
             items.push(item);
         }
     }
@@ -162,12 +232,15 @@ fn parse_sequence(cursor: &mut Cursor, indent: usize) -> Result<Value> {
 }
 
 /// Parses consecutive `key: value` lines at `indent`.
-fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+fn parse_mapping(cursor: &mut Cursor<'_>, indent: usize) -> Result<Value> {
     let mut pairs: Vec<(String, Value)> = Vec::new();
-    while let Some(line) = cursor.current() {
-        if line.indent != indent {
-            break;
-        }
+    loop {
+        // Clone the line (cheap while it borrows the document) so the
+        // key/value slices below stay valid across cursor mutation.
+        let line = match cursor.current() {
+            Some(line) if line.indent == indent => line.clone(),
+            _ => break,
+        };
         if line.text == "-" || line.text.starts_with("- ") {
             break;
         }
@@ -175,7 +248,7 @@ fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
         let Some((key, rest)) = find_mapping_colon(&line.text, number)? else {
             break;
         };
-        if pairs.iter().any(|(k, _)| *k == key) {
+        if pairs.iter().any(|(k, _)| k.as_str() == key.as_ref()) {
             return Err(Error::new(number, format!("duplicate mapping key {key:?}")));
         }
         cursor.advance();
@@ -193,9 +266,9 @@ fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
         } else if rest == "{}" {
             Value::Map(Vec::new())
         } else {
-            parse_scalar(&rest, number)?
+            parse_scalar(rest, number)?
         };
-        pairs.push((key, value));
+        pairs.push((key.into_owned(), value));
     }
     Ok(Value::Map(pairs))
 }
@@ -203,7 +276,13 @@ fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
 /// Splits `key: value` at the first structural colon. Returns the decoded
 /// key and the (possibly empty) raw value text, or `None` when the line is
 /// not a mapping entry.
-fn find_mapping_colon(text: &str, line_number: usize) -> Result<Option<(String, String)>> {
+///
+/// Plain keys and all values are borrowed from `text`; only quoted keys
+/// with escapes allocate.
+fn find_mapping_colon<'t>(
+    text: &'t str,
+    line_number: usize,
+) -> Result<Option<(Cow<'t, str>, &'t str)>> {
     if let Some(stripped) = text.strip_prefix('"') {
         // Quoted key: find the closing quote first.
         let mut escaped = false;
@@ -223,7 +302,7 @@ fn find_mapping_colon(text: &str, line_number: usize) -> Result<Option<(String, 
                         return Ok(None);
                     }
                     let key = unquote(&text[..i + 2], line_number)?;
-                    return Ok(Some((key, after_colon.trim().to_owned())));
+                    return Ok(Some((Cow::Owned(key), after_colon.trim())));
                 }
                 _ => {}
             }
@@ -232,14 +311,17 @@ fn find_mapping_colon(text: &str, line_number: usize) -> Result<Option<(String, 
     }
     // Plain key: first `:` that is followed by space or end-of-line.
     let bytes = text.as_bytes();
-    for i in 0..bytes.len() {
-        if bytes[i] == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
-            let key = text[..i].trim().to_owned();
+    let mut from = 0;
+    while let Some(offset) = memchr_byte(b':', &bytes[from..]) {
+        let i = from + offset;
+        if i + 1 == bytes.len() || bytes[i + 1] == b' ' {
+            let key = text[..i].trim();
             if key.is_empty() {
                 return Err(Error::new(line_number, "empty mapping key"));
             }
-            return Ok(Some((key, text[i + 1..].trim().to_owned())));
+            return Ok(Some((Cow::Borrowed(key), text[i + 1..].trim())));
         }
+        from = i + 1;
     }
     Ok(None)
 }
@@ -267,28 +349,80 @@ fn parse_scalar(text: &str, line_number: usize) -> Result<Value> {
 }
 
 /// Types a plain (unquoted) scalar.
+///
+/// Dispatches on the first byte: anything numeric-looking goes through a
+/// manual integer parse (and a float fallback); everything else can only
+/// be a keyword or a string. The dispatch is exact because every string
+/// `str::parse::<i64>` or `::<f64>` accepts either starts with
+/// `[0-9+-.]` or is an `inf`/`nan` spelling, which the old code routed
+/// to [`Value::Str`] anyway.
 fn plain_scalar(text: &str) -> Value {
-    match text {
-        "null" | "~" => return Value::Null,
-        "true" => return Value::Bool(true),
-        "false" => return Value::Bool(false),
-        ".nan" => return Value::Float(f64::NAN),
-        ".inf" => return Value::Float(f64::INFINITY),
-        "-.inf" => return Value::Float(f64::NEG_INFINITY),
-        _ => {}
+    let bytes = text.as_bytes();
+    match bytes.first() {
+        Some(b'0'..=b'9' | b'+' | b'-' | b'.') => {
+            match text {
+                ".nan" => return Value::Float(f64::NAN),
+                ".inf" => return Value::Float(f64::INFINITY),
+                "-.inf" => return Value::Float(f64::NEG_INFINITY),
+                _ => {}
+            }
+            if let Some(i) = parse_int(bytes) {
+                return Value::Int(i);
+            }
+            // Only treat as float if it looks numeric; parse::<f64> accepts
+            // "inf"/"nan" spellings which must stay strings.
+            if !contains_inf_ignore_case(bytes) {
+                if let Ok(f) = text.parse::<f64>() {
+                    return Value::Float(f);
+                }
+            }
+            Value::Str(text.to_owned())
+        }
+        _ => match text {
+            "null" | "~" => Value::Null,
+            "true" => Value::Bool(true),
+            "false" => Value::Bool(false),
+            _ => Value::Str(text.to_owned()),
+        },
     }
-    if let Ok(i) = text.parse::<i64>() {
-        return Value::Int(i);
+}
+
+/// Parses a trimmed decimal integer: optional sign, then ASCII digits,
+/// with checked overflow. Accepts exactly the inputs
+/// `str::parse::<i64>` accepts. Accumulates on the negative side so
+/// `i64::MIN`, whose magnitude has no positive representation, parses.
+fn parse_int(bytes: &[u8]) -> Option<i64> {
+    let (negative, digits) = match bytes.first()? {
+        b'-' => (true, &bytes[1..]),
+        b'+' => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() {
+        return None;
     }
-    // Only treat as float if it looks numeric (avoid "1e" oddities handled
-    // by parse() anyway; parse::<f64> accepts "inf"/"nan" which we gate).
-    if !text.eq_ignore_ascii_case("nan")
-        && !text.to_ascii_lowercase().contains("inf")
-        && text.parse::<f64>().is_ok()
-    {
-        return Value::Float(text.parse::<f64>().expect("checked"));
+    let mut value: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        value = value.checked_mul(10)?.checked_sub(i64::from(b - b'0'))?;
     }
-    Value::Str(text.to_owned())
+    if negative {
+        Some(value)
+    } else {
+        value.checked_neg()
+    }
+}
+
+/// Whether the bytes contain `inf` in any ASCII case.
+///
+/// Byte-for-byte equivalent to `to_ascii_lowercase().contains("inf")`
+/// without allocating: `x | 0x20 == b'i'` holds exactly for `I`/`i`,
+/// and likewise for `n` and `f`.
+fn contains_inf_ignore_case(bytes: &[u8]) -> bool {
+    bytes
+        .windows(3)
+        .any(|w| (w[0] | 0x20) == b'i' && (w[1] | 0x20) == b'n' && (w[2] | 0x20) == b'f')
 }
 
 /// Decodes a double-quoted scalar with escapes.
@@ -297,6 +431,10 @@ fn unquote(text: &str, line_number: usize) -> Result<String> {
         .strip_prefix('"')
         .and_then(|t| t.strip_suffix('"'))
         .ok_or_else(|| Error::new(line_number, "unterminated double-quoted scalar"))?;
+    // Fast path: no backslash means the quoted content is literal.
+    if memchr_byte(b'\\', inner.as_bytes()).is_none() {
+        return Ok(inner.to_owned());
+    }
     let mut out = String::with_capacity(inner.len());
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {

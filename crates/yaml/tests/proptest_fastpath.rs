@@ -1,0 +1,445 @@
+//! Property-based equivalence: the byte-level fast paths in the parser
+//! must be behaviour-identical to the straightforward code they
+//! replaced.
+//!
+//! The [`reference`] module below is a verbatim copy of the parser as it
+//! stood before the fast paths landed (char-wise line splitting via
+//! `str::lines`, owned line text, `str::parse::<i64>` scalars, no
+//! no-escape shortcuts). Every generated document — adversarial raw
+//! text as well as emitter output with escapes, comments and nested
+//! blocks — must produce the same value tree or the same error from
+//! both parsers.
+
+use proptest::prelude::*;
+use wm_yaml::{parse, to_string, Value};
+
+/// The parser as written before the byte-level fast paths, kept as the
+/// executable specification the optimised parser is tested against.
+mod reference {
+    use wm_yaml::{Error, Value};
+
+    type Result<T> = std::result::Result<T, Error>;
+
+    pub fn parse(text: &str) -> Result<Value> {
+        let lines = tokenize(text);
+        if lines.is_empty() {
+            return Ok(Value::Null);
+        }
+        let mut cursor = Cursor { lines, pos: 0 };
+        let root_indent = cursor.current().expect("non-empty").indent;
+        let value = parse_value(&mut cursor, root_indent)?;
+        if let Some(line) = cursor.current() {
+            return Err(Error::new(line.number, "content after the document root"));
+        }
+        Ok(value)
+    }
+
+    #[derive(Debug, Clone)]
+    struct Line {
+        number: usize,
+        indent: usize,
+        text: String,
+    }
+
+    fn tokenize(text: &str) -> Vec<Line> {
+        let mut out = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let without_indent = raw.trim_start_matches(' ');
+            let indent = raw.len() - without_indent.len();
+            let content = strip_comment(without_indent).trim_end();
+            if content.is_empty() {
+                continue;
+            }
+            if content == "---" && out.is_empty() {
+                continue;
+            }
+            out.push(Line {
+                number: i + 1,
+                indent,
+                text: content.to_owned(),
+            });
+        }
+        out
+    }
+
+    fn strip_comment(line: &str) -> &str {
+        let bytes = line.as_bytes();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for (i, &b) in bytes.iter().enumerate() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match b {
+                b'\\' if in_quotes => escaped = true,
+                b'"' => in_quotes = !in_quotes,
+                b'#' if !in_quotes && (i == 0 || bytes[i - 1].is_ascii_whitespace()) => {
+                    return &line[..i];
+                }
+                _ => {}
+            }
+        }
+        line
+    }
+
+    struct Cursor {
+        lines: Vec<Line>,
+        pos: usize,
+    }
+
+    impl Cursor {
+        fn current(&self) -> Option<&Line> {
+            self.lines.get(self.pos)
+        }
+
+        fn advance(&mut self) {
+            self.pos += 1;
+        }
+
+        fn reinject(&mut self, indent: usize, text: String) {
+            let number = self.lines[self.pos].number;
+            self.lines[self.pos] = Line {
+                number,
+                indent,
+                text,
+            };
+        }
+    }
+
+    fn parse_value(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+        let line = match cursor.current() {
+            Some(line) => line.clone(),
+            None => return Ok(Value::Null),
+        };
+        if line.indent != indent {
+            return Err(Error::new(
+                line.number,
+                format!(
+                    "expected indentation of {} columns, found {}",
+                    indent, line.indent
+                ),
+            ));
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            parse_sequence(cursor, indent)
+        } else if find_mapping_colon(&line.text, line.number)?.is_some() {
+            parse_mapping(cursor, indent)
+        } else {
+            cursor.advance();
+            parse_scalar(&line.text, line.number)
+        }
+    }
+
+    fn parse_sequence(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+        let mut items = Vec::new();
+        while let Some(line) = cursor.current() {
+            if line.indent != indent || !(line.text == "-" || line.text.starts_with("- ")) {
+                break;
+            }
+            let rest = line.text[1..].trim_start().to_owned();
+            if rest.is_empty() {
+                cursor.advance();
+                match cursor.current() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        items.push(parse_value(cursor, child_indent)?);
+                    }
+                    _ => items.push(Value::Null),
+                }
+            } else {
+                let item_indent = indent + 2;
+                cursor.reinject(item_indent, rest);
+                let item = parse_value(cursor, item_indent)?;
+                items.push(item);
+            }
+        }
+        Ok(Value::Seq(items))
+    }
+
+    fn parse_mapping(cursor: &mut Cursor, indent: usize) -> Result<Value> {
+        let mut pairs: Vec<(String, Value)> = Vec::new();
+        while let Some(line) = cursor.current() {
+            if line.indent != indent {
+                break;
+            }
+            if line.text == "-" || line.text.starts_with("- ") {
+                break;
+            }
+            let number = line.number;
+            let Some((key, rest)) = find_mapping_colon(&line.text, number)? else {
+                break;
+            };
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(Error::new(number, format!("duplicate mapping key {key:?}")));
+            }
+            cursor.advance();
+            let value = if rest.is_empty() {
+                match cursor.current() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        parse_value(cursor, child_indent)?
+                    }
+                    _ => Value::Null,
+                }
+            } else if rest == "[]" {
+                Value::Seq(Vec::new())
+            } else if rest == "{}" {
+                Value::Map(Vec::new())
+            } else {
+                parse_scalar(&rest, number)?
+            };
+            pairs.push((key, value));
+        }
+        Ok(Value::Map(pairs))
+    }
+
+    fn find_mapping_colon(text: &str, line_number: usize) -> Result<Option<(String, String)>> {
+        if let Some(stripped) = text.strip_prefix('"') {
+            let mut escaped = false;
+            for (i, c) in stripped.char_indices() {
+                if escaped {
+                    escaped = false;
+                    continue;
+                }
+                match c {
+                    '\\' => escaped = true,
+                    '"' => {
+                        let after = &stripped[i + 1..];
+                        let Some(after_colon) = after.strip_prefix(':') else {
+                            return Ok(None);
+                        };
+                        if !after_colon.is_empty() && !after_colon.starts_with(' ') {
+                            return Ok(None);
+                        }
+                        let key = unquote(&text[..i + 2], line_number)?;
+                        return Ok(Some((key, after_colon.trim().to_owned())));
+                    }
+                    _ => {}
+                }
+            }
+            return Err(Error::new(line_number, "unterminated quoted key"));
+        }
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            if bytes[i] == b':' && (i + 1 == bytes.len() || bytes[i + 1] == b' ') {
+                let key = text[..i].trim().to_owned();
+                if key.is_empty() {
+                    return Err(Error::new(line_number, "empty mapping key"));
+                }
+                return Ok(Some((key, text[i + 1..].trim().to_owned())));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_scalar(text: &str, line_number: usize) -> Result<Value> {
+        if text == "[]" {
+            return Ok(Value::Seq(Vec::new()));
+        }
+        if text == "{}" {
+            return Ok(Value::Map(Vec::new()));
+        }
+        if text.starts_with('"') {
+            return unquote(text, line_number).map(Value::Str);
+        }
+        if text.starts_with('\'') {
+            let inner = text
+                .strip_prefix('\'')
+                .and_then(|t| t.strip_suffix('\''))
+                .ok_or_else(|| Error::new(line_number, "unterminated single-quoted scalar"))?;
+            return Ok(Value::Str(inner.replace("''", "'")));
+        }
+        Ok(plain_scalar(text))
+    }
+
+    fn plain_scalar(text: &str) -> Value {
+        match text {
+            "null" | "~" => return Value::Null,
+            "true" => return Value::Bool(true),
+            "false" => return Value::Bool(false),
+            ".nan" => return Value::Float(f64::NAN),
+            ".inf" => return Value::Float(f64::INFINITY),
+            "-.inf" => return Value::Float(f64::NEG_INFINITY),
+            _ => {}
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if !text.eq_ignore_ascii_case("nan")
+            && !text.to_ascii_lowercase().contains("inf")
+            && text.parse::<f64>().is_ok()
+        {
+            return Value::Float(text.parse::<f64>().expect("checked"));
+        }
+        Value::Str(text.to_owned())
+    }
+
+    fn unquote(text: &str, line_number: usize) -> Result<String> {
+        let inner = text
+            .strip_prefix('"')
+            .and_then(|t| t.strip_suffix('"'))
+            .ok_or_else(|| Error::new(line_number, "unterminated double-quoted scalar"))?;
+        let mut out = String::with_capacity(inner.len());
+        let mut chars = inner.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    return Err(Error::new(line_number, format!("unknown escape \\{other}")));
+                }
+                None => return Err(Error::new(line_number, "dangling escape at end of scalar")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Structural equality that treats two NaN floats as equal (the only
+/// place derived `PartialEq` diverges from "same parse result").
+fn same_value(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => (x.is_nan() && y.is_nan()) || x == y,
+        (Value::Seq(xs), Value::Seq(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| same_value(x, y))
+        }
+        (Value::Map(xs), Value::Map(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && same_value(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+/// Asserts the optimised parser and the reference parser agree on
+/// `text`: identical value trees, or identical errors (line + message).
+fn assert_equivalent(text: &str) {
+    match (parse(text), reference::parse(text)) {
+        (Ok(new), Ok(old)) => assert!(
+            same_value(&new, &old),
+            "value mismatch on:\n{text}\nfast: {new:?}\nreference: {old:?}"
+        ),
+        (Err(new), Err(old)) => assert!(
+            new.line() == old.line() && new.message() == old.message(),
+            "error mismatch on:\n{text}\nfast: {new}\nreference: {old}"
+        ),
+        (new, old) => panic!("outcome mismatch on:\n{text}\nfast: {new:?}\nreference: {old:?}"),
+    }
+}
+
+/// Adversarial raw lines: indentation, dashes, colons, comments, quotes,
+/// backslashes, numeric shapes — everything with a fast path.
+fn raw_line() -> impl Strategy<Value = String> {
+    proptest::string::string_regex(" {0,5}[a-zA-Z0-9_\"'\\\\:#~ .+-]{0,16}").expect("valid regex")
+}
+
+fn raw_document() -> impl Strategy<Value = String> {
+    (prop::collection::vec(raw_line(), 0..10), any::<bool>())
+        .prop_map(|(lines, crlf)| lines.join(if crlf { "\r\n" } else { "\n" }))
+}
+
+/// Value trees routed through the emitter, so the documents are valid
+/// and exercise escapes, quoted strings, nesting and compact items.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1e12f64..1e12).prop_map(Value::Float),
+        proptest::string::string_regex("[ -~àéîöç#:\\-\"'\\\\]{0,20}")
+            .expect("valid regex")
+            .prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 40, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            prop::collection::vec(
+                (
+                    proptest::string::string_regex("[a-zA-Z_][a-zA-Z0-9_:#\" -]{0,12}")
+                        .expect("valid regex"),
+                    inner
+                ),
+                0..4
+            )
+            .prop_map(|pairs| {
+                let mut seen = std::collections::BTreeSet::new();
+                Value::Map(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary (mostly invalid) documents: the fast paths must agree
+    /// with the reference on both accepted values and rejected errors.
+    #[test]
+    fn fast_paths_match_reference_on_raw_text(text in raw_document()) {
+        assert_equivalent(&text);
+    }
+
+    /// Emitted documents: valid YAML with escapes, comments stripped,
+    /// nested blocks and compact sequence items.
+    #[test]
+    fn fast_paths_match_reference_on_emitted_documents(value in value_strategy()) {
+        assert_equivalent(&to_string(&value));
+    }
+
+    /// Scalar-level agreement, including numeric edge shapes the manual
+    /// integer parse must get exactly right.
+    #[test]
+    fn fast_paths_match_reference_on_scalars(
+        text in proptest::string::string_regex("[0-9+\\-.eE_xnaif]{0,20}").expect("valid regex")
+    ) {
+        assert_equivalent(&text);
+    }
+}
+
+#[test]
+fn integer_boundaries_match_reference() {
+    for text in [
+        "9223372036854775807",
+        "-9223372036854775808",
+        "9223372036854775808",
+        "-9223372036854775809",
+        "+42",
+        "-0",
+        "007",
+        "1_000",
+        "",
+        "-",
+        "+",
+        ".",
+        "+.inf",
+        "nan",
+        "NaN",
+        "+nan",
+        "-nan",
+        "inf",
+        "Infinity",
+        "-inf",
+        "1e3",
+        "1e",
+        "0x10",
+        "1.5.2",
+    ] {
+        assert_equivalent(text);
+    }
+}

@@ -1,0 +1,197 @@
+//! Cache equivalence: loading a map through the persistent longitudinal
+//! cache — cold build, warm hit, and incremental append — must produce
+//! exactly the store and `SuiteReport` a fresh YAML build produces, at
+//! any thread count, and the cache image itself must be byte-identical
+//! however many threads built it.
+
+use ovh_weather::prelude::*;
+use ovh_weather::simulator::faults::{corrupt, FaultKind};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Materialises a fault-injected two-map YAML corpus over `[from, to)`:
+/// every third SVG is corrupted before extraction (real coverage holes)
+/// and one unparsable YAML file per map exercises the skip-and-count
+/// path. Reused with a later window to grow the corpus for append tests.
+fn write_window(store: &DatasetStore, maps: &[MapKind], from: Timestamp, to: Timestamp) {
+    let sim = Simulation::new(SimulationConfig::scaled(7, 0.1));
+    for &map in maps {
+        let mut inputs: Vec<BatchInput> = sim
+            .corpus_between(map, from, to)
+            .map(|f| BatchInput {
+                timestamp: f.timestamp,
+                svg: f.svg,
+            })
+            .collect();
+        for (i, input) in inputs.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                let fault = FaultKind::ALL[(i / 3) % FaultKind::ALL.len()];
+                input.svg = corrupt(&input.svg, fault, i as u64);
+            }
+        }
+        let (snapshots, stats, _) = extract_batch_with(
+            &inputs,
+            map,
+            &ExtractConfig::default(),
+            4,
+            Scheduling::WorkStealing,
+        );
+        assert!(stats.processed > 0, "{map}: empty corpus");
+        assert!(stats.failed > 0, "{map}: expected injected faults");
+        for s in &snapshots {
+            store
+                .write(
+                    map,
+                    FileKind::Yaml,
+                    s.timestamp,
+                    to_yaml_string(s).as_bytes(),
+                )
+                .expect("write yaml");
+        }
+        store
+            .write(map, FileKind::Yaml, to, b"not: [valid yaml")
+            .expect("write broken yaml");
+    }
+}
+
+fn corpus(tag: &str) -> (DatasetStore, Vec<MapKind>, Timestamp, Timestamp) {
+    let dir = std::env::temp_dir().join(format!(
+        "ovh-weather-cache-equivalence-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DatasetStore::open(&dir).expect("temp corpus");
+    let from = Timestamp::from_ymd(2022, 2, 1);
+    let to = from + Duration::from_hours(2);
+    let maps = vec![MapKind::Europe, MapKind::World];
+    write_window(&store, &maps, from, to);
+    (store, maps, from, to)
+}
+
+#[test]
+fn warm_cache_equals_fresh_build_at_any_thread_count() {
+    let (store, maps, _, _) = corpus("warm");
+
+    for &map in &maps {
+        let (fresh, fresh_stats) = build_longitudinal(&store, map, 4).expect("fresh build");
+        let fresh_report = AnalysisSuite::run(SuiteConfig::default(), fresh.snapshots());
+
+        for threads in THREADS {
+            store.remove_cache(map).expect("reset cache");
+
+            // Cold: no cache image yet, so the loader pays the YAML parse
+            // and persists.
+            let (cold, cold_stats) =
+                build_longitudinal_cached(&store, map, threads, CacheMode::Auto)
+                    .expect("cold build");
+            assert_eq!(cold, fresh, "{map}, {threads} threads: cold store");
+            assert_eq!(cold_stats.base(), fresh_stats, "{map}: cold stats");
+            assert_eq!(cold_stats.cache.misses, 1, "{map}: cold is a miss");
+            assert_eq!(cold_stats.cache.hits, 0);
+
+            // Warm: the image round-trips without touching any YAML.
+            let (warm, warm_stats) =
+                build_longitudinal_cached(&store, map, threads, CacheMode::Auto)
+                    .expect("warm build");
+            assert_eq!(warm, fresh, "{map}, {threads} threads: warm store");
+            assert_eq!(warm_stats.base(), fresh_stats, "{map}: warm stats");
+            assert_eq!(warm_stats.cache.hits, 1, "{map}: warm is a hit");
+            assert_eq!(warm_stats.cache.misses, 0);
+            assert_eq!(
+                warm_stats.cache.snapshots_from_cache,
+                fresh.len() as u64,
+                "{map}: every snapshot must come from the cache"
+            );
+
+            // The report matches field by field (derived PartialEq) and
+            // byte for byte (debug form).
+            let report = AnalysisSuite::run(SuiteConfig::default(), warm.snapshots());
+            assert_eq!(report, fresh_report, "{map}, {threads} threads: report");
+            assert_eq!(format!("{report:?}"), format!("{fresh_report:?}"));
+        }
+
+        // The persisted image must not depend on who built it: rebuild at
+        // every thread count and compare raw bytes.
+        let mut images = Vec::new();
+        for threads in THREADS {
+            build_longitudinal_cached(&store, map, threads, CacheMode::Rebuild)
+                .expect("forced rebuild");
+            images.push(store.open_cache(map).expect("read cache").expect("cache"));
+        }
+        assert!(
+            images.windows(2).all(|w| w[0] == w[1]),
+            "{map}: cache image differs across thread counts"
+        );
+    }
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn incremental_append_equals_full_rebuild() {
+    let (store, maps, _, to) = corpus("append");
+
+    // Populate the cache from the initial window.
+    for &map in &maps {
+        let (_, stats) =
+            build_longitudinal_cached(&store, map, 4, CacheMode::Auto).expect("initial build");
+        assert_eq!(stats.cache.misses, 1);
+    }
+
+    // Grow the corpus strictly past the cached history (the broken file
+    // written at `to` keeps its path, so start one grid step later).
+    let tail_from = to + Duration::from_minutes(5);
+    let tail_to = tail_from + Duration::from_hours(1);
+    write_window(&store, &maps, tail_from, tail_to);
+
+    for &map in &maps {
+        for threads in THREADS {
+            // First pass sees the prefix cache and appends; the append
+            // rewrites the image, so later thread counts verify the hit
+            // path over the appended cache instead.
+            let (grown, grown_stats) =
+                build_longitudinal_cached(&store, map, threads, CacheMode::Auto)
+                    .expect("cached build after growth");
+            let (full, full_stats) = build_longitudinal(&store, map, threads).expect("full");
+            assert_eq!(grown, full, "{map}, {threads} threads: appended store");
+            assert_eq!(grown_stats.base(), full_stats, "{map}: appended stats");
+            if threads == THREADS[0] {
+                assert_eq!(grown_stats.cache.appends, 1, "{map}: first pass appends");
+                assert!(grown_stats.cache.snapshots_appended > 0);
+                assert!(grown_stats.cache.snapshots_from_cache > 0);
+            } else {
+                // The append rewrote the cache; later passes are plain hits.
+                assert_eq!(grown_stats.cache.hits, 1, "{map}: later pass hits");
+            }
+
+            let report = AnalysisSuite::run(SuiteConfig::default(), grown.snapshots());
+            let full_report = AnalysisSuite::run(SuiteConfig::default(), full.snapshots());
+            assert_eq!(report, full_report, "{map}, {threads} threads: report");
+        }
+    }
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn cache_off_and_rebuild_modes_behave() {
+    let (store, maps, _, _) = corpus("modes");
+    let map = maps[0];
+
+    // Off never creates a cache.
+    let (off_store, off_stats) =
+        build_longitudinal_cached(&store, map, 4, CacheMode::Off).expect("off build");
+    assert!(store.open_cache(map).expect("probe").is_none());
+    assert_eq!(off_stats.cache, CacheStats::default());
+
+    // Rebuild always re-parses, even over a fresh cache, and re-persists.
+    build_longitudinal_cached(&store, map, 4, CacheMode::Auto).expect("populate");
+    let (rebuilt, rebuilt_stats) =
+        build_longitudinal_cached(&store, map, 4, CacheMode::Rebuild).expect("rebuild");
+    assert_eq!(rebuilt, off_store);
+    assert_eq!(rebuilt_stats.cache.misses, 1);
+    assert_eq!(rebuilt_stats.cache.hits, 0);
+    assert!(store.open_cache(map).expect("probe").is_some());
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}

@@ -1,0 +1,189 @@
+//! Cache robustness: whatever state the cache file is in — truncated,
+//! bit-flipped, wrong magic, unsupported version, stale against the
+//! corpus, or plain garbage — a cache-aware load must fall back to a
+//! clean YAML rebuild and return exactly what a cache-less build
+//! returns. Never a panic, never a silently wrong store.
+
+use ovh_weather::prelude::*;
+use ovh_weather::simulator::faults::{corrupt, FaultKind};
+
+/// A small fault-injected single-map corpus plus its cache-less baseline.
+fn corpus(tag: &str) -> (DatasetStore, LongitudinalStore, CorpusLoadStats) {
+    let dir = std::env::temp_dir().join(format!(
+        "ovh-weather-cache-robustness-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sim = Simulation::new(SimulationConfig::scaled(11, 0.1));
+    let store = DatasetStore::open(&dir).expect("temp corpus");
+    let from = Timestamp::from_ymd(2022, 3, 1);
+    let to = from + Duration::from_hours(1);
+    let map = MapKind::Europe;
+    let mut inputs: Vec<BatchInput> = sim
+        .corpus_between(map, from, to)
+        .map(|f| BatchInput {
+            timestamp: f.timestamp,
+            svg: f.svg,
+        })
+        .collect();
+    for (i, input) in inputs.iter_mut().enumerate() {
+        if i % 3 == 0 {
+            let fault = FaultKind::ALL[(i / 3) % FaultKind::ALL.len()];
+            input.svg = corrupt(&input.svg, fault, i as u64);
+        }
+    }
+    let (snapshots, stats, _) = extract_batch_with(
+        &inputs,
+        map,
+        &ExtractConfig::default(),
+        4,
+        Scheduling::WorkStealing,
+    );
+    assert!(stats.processed > 0, "empty corpus");
+    for s in &snapshots {
+        store
+            .write(
+                map,
+                FileKind::Yaml,
+                s.timestamp,
+                to_yaml_string(s).as_bytes(),
+            )
+            .expect("write yaml");
+    }
+    store
+        .write(map, FileKind::Yaml, to, b"not: [valid yaml")
+        .expect("write broken yaml");
+
+    let (baseline, baseline_stats) = build_longitudinal(&store, map, 4).expect("baseline build");
+    (store, baseline, baseline_stats)
+}
+
+/// Runs a cache-aware load and checks it reproduces the baseline.
+fn assert_recovers(
+    store: &DatasetStore,
+    baseline: &LongitudinalStore,
+    baseline_stats: &CorpusLoadStats,
+    what: &str,
+) -> CacheStats {
+    let (built, stats) = build_longitudinal_cached(store, MapKind::Europe, 4, CacheMode::Auto)
+        .unwrap_or_else(|e| panic!("{what}: load must not error: {e}"));
+    assert_eq!(&built, baseline, "{what}: store differs from baseline");
+    assert_eq!(
+        stats.base(),
+        *baseline_stats,
+        "{what}: stats differ from baseline"
+    );
+    stats.cache
+}
+
+#[test]
+fn every_corruption_mode_falls_back_to_a_clean_rebuild() {
+    let (store, baseline, baseline_stats) = corpus("modes");
+    let map = MapKind::Europe;
+
+    // Populate a pristine image to mutate.
+    build_longitudinal_cached(&store, map, 4, CacheMode::Auto).expect("populate");
+    let pristine = store
+        .open_cache(map)
+        .expect("read cache")
+        .expect("cache exists");
+    assert!(pristine.len() > 64, "sanity: image is non-trivial");
+
+    let mutations: Vec<(&str, Vec<u8>)> = vec![
+        ("empty file", Vec::new()),
+        ("garbage", b"definitely not a cache image".to_vec()),
+        ("truncated to 4 bytes", pristine[..4].to_vec()),
+        ("truncated header", pristine[..16].to_vec()),
+        (
+            "truncated mid-payload",
+            pristine[..pristine.len() / 2].to_vec(),
+        ),
+        ("one byte short", pristine[..pristine.len() - 1].to_vec()),
+        ("bad magic", {
+            let mut b = pristine.clone();
+            b[0] ^= 0xFF;
+            b
+        }),
+        ("unsupported version", {
+            let mut b = pristine.clone();
+            b[8] = 99;
+            b
+        }),
+        ("flipped payload bit", {
+            let mut b = pristine.clone();
+            let last = b.len() - 1;
+            b[last] ^= 0x01;
+            b
+        }),
+        ("flipped section-table bit", {
+            let mut b = pristine.clone();
+            b[20] ^= 0x40;
+            b
+        }),
+    ];
+
+    for (what, bytes) in mutations {
+        store.write_cache(map, &bytes).expect("plant corruption");
+        let cache = assert_recovers(&store, &baseline, &baseline_stats, what);
+        assert_eq!(cache.corrupt, 1, "{what}: must be counted as corrupt");
+        assert_eq!(cache.misses, 1, "{what}: rebuild is a miss");
+        assert_eq!(cache.hits, 0, "{what}: no hit");
+
+        // The rebuild re-persisted a good image: the next load is a hit.
+        let cache = assert_recovers(&store, &baseline, &baseline_stats, what);
+        assert_eq!(cache.hits, 1, "{what}: recovery must restore the cache");
+        assert_eq!(cache.corrupt, 0);
+    }
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn stale_cache_is_rebuilt_not_trusted() {
+    let (store, baseline, _baseline_stats) = corpus("stale");
+    let map = MapKind::Europe;
+
+    build_longitudinal_cached(&store, map, 4, CacheMode::Auto).expect("populate");
+
+    // Touch one snapshot: append a YAML comment. The parsed value is
+    // unchanged, but the fingerprint (size + content hash) is not, so
+    // the cache must be discarded — an edit is not an append.
+    let entries = store.entries_of(map, FileKind::Yaml).expect("entries");
+    let first = &entries[0];
+    let path = store.path_of(first.map, first.kind, first.timestamp);
+    let mut bytes = std::fs::read(&path).expect("read snapshot");
+    bytes.extend_from_slice(b"\n# touched\n");
+    std::fs::write(&path, &bytes).expect("rewrite snapshot");
+
+    // The comment changes byte counts but not the parsed snapshots: the
+    // rebuilt store still equals the original baseline, while the load
+    // stats now reflect the touched file.
+    let (edited_base, edited_base_stats) =
+        build_longitudinal(&store, map, 4).expect("edited baseline");
+    assert_eq!(edited_base, baseline, "comment must not change the data");
+    let cache = assert_recovers(&store, &baseline, &edited_base_stats, "edited file");
+    assert_eq!(cache.misses, 1, "edited file: must rebuild");
+    assert_eq!(cache.corrupt, 0, "edited file: image itself was fine");
+    assert_eq!(cache.appends, 0, "edited file: an edit is not an append");
+
+    // Shrinking the corpus (deleting the newest file) likewise rebuilds.
+    build_longitudinal_cached(&store, map, 4, CacheMode::Auto).expect("repopulate");
+    let last = entries.last().expect("non-empty");
+    std::fs::remove_file(store.path_of(last.map, last.kind, last.timestamp)).expect("delete");
+    let (rebuilt_base, rebuilt_base_stats) =
+        build_longitudinal(&store, map, 4).expect("shrunk baseline");
+    let cache = assert_recovers(&store, &rebuilt_base, &rebuilt_base_stats, "shrunk corpus");
+    assert_eq!(cache.misses, 1, "shrunk corpus: must rebuild");
+    assert_eq!(cache.hits, 0);
+
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
+
+#[test]
+fn missing_cache_is_a_plain_miss() {
+    let (store, baseline, baseline_stats) = corpus("missing");
+    let cache = assert_recovers(&store, &baseline, &baseline_stats, "no cache yet");
+    assert_eq!(cache.misses, 1);
+    assert_eq!(cache.corrupt, 0, "absence is not corruption");
+    std::fs::remove_dir_all(store.root()).expect("cleanup");
+}
