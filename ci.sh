@@ -11,7 +11,13 @@ cargo test -q --test cache_robustness
 cargo test -q --test cache_equivalence
 cargo bench --no-run --workspace
 cargo clippy -- -D warnings
+cargo clippy -p wm-lint -- -D warnings
 cargo fmt --check
+
+# Static analysis: fails on findings above lint-baseline.json (new
+# debt) or below it (stale baseline — ratchet down with
+# --update-baseline).
+cargo run -p wm-lint --release --quiet -- --deny-new
 
 # Smoke test: a tiny corpus through the single-pass analysis engine,
 # then through the longitudinal cache (index populates, analyze hits).

@@ -8,6 +8,8 @@
 //! exp_fig4 [--seed N] [--scale X|full]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use ovh_weather::prelude::*;
 
 /// Parsed command-line options of an experiment binary.

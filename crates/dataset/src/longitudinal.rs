@@ -31,7 +31,7 @@
 //! and either scheduling policy — the same contract as the extraction
 //! batch runner.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use wm_extract::{
     extract_batch_sink, BatchInput, BatchMetrics, BatchStats, ExtractConfig, Scheduling,
@@ -151,7 +151,7 @@ struct PendingSnapshot {
 }
 
 /// Builder-local link identity (node ids are builder-local too).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct LocalDef {
     a: u32,
     b: u32,
@@ -170,9 +170,9 @@ struct LocalDef {
 #[derive(Debug, Default)]
 pub struct ColumnarBuilder {
     nodes: Vec<Node>,
-    node_ids: HashMap<Node, u32>,
+    node_ids: BTreeMap<Node, u32>,
     defs: Vec<LocalDef>,
-    def_ids: HashMap<LocalDef, u32>,
+    def_ids: BTreeMap<LocalDef, u32>,
     snaps: Vec<PendingSnapshot>,
 }
 
@@ -263,7 +263,7 @@ impl ColumnarBuilder {
             node_set.extend(builder.nodes.iter().cloned());
         }
         let nodes: Vec<Node> = node_set.into_iter().collect();
-        let node_rank: HashMap<Node, u32> = nodes
+        let node_rank: BTreeMap<Node, u32> = nodes
             .iter()
             .enumerate()
             .map(|(rank, node)| (node.clone(), rank as u32))
@@ -285,7 +285,7 @@ impl ColumnarBuilder {
             def_set.extend(builder.defs.iter().map(|def| globalize(def, node_map)));
         }
         let defs: Vec<LinkDef> = def_set.into_iter().collect();
-        let def_rank: HashMap<LinkDef, u32> = defs
+        let def_rank: BTreeMap<LinkDef, u32> = defs
             .iter()
             .enumerate()
             .map(|(rank, def)| (def.clone(), rank as u32))
@@ -624,7 +624,7 @@ impl LongitudinalStore {
         let mut node_set: BTreeSet<Node> = self.nodes.iter().cloned().collect();
         node_set.extend(builder.nodes.iter().cloned());
         let nodes: Vec<Node> = node_set.into_iter().collect();
-        let node_rank: HashMap<Node, u32> = nodes
+        let node_rank: BTreeMap<Node, u32> = nodes
             .iter()
             .enumerate()
             .map(|(rank, node)| (node.clone(), rank as u32))
@@ -652,7 +652,7 @@ impl LongitudinalStore {
         let mut def_set: BTreeSet<LinkDef> = remapped_old.iter().cloned().collect();
         def_set.extend(builder.defs.iter().map(globalize));
         let defs: Vec<LinkDef> = def_set.into_iter().collect();
-        let def_rank: HashMap<LinkDef, u32> = defs
+        let def_rank: BTreeMap<LinkDef, u32> = defs
             .iter()
             .enumerate()
             .map(|(rank, def)| (def.clone(), rank as u32))

@@ -99,10 +99,11 @@ pub fn algorithm1_into(doc: &Document, out: &mut RawObjects) -> Result<(), Extra
             }
         } else if elem.tag == "polygon" {
             // Link arrow (Lines 9–13).
-            let polygon = elem
-                .as_polygon()
-                .expect("polygon tag has polygon shape")
-                .clone();
+            let Some(polygon) = elem.as_polygon().cloned() else {
+                return Err(ExtractError::InvalidSvg(
+                    "polygon tag without polygon geometry".to_owned(),
+                ));
+            };
             if polygon.len() < 3 {
                 return Err(ExtractError::InvalidSvg(format!(
                     "arrow polygon with {} vertices",
@@ -133,7 +134,11 @@ pub fn algorithm1_into(doc: &Document, out: &mut RawObjects) -> Result<(), Extra
                 Some(pending) if pending.arrows.len() == 2 => {
                     pending.loads.push(load);
                     if pending.loads.len() == 2 {
-                        out.links.push(link.take().expect("pending link"));
+                        // The arm matched `Some(pending)`, so `take()`
+                        // always yields the completed link.
+                        if let Some(done) = link.take() {
+                            out.links.push(done);
+                        }
                     }
                 }
                 Some(_) => return Err(structure("load percentage before both arrows")),

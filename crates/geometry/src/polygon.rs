@@ -187,11 +187,10 @@ impl Polygon {
             std::cmp::Ordering::Greater => Some(mean(&high)),
             std::cmp::Ordering::Equal => {
                 let c = self.centroid()?;
-                self.vertices.iter().copied().max_by(|a, b| {
-                    a.distance_squared(c)
-                        .partial_cmp(&b.distance_squared(c))
-                        .expect("finite coordinates")
-                })
+                self.vertices
+                    .iter()
+                    .copied()
+                    .max_by(|a, b| a.distance_squared(c).total_cmp(&b.distance_squared(c)))
             }
         }
     }
@@ -217,12 +216,11 @@ impl Polygon {
                 // Symmetric fallback: mean of vertices farthest from tip.
                 let tip = self.arrow_tip()?;
                 let mut rest: Vec<Point> = self.vertices.clone();
-                rest.sort_by(|a, b| {
-                    b.distance_squared(tip)
-                        .partial_cmp(&a.distance_squared(tip))
-                        .expect("finite coordinates")
-                });
-                Some(rest[0].midpoint(rest[1]))
+                rest.sort_by(|a, b| b.distance_squared(tip).total_cmp(&a.distance_squared(tip)));
+                match (rest.first(), rest.get(1)) {
+                    (Some(a), Some(b)) => Some(a.midpoint(*b)),
+                    _ => None,
+                }
             }
         }
     }

@@ -1,0 +1,68 @@
+//! Lint configuration: which paths each path-scoped rule applies to.
+//!
+//! The lists are workspace knowledge, deliberately centralised here
+//! rather than scattered through rule code, so adding an emit path or a
+//! timing module is a one-line change reviewed next to its peers.
+
+use std::path::PathBuf;
+
+/// Scoping configuration for a scan.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (where `Cargo.toml` and the baseline live).
+    pub root: PathBuf,
+    /// Path prefixes whose files feed emitted bytes, reports, or the
+    /// binary codec: the determinism rule applies here.
+    pub det_paths: Vec<String>,
+    /// Path prefixes where wall-clock reads are legitimate (metrics
+    /// capture, benches, the criterion shim, CLI timing).
+    pub wall_clock_allow: Vec<String>,
+    /// Crate directories that must stay import-pure shims.
+    pub shim_crates: Vec<String>,
+    /// The file defining the extraction error enum and its `kind()`.
+    pub error_enum: String,
+    /// Name of the error enum tracked by the exhaustiveness rule.
+    pub error_type: String,
+    /// The fault-matrix test that must name every constructed kind.
+    pub fault_matrix: String,
+}
+
+impl Config {
+    /// The configuration for this workspace, rooted at `root`.
+    #[must_use]
+    pub fn workspace(root: PathBuf) -> Config {
+        let owned = |items: &[&str]| items.iter().map(|s| (*s).to_owned()).collect();
+        Config {
+            root,
+            det_paths: owned(&[
+                "crates/yaml/src/emit.rs",
+                "crates/xml/src/writer.rs",
+                "crates/svg/src/build.rs",
+                "crates/dataset/src/codec.rs",
+                "crates/dataset/src/longitudinal.rs",
+                "crates/dataset/src/stats.rs",
+                "crates/analysis/src/",
+                "crates/simulator/src/",
+                "crates/extract/src/metrics.rs",
+                "crates/core/src/summary.rs",
+            ]),
+            wall_clock_allow: owned(&[
+                "crates/extract/src/metrics.rs",
+                "crates/extract/src/pipeline.rs",
+                "crates/core/src/pipeline.rs",
+                "crates/bench/",
+                "crates/criterion/",
+            ]),
+            shim_crates: owned(&["crates/rand/", "crates/proptest/", "crates/criterion/"]),
+            error_enum: "crates/extract/src/error.rs".to_owned(),
+            error_type: "ExtractError".to_owned(),
+            fault_matrix: "tests/extraction_robustness.rs".to_owned(),
+        }
+    }
+
+    /// Whether `rel` falls under any prefix in `prefixes`.
+    #[must_use]
+    pub fn matches(prefixes: &[String], rel: &str) -> bool {
+        prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+    }
+}

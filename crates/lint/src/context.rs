@@ -1,0 +1,212 @@
+//! Per-token context: `#[cfg(test)]`/`#[test]` region tracking and
+//! module paths.
+//!
+//! Rules such as panic-freedom apply to library code but not to the
+//! inline `mod tests` blocks every crate carries. The lexer gives a flat
+//! token stream; this pass recovers just enough item structure to answer
+//! "is this token inside a test-only item?" and "what module is it in?".
+//!
+//! Both questions are answered by brace matching over the token stream —
+//! safe because strings and comments are already out of the way.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Context computed once per file.
+#[derive(Debug, Default)]
+pub struct FileContext {
+    /// For each token (by index), whether it is inside an item marked
+    /// `#[cfg(test)]` or `#[test]`.
+    pub in_test: Vec<bool>,
+    /// For each token, an index into [`FileContext::paths`].
+    pub module_of: Vec<u32>,
+    /// Interned module paths; index 0 is the crate root (empty path).
+    pub paths: Vec<String>,
+}
+
+/// Computes test regions and module paths for a lexed file.
+pub fn analyze(tokens: &[Token], src: &str) -> FileContext {
+    let mut ctx = FileContext {
+        in_test: vec![false; tokens.len()],
+        module_of: vec![0; tokens.len()],
+        paths: vec![String::new()],
+    };
+    mark_test_regions(tokens, src, &mut ctx);
+    assign_module_paths(tokens, src, &mut ctx);
+    ctx
+}
+
+fn token_text<'a>(token: &Token, src: &'a str) -> &'a str {
+    src.get(token.start..token.end).unwrap_or("")
+}
+
+fn is_punct(token: Option<&Token>, byte: u8) -> bool {
+    matches!(token, Some(t) if t.kind == TokenKind::Punct(byte))
+}
+
+/// Finds every test-marking attribute and floods the item that follows.
+fn mark_test_regions(tokens: &[Token], src: &str, ctx: &mut FileContext) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_punct(tokens.get(i), b'#') {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if is_punct(tokens.get(j), b'!') {
+            j += 1;
+        }
+        if !is_punct(tokens.get(j), b'[') {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_close(tokens, j, b'[', b']') else {
+            break;
+        };
+        if attr_is_test_marker(tokens.get(j + 1..attr_end).unwrap_or(&[]), src) {
+            let region_end = item_end(tokens, attr_end + 1);
+            for flag in ctx.in_test.get_mut(i..=region_end).unwrap_or(&mut []) {
+                *flag = true;
+            }
+            i = region_end + 1;
+        } else {
+            i = attr_end + 1;
+        }
+    }
+}
+
+/// Whether attribute tokens (between `[` and `]`) mark a test item:
+/// a bare `test` path (`#[test]`, `#[tokio::test]`) or a `cfg(...)`
+/// containing `test` outside any `not(...)` group.
+fn attr_is_test_marker(attr: &[Token], src: &str) -> bool {
+    let first = attr.first().map(|t| token_text(t, src)).unwrap_or("");
+    let cfg_like = first == "cfg" || first == "cfg_attr";
+    let mut groups: Vec<&str> = Vec::new();
+    let mut last_ident = "";
+    for token in attr {
+        match token.kind {
+            TokenKind::Ident => {
+                let text = token_text(token, src);
+                if text == "test" {
+                    let in_not = groups.contains(&"not");
+                    let top_level = groups.is_empty();
+                    if !in_not && (cfg_like || top_level || last_ident.is_empty()) {
+                        return true;
+                    }
+                }
+                last_ident = text;
+            }
+            TokenKind::Punct(b'(') => {
+                groups.push(last_ident);
+                last_ident = "";
+            }
+            TokenKind::Punct(b')') => {
+                groups.pop();
+            }
+            TokenKind::Punct(b':') => {}
+            _ => last_ident = "",
+        }
+    }
+    false
+}
+
+/// Index of the last token of the item starting at `from`: skips any
+/// further attributes, then runs to the first `;` at item level or to
+/// the brace that closes the item's body.
+fn item_end(tokens: &[Token], from: usize) -> usize {
+    let mut i = from;
+    // Skip stacked attributes (`#[test] #[should_panic] fn …`).
+    while is_punct(tokens.get(i), b'#') {
+        let mut j = i + 1;
+        if is_punct(tokens.get(j), b'!') {
+            j += 1;
+        }
+        if !is_punct(tokens.get(j), b'[') {
+            break;
+        }
+        match matching_close(tokens, j, b'[', b']') {
+            Some(end) => i = end + 1,
+            None => return tokens.len().saturating_sub(1),
+        }
+    }
+    while i < tokens.len() {
+        match tokens.get(i).map(|t| t.kind) {
+            Some(TokenKind::Punct(b';')) => return i,
+            Some(TokenKind::Punct(b'{')) => {
+                return matching_close(tokens, i, b'{', b'}')
+                    .unwrap_or_else(|| tokens.len().saturating_sub(1));
+            }
+            Some(_) => i += 1,
+            None => break,
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Index of the token closing the bracket opened at `open_at`.
+fn matching_close(tokens: &[Token], open_at: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while let Some(token) = tokens.get(i) {
+        if token.kind == TokenKind::Punct(open) {
+            depth += 1;
+        } else if token.kind == TokenKind::Punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walks the token stream once, tracking `mod name { … }` nesting and
+/// recording each token's module path.
+fn assign_module_paths(tokens: &[Token], src: &str, ctx: &mut FileContext) {
+    // Stack of (brace depth at which the module closes, path id).
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    let mut depth = 0usize;
+    let mut current: u32 = 0;
+    let mut i = 0usize;
+    while let Some(token) = tokens.get(i) {
+        if let Some(slot) = ctx.module_of.get_mut(i) {
+            *slot = current;
+        }
+        match token.kind {
+            TokenKind::Punct(b'{') => depth += 1,
+            TokenKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                while matches!(stack.last(), Some(&(d, _)) if d > depth) {
+                    stack.pop();
+                    current = stack.last().map(|&(_, id)| id).unwrap_or(0);
+                }
+            }
+            TokenKind::Ident if token_text(token, src) == "mod" => {
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map(|t| token_text(t, src));
+                if let (Some(name), true) = (name, is_punct(tokens.get(i + 2), b'{')) {
+                    let parent = ctx.paths.get(current as usize).cloned().unwrap_or_default();
+                    let path = if parent.is_empty() {
+                        name.to_owned()
+                    } else {
+                        format!("{parent}::{name}")
+                    };
+                    let id = ctx.paths.len() as u32;
+                    ctx.paths.push(path);
+                    // The module body closes back to the current depth.
+                    stack.push((depth + 1, id));
+                    current = id;
+                    // Record the `mod` and name tokens under the parent.
+                    i += 1;
+                    if let Some(slot) = ctx.module_of.get_mut(i) {
+                        *slot = current;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,202 @@
+//! Findings, allow-comment suppression, and renderers.
+//!
+//! A finding is one rule violation at one line. Findings can be
+//! suppressed in source with an allow comment carrying a mandatory
+//! reason:
+//!
+//! ```text
+//! // wm-lint: allow(panic-freedom): index bounded by the loop above
+//! ```
+//!
+//! A standalone allow suppresses matching findings on the next line; a
+//! trailing allow suppresses findings on its own line. Allows that
+//! suppress nothing are themselves findings (`unused-allow`), as are
+//! allows with bad syntax or a missing reason (`malformed-allow`) — so
+//! suppressions can never silently outlive the code they excuse.
+
+use std::fmt::Write as _;
+
+use crate::json;
+use crate::lexer::Comment;
+
+/// Rule identifiers, in catalogue order.
+pub const RULES: [&str; 8] = [
+    "determinism",
+    "no-wall-clock",
+    "panic-freedom",
+    "unsafe-forbid",
+    "error-exhaustiveness",
+    "shim-purity",
+    "unused-allow",
+    "malformed-allow",
+];
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Module path within the file (empty at crate root).
+    pub module: String,
+    /// Human-oriented description.
+    pub message: String,
+}
+
+/// Sorts findings for stable output: by file, then line, then rule.
+pub fn sort(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Renders findings one per line: `file:line: [rule] message`.
+#[must_use]
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    out
+}
+
+/// Renders findings as a stable JSON array.
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let _ = write!(
+            out,
+            "\"rule\":{},\"file\":{},\"line\":{},\"module\":{},\"message\":{}",
+            json::escape(f.rule),
+            json::escape(&f.file),
+            f.line,
+            json::escape(&f.module),
+            json::escape(&f.message),
+        );
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// One parsed allow comment.
+#[derive(Debug)]
+pub struct Allow {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Rule it suppresses.
+    pub rule: String,
+    /// Set when the allow suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Extracts allow comments from a file's line comments. Comments that
+/// clearly try to be allows but fail the syntax (`wm-lint:` prefix with
+/// anything but `allow(rule): reason`) produce `malformed-allow`
+/// findings immediately.
+pub fn parse_allows(
+    rel: &str,
+    src: &str,
+    comments: &[Comment],
+    malformed: &mut Vec<Finding>,
+) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for comment in comments {
+        let text = src.get(comment.start..comment.end).unwrap_or("");
+        // Strip exactly the `//`; `///` doc comments keep their third
+        // slash and can never match the `wm-lint:` prefix, so prose
+        // examples in docs are inert.
+        let body = text.strip_prefix("//").unwrap_or(text).trim();
+        let Some(rest) = body.strip_prefix("wm-lint:") else {
+            continue;
+        };
+        match parse_allow_body(rest.trim()) {
+            Ok(rule) => allows.push(Allow {
+                line: comment.line,
+                rule,
+                used: false,
+            }),
+            Err(why) => malformed.push(Finding {
+                rule: "malformed-allow",
+                file: rel.to_owned(),
+                line: comment.line,
+                module: String::new(),
+                message: format!("bad wm-lint comment: {why}"),
+            }),
+        }
+    }
+    allows
+}
+
+/// Parses `allow(rule-id): reason`, returning the rule id.
+fn parse_allow_body(body: &str) -> Result<String, String> {
+    let Some(rest) = body.strip_prefix("allow(") else {
+        return Err("expected `allow(rule-id): reason`".to_owned());
+    };
+    let Some((rule, after)) = rest.split_once(')') else {
+        return Err("missing `)` after the rule id".to_owned());
+    };
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_lowercase() || b == b'-') {
+        return Err(format!("bad rule id {rule:?}"));
+    }
+    if !RULES.contains(&rule) {
+        return Err(format!("unknown rule {rule:?}"));
+    }
+    let Some(reason) = after.trim_start().strip_prefix(':') else {
+        return Err("missing `: reason` after the rule id".to_owned());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason — say why the finding is acceptable".to_owned());
+    }
+    Ok(rule.to_owned())
+}
+
+/// Applies `allows` to `findings`: drops suppressed findings, marks the
+/// allows used, and appends `unused-allow` findings for the rest.
+#[must_use]
+pub fn apply_allows(rel: &str, findings: Vec<Finding>, allows: &mut [Allow]) -> Vec<Finding> {
+    let mut kept = Vec::with_capacity(findings.len());
+    for finding in findings {
+        let mut suppressed = false;
+        for allow in allows.iter_mut() {
+            let covers = allow.line == finding.line || allow.line + 1 == finding.line;
+            if covers && allow.rule == finding.rule {
+                allow.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            kept.push(finding);
+        }
+    }
+    for allow in allows.iter().filter(|a| !a.used) {
+        kept.push(Finding {
+            rule: "unused-allow",
+            file: rel.to_owned(),
+            line: allow.line,
+            module: String::new(),
+            message: format!(
+                "allow({}) suppresses nothing — remove it or move it next to the finding",
+                allow.rule
+            ),
+        });
+    }
+    kept
+}

@@ -1,0 +1,410 @@
+//! A lightweight Rust lexer: just enough token structure for line-level
+//! lints, with none of the places naive text matching goes wrong.
+//!
+//! The point of lexing (rather than substring search) is that `unwrap`
+//! inside a string literal, a nested block comment, or a raw string is
+//! *not* a finding, and `'a` (a lifetime) is not an unterminated char
+//! literal. The lexer therefore handles:
+//!
+//! - line comments (recorded — allow comments live there) and nested
+//!   block comments (skipped),
+//! - string literals in all relevant shapes: `"…"`, `r"…"`, `r#"…"#`
+//!   with any hash count, byte and C variants (`b"…"`, `br#"…"#`,
+//!   `c"…"`),
+//! - char vs lifetime disambiguation (`'x'` vs `'x`, `'_`, `'static`),
+//! - raw identifiers (`r#type`),
+//! - numeric literals with an int/float distinction (the determinism
+//!   rule cares about floats reaching `Display`).
+//!
+//! Everything else becomes an identifier or a single-byte punctuation
+//! token. Offsets are byte offsets into the source; lines are 1-based.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (the rules distinguish keywords by text).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal, quotes included.
+    Char,
+    /// Any string literal (plain, raw, byte, C), quotes included.
+    Str,
+    /// An integer literal.
+    Int,
+    /// A floating-point literal.
+    Float,
+    /// A single punctuation byte.
+    Punct(u8),
+}
+
+/// One token, as a byte span of the source plus its starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Token kind.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+/// One `//` line comment (doc comments included), `//` prefix included.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    /// Byte offset of the leading `/`.
+    pub start: usize,
+    /// Byte offset one past the last byte (excludes the newline).
+    pub end: usize,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// The output of [`lex`]: significant tokens plus line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All significant tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        if byte == b'\n' {
+            self.line += 1;
+        }
+        Some(byte)
+    }
+}
+
+fn is_ident_start(byte: u8) -> bool {
+    byte.is_ascii_alphabetic() || byte == b'_'
+}
+
+fn is_ident_continue(byte: u8) -> bool {
+    byte.is_ascii_alphanumeric() || byte == b'_'
+}
+
+/// Lexes `src` into tokens and line comments. Never fails: malformed
+/// input degrades to punctuation tokens rather than an error, because a
+/// linter must keep going on code the compiler will reject anyway.
+pub fn lex(src: &str) -> Lexed {
+    let mut cursor = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(byte) = cursor.peek() {
+        if byte.is_ascii_whitespace() {
+            cursor.bump();
+            continue;
+        }
+        let start = cursor.pos;
+        let line = cursor.line;
+        if byte == b'/' && cursor.peek_at(1) == Some(b'/') {
+            while let Some(next) = cursor.peek() {
+                if next == b'\n' {
+                    break;
+                }
+                cursor.bump();
+            }
+            out.comments.push(Comment {
+                start,
+                end: cursor.pos,
+                line,
+            });
+            continue;
+        }
+        if byte == b'/' && cursor.peek_at(1) == Some(b'*') {
+            skip_block_comment(&mut cursor);
+            continue;
+        }
+        if byte == b'"' {
+            cursor.bump();
+            skip_plain_string(&mut cursor);
+            push(&mut out, TokenKind::Str, start, &cursor);
+            continue;
+        }
+        if byte == b'\'' {
+            lex_quote(&mut cursor, &mut out, start);
+            continue;
+        }
+        if is_ident_start(byte) {
+            lex_word(&mut cursor, &mut out, start);
+            continue;
+        }
+        if byte.is_ascii_digit() {
+            lex_number(&mut cursor, &mut out, start);
+            continue;
+        }
+        cursor.bump();
+        push(&mut out, TokenKind::Punct(byte), start, &cursor);
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokenKind, start: usize, cursor: &Cursor<'_>) {
+    // A multi-line token (raw string) starts on the line where its
+    // first byte sits; recompute from the span start.
+    let line = cursor.line
+        - cursor
+            .bytes
+            .get(start..cursor.pos)
+            .map(|span| span.iter().filter(|&&b| b == b'\n').count() as u32)
+            .unwrap_or(0);
+    out.tokens.push(Token {
+        kind,
+        start,
+        end: cursor.pos,
+        line,
+    });
+}
+
+fn skip_block_comment(cursor: &mut Cursor<'_>) {
+    cursor.bump();
+    cursor.bump();
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cursor.peek(), cursor.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                cursor.bump();
+                cursor.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                cursor.bump();
+                cursor.bump();
+            }
+            (Some(_), _) => {
+                cursor.bump();
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// Consumes a `"…"` body (opening quote already consumed), honouring
+/// backslash escapes.
+fn skip_plain_string(cursor: &mut Cursor<'_>) {
+    while let Some(byte) = cursor.bump() {
+        match byte {
+            b'\\' => {
+                cursor.bump();
+            }
+            b'"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a raw string body: `hashes` many `#` then `"` were already
+/// consumed; scans for `"` followed by the same number of `#`.
+fn skip_raw_string(cursor: &mut Cursor<'_>, hashes: usize) {
+    while let Some(byte) = cursor.bump() {
+        if byte != b'"' {
+            continue;
+        }
+        let mut seen = 0usize;
+        while seen < hashes && cursor.peek() == Some(b'#') {
+            cursor.bump();
+            seen += 1;
+        }
+        if seen == hashes {
+            return;
+        }
+    }
+}
+
+/// `'` dispatch: lifetime (`'a`, `'_`, `'static`) vs char literal.
+fn lex_quote(cursor: &mut Cursor<'_>, out: &mut Lexed, start: usize) {
+    cursor.bump();
+    let first = cursor.peek();
+    let second = cursor.peek_at(1);
+    let is_lifetime = match (first, second) {
+        // `'a'` is a char; `'a,`/`'a>`/`'a ` is a lifetime.
+        (Some(b), Some(b'\'')) if is_ident_start(b) => false,
+        (Some(b), _) if is_ident_start(b) => true,
+        _ => false,
+    };
+    if is_lifetime {
+        while let Some(b) = cursor.peek() {
+            if !is_ident_continue(b) {
+                break;
+            }
+            cursor.bump();
+        }
+        push(out, TokenKind::Lifetime, start, cursor);
+        return;
+    }
+    // Char literal: consume until the closing quote, honouring escapes.
+    while let Some(byte) = cursor.bump() {
+        match byte {
+            b'\\' => {
+                cursor.bump();
+            }
+            b'\'' => break,
+            _ => {}
+        }
+    }
+    push(out, TokenKind::Char, start, cursor);
+}
+
+/// An identifier — or a string/char prefix (`r`, `b`, `br`, `c`, `cr`)
+/// or raw identifier (`r#name`).
+fn lex_word(cursor: &mut Cursor<'_>, out: &mut Lexed, start: usize) {
+    while let Some(b) = cursor.peek() {
+        if !is_ident_continue(b) {
+            break;
+        }
+        cursor.bump();
+    }
+    let word = cursor.bytes.get(start..cursor.pos).unwrap_or(b"");
+    let raw_capable = matches!(word, b"r" | b"br" | b"cr");
+    let plain_capable = matches!(word, b"b" | b"c") || raw_capable;
+    match cursor.peek() {
+        Some(b'"') if plain_capable => {
+            cursor.bump();
+            if raw_capable {
+                skip_raw_string(cursor, 0);
+            } else {
+                skip_plain_string(cursor);
+            }
+            push(out, TokenKind::Str, start, cursor);
+        }
+        Some(b'#') if raw_capable => {
+            let mut hashes = 0usize;
+            while cursor.peek_at(hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if cursor.peek_at(hashes) == Some(b'"') {
+                for _ in 0..=hashes {
+                    cursor.bump();
+                }
+                skip_raw_string(cursor, hashes);
+                push(out, TokenKind::Str, start, cursor);
+            } else if word == b"r" && cursor.peek_at(1).is_some_and(is_ident_start) {
+                // Raw identifier `r#type`.
+                cursor.bump();
+                while let Some(b) = cursor.peek() {
+                    if !is_ident_continue(b) {
+                        break;
+                    }
+                    cursor.bump();
+                }
+                push(out, TokenKind::Ident, start, cursor);
+            } else {
+                push(out, TokenKind::Ident, start, cursor);
+            }
+        }
+        Some(b'\'') if word == b"b" => {
+            cursor.bump();
+            while let Some(byte) = cursor.bump() {
+                match byte {
+                    b'\\' => {
+                        cursor.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            push(out, TokenKind::Char, start, cursor);
+        }
+        _ => push(out, TokenKind::Ident, start, cursor),
+    }
+}
+
+fn lex_number(cursor: &mut Cursor<'_>, out: &mut Lexed, start: usize) {
+    let mut float = false;
+    if cursor.peek() == Some(b'0')
+        && matches!(
+            cursor.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'b')
+        )
+    {
+        cursor.bump();
+        cursor.bump();
+        while let Some(b) = cursor.peek() {
+            if !b.is_ascii_alphanumeric() && b != b'_' {
+                break;
+            }
+            cursor.bump();
+        }
+        push(out, TokenKind::Int, start, cursor);
+        return;
+    }
+    consume_digits(cursor);
+    if cursor.peek() == Some(b'.') {
+        match cursor.peek_at(1) {
+            // `1..3` is a range, `1.max(…)` a method call.
+            Some(b'.') => {}
+            Some(b) if is_ident_start(b) => {}
+            _ => {
+                float = true;
+                cursor.bump();
+                consume_digits(cursor);
+            }
+        }
+    }
+    if matches!(cursor.peek(), Some(b'e') | Some(b'E')) {
+        let (sign_len, digit) = match cursor.peek_at(1) {
+            Some(b'+') | Some(b'-') => (1usize, cursor.peek_at(2)),
+            other => (0usize, other),
+        };
+        if digit.is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            for _ in 0..=sign_len {
+                cursor.bump();
+            }
+            consume_digits(cursor);
+        }
+    }
+    // Type suffix (`1.5f32`, `3u64`).
+    let suffix_start = cursor.pos;
+    while let Some(b) = cursor.peek() {
+        if !is_ident_continue(b) {
+            break;
+        }
+        cursor.bump();
+    }
+    let suffix = cursor.bytes.get(suffix_start..cursor.pos).unwrap_or(b"");
+    if suffix == b"f32" || suffix == b"f64" {
+        float = true;
+    }
+    let kind = if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    push(out, kind, start, cursor);
+}
+
+fn consume_digits(cursor: &mut Cursor<'_>) {
+    while let Some(b) = cursor.peek() {
+        if !b.is_ascii_digit() && b != b'_' {
+            break;
+        }
+        cursor.bump();
+    }
+}

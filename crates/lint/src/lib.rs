@@ -1,0 +1,95 @@
+//! `wm-lint` — workspace-native static analysis for the weather-map
+//! reproduction.
+//!
+//! The repo's guarantees (byte-identical extraction and reports at any
+//! thread count and cache state, panic-free handling of arbitrarily
+//! corrupt input, pure safe Rust) are runtime-tested by the equivalence
+//! and robustness suites — but only on the corpora those suites
+//! exercise. This crate checks the *source-level* contracts behind
+//! those guarantees, so a stray `HashMap` iteration in an emit path or
+//! a fresh `unwrap()` in a parser fails CI before any corpus runs.
+//!
+//! Three layers, in the same in-repo-tooling spirit as the rand /
+//! proptest / criterion shims (std-only, dependency-free):
+//!
+//! 1. [`lexer`] + [`context`]: a lightweight Rust lexer (raw strings,
+//!    nested comments, lifetimes vs chars) with `#[cfg(test)]`/
+//!    `#[test]` region and module-path tracking;
+//! 2. [`findings`] + [`baseline`]: the lint framework — findings with
+//!    rule/file/line/module, human and JSON renderers, allow comments
+//!    with mandatory reasons and unused-allow detection, and the
+//!    ratcheting `lint-baseline.json`;
+//! 3. [`rules`]: the six domain rules — `determinism`,
+//!    `no-wall-clock`, `panic-freedom`, `unsafe-forbid`,
+//!    `error-exhaustiveness`, `shim-purity`.
+//!
+//! Suppression syntax (reason mandatory; the allow covers its own line
+//! and the next):
+//!
+//! ```text
+//! // wm-lint: allow(determinism): keys are sorted two lines up
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod context;
+pub mod findings;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+use std::fs;
+use std::io;
+
+use config::Config;
+use findings::Finding;
+use source::SourceFile;
+
+/// The result of scanning a set of source files.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Unsuppressed findings, sorted by file/line/rule.
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files: usize,
+}
+
+/// Scans the workspace rooted at `cfg.root`.
+pub fn scan(cfg: &Config) -> io::Result<ScanResult> {
+    let mut sources = Vec::new();
+    for (path, rel) in walk::workspace_files(&cfg.root)? {
+        let text = fs::read_to_string(&path)?;
+        sources.push(SourceFile::parse(&rel, source::classify(&rel), text));
+    }
+    Ok(scan_sources(&sources, cfg))
+}
+
+/// Scans already-parsed sources (the test harness entry point).
+#[must_use]
+pub fn scan_sources(files: &[SourceFile], cfg: &Config) -> ScanResult {
+    let mut raw = Vec::new();
+    for file in files {
+        raw.extend(rules::check_file(file, cfg));
+    }
+    rules::error_exhaustiveness::check(files, cfg, &mut raw);
+
+    // Apply each file's allow comments to the findings anchored in it;
+    // allows that suppressed nothing become findings themselves.
+    let mut kept = Vec::new();
+    for file in files {
+        let mut allows =
+            findings::parse_allows(&file.rel, &file.text, &file.lexed.comments, &mut kept);
+        let own: Vec<Finding> = raw.iter().filter(|f| f.file == file.rel).cloned().collect();
+        kept.extend(findings::apply_allows(&file.rel, own, &mut allows));
+    }
+    findings::sort(&mut kept);
+    ScanResult {
+        findings: kept,
+        files: files.len(),
+    }
+}

@@ -1,0 +1,188 @@
+//! `wm-lint` command line.
+//!
+//! ```text
+//! wm-lint [--root DIR] [--baseline FILE] [--json]      list all findings
+//! wm-lint --deny-new [...]                             CI ratchet gate
+//! wm-lint --update-baseline [...]                      shrink the baseline
+//! ```
+//!
+//! Exit codes: 0 clean (for `--deny-new`: no new and no stale entries),
+//! 1 gate failed, 2 usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wm_lint::baseline::{self, Baseline};
+use wm_lint::config::Config;
+use wm_lint::findings;
+
+const USAGE: &str = "usage: wm-lint [--root DIR] [--baseline FILE] \
+                     [--deny-new | --update-baseline] [--json]";
+
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    deny_new: bool,
+    update_baseline: bool,
+    json: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        baseline: None,
+        deny_new: false,
+        update_baseline: false,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = it.next().ok_or("--root needs a directory")?;
+                opts.root = PathBuf::from(value);
+            }
+            "--baseline" => {
+                let value = it.next().ok_or("--baseline needs a file")?;
+                opts.baseline = Some(PathBuf::from(value));
+            }
+            "--deny-new" => opts.deny_new = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if opts.deny_new && opts.update_baseline {
+        return Err("--deny-new and --update-baseline are mutually exclusive".to_owned());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "error: {:?} is not a workspace root (no Cargo.toml) — pass --root",
+            opts.root
+        );
+        return ExitCode::from(2);
+    }
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint-baseline.json"));
+
+    let cfg = Config::workspace(opts.root.clone());
+    let result = match wm_lint::scan(&cfg) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_findings(&result.findings);
+        if let Err(e) = baseline.save(&baseline_path) {
+            eprintln!("error: cannot write {baseline_path:?}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "wm-lint: baseline updated: {} findings in {} (rule, file) entries across {} files",
+            result.findings.len(),
+            baseline.entries.len(),
+            result.files,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if opts.deny_new {
+        return deny_new(&result, &baseline_path, opts.json);
+    }
+
+    // Listing mode: informational, always exits 0.
+    if opts.json {
+        print!("{}", findings::render_json(&result.findings));
+    } else {
+        print!("{}", findings::render_human(&result.findings));
+        println!(
+            "wm-lint: {} findings across {} files",
+            result.findings.len(),
+            result.files
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn deny_new(result: &wm_lint::ScanResult, baseline_path: &std::path::Path, json: bool) -> ExitCode {
+    let baseline = match Baseline::load(baseline_path) {
+        Ok(Some(baseline)) => baseline,
+        Ok(None) => {
+            eprintln!(
+                "error: no baseline at {baseline_path:?} — run `wm-lint --update-baseline` once \
+                 and commit the result"
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cmp = baseline::compare(&result.findings, &baseline);
+    if cmp.is_clean() {
+        println!(
+            "wm-lint: clean — {} accepted findings, nothing new, nothing stale",
+            result.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if !cmp.grown.is_empty() {
+        eprintln!("wm-lint: NEW findings beyond the committed baseline:");
+        for delta in &cmp.grown {
+            eprintln!(
+                "  [{}] {}: {} found, {} accepted",
+                delta.rule, delta.file, delta.found, delta.accepted
+            );
+            let shown = if json {
+                findings::render_json(&per_key(result, delta))
+            } else {
+                findings::render_human(&per_key(result, delta))
+            };
+            for line in shown.lines() {
+                eprintln!("    {line}");
+            }
+        }
+        eprintln!("  fix the new findings or suppress with `// wm-lint: allow(rule): reason`");
+    }
+    if !cmp.stale.is_empty() {
+        eprintln!("wm-lint: STALE baseline entries (debt was paid down — ratchet the baseline):");
+        for delta in &cmp.stale {
+            eprintln!(
+                "  [{}] {}: {} found, {} accepted",
+                delta.rule, delta.file, delta.found, delta.accepted
+            );
+        }
+        eprintln!("  run `cargo run -p wm-lint -- --update-baseline` and commit the result");
+    }
+    ExitCode::FAILURE
+}
+
+fn per_key(result: &wm_lint::ScanResult, delta: &baseline::Delta) -> Vec<findings::Finding> {
+    result
+        .findings
+        .iter()
+        .filter(|f| f.rule == delta.rule && f.file == delta.file)
+        .cloned()
+        .collect()
+}

@@ -1,0 +1,190 @@
+//! `determinism`: no iteration-order-dependent collections and no
+//! unspecified float `Display` in paths that produce emitted bytes.
+//!
+//! The repo's headline guarantee is byte-identical output at any thread
+//! count and cache state. Two source-level hazards can silently break
+//! it: `HashMap`/`HashSet` (iteration order varies per process because
+//! of `RandomState`) reaching an emit, report, or codec path; and
+//! floats formatted with a bare `{}` placeholder, whose shortest-
+//! roundtrip output is easy to destabilise when a computation is
+//! reordered. Which paths count as emitting is configured in
+//! [`Config::det_paths`].
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Scans a deterministic-path file.
+pub fn check(file: &SourceFile, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(&cfg.det_paths, &file.rel) {
+        return;
+    }
+    let tokens = &file.lexed.tokens;
+    for i in 0..tokens.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let Some(token) = file.token(i) else { break };
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let text = file.token_text(i);
+        if text == "HashMap" || text == "HashSet" {
+            out.push(finding(
+                file,
+                i,
+                format!(
+                    "`{text}` in a deterministic output path — iteration order is random per \
+                     process; use `BTreeMap`/`BTreeSet` or sort before iterating"
+                ),
+            ));
+        } else if is_format_macro(text) && file.is_punct(i + 1, b'!') {
+            check_format_call(file, i + 2, out);
+        }
+    }
+}
+
+fn is_format_macro(name: &str) -> bool {
+    matches!(
+        name,
+        "format"
+            | "format_args"
+            | "write"
+            | "writeln"
+            | "print"
+            | "println"
+            | "eprint"
+            | "eprintln"
+    )
+}
+
+/// Inspects one formatting macro call starting at its opening
+/// delimiter: flags a bare `{}`-style placeholder whose *own* argument
+/// contains a float literal. Placeholders are mapped to arguments
+/// positionally, so `"{} {:.1}"` with a float in the second slot does
+/// not fire. (Only literals are visible to a token-level pass; the rule
+/// is a tripwire for the obvious cases, not a type checker.)
+fn check_format_call(file: &SourceFile, open_at: usize, out: &mut Vec<Finding>) {
+    if !matches!(
+        file.token(open_at).map(|t| t.kind),
+        Some(TokenKind::Punct(b'(')) | Some(TokenKind::Punct(b'['))
+    ) {
+        return;
+    }
+    // Split the macro body into top-level comma groups, tracking
+    // whether each group is a float-literal expression and where the
+    // format string literal sits. A float literal only counts at the
+    // group's own depth (not inside a nested call, whose result type is
+    // unknown), and groups that are `if`/`match` expressions are opaque.
+    let mut depth = 0usize;
+    let mut groups: Vec<(bool, u32)> = Vec::new();
+    let mut current = (false, 0u32);
+    let mut format_group: Option<(usize, usize)> = None;
+    let mut group_started = false;
+    let mut group_opaque = false;
+    let mut i = open_at;
+    while let Some(token) = file.token(i) {
+        match token.kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') | TokenKind::Punct(b'{') => depth += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') | TokenKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokenKind::Punct(b',') if depth == 1 => {
+                groups.push(current);
+                current = (false, 0);
+                group_started = false;
+                group_opaque = false;
+            }
+            TokenKind::Str if depth == 1 && !group_started && format_group.is_none() => {
+                format_group = Some((i, groups.len()));
+                group_started = true;
+            }
+            TokenKind::Ident if !group_started => {
+                let text = file.token_text(i);
+                group_opaque = text == "if" || text == "match";
+                group_started = true;
+            }
+            TokenKind::Float if depth == 1 && !group_opaque => {
+                current = (true, token.line);
+                group_started = true;
+            }
+            _ => group_started = true,
+        }
+        i += 1;
+    }
+    groups.push(current);
+    let Some((fmt_at, fmt_group)) = format_group else {
+        return;
+    };
+    // Positional arguments follow the format string group.
+    let args = groups.get(fmt_group + 1..).unwrap_or(&[]);
+    for target in bare_placeholders(file.token_text(fmt_at)) {
+        let Some(&(has_float, line)) = target.and_then(|idx| args.get(idx)) else {
+            continue;
+        };
+        if has_float {
+            out.push(Finding {
+                rule: "determinism",
+                file: file.rel.clone(),
+                line,
+                module: file.module_path(fmt_at).to_owned(),
+                message: "float `Display`-formatted with a bare `{}` in a deterministic output \
+                          path — pin a precision such as `{:.3}`"
+                    .to_owned(),
+            });
+        }
+    }
+}
+
+/// Positional argument indices consumed by spec-less placeholders.
+/// `{}` and `{0}` yield `Some(index)`; named captures yield `None`
+/// (their type is invisible to a token-level pass); `{:spec}` forms are
+/// not returned at all.
+fn bare_placeholders(literal: &str) -> Vec<Option<usize>> {
+    let mut out = Vec::new();
+    let mut auto = 0usize;
+    let mut rest = literal;
+    while let Some(at) = rest.find('{') {
+        let after = rest.get(at + 1..).unwrap_or("");
+        if after.starts_with('{') {
+            rest = after.get(1..).unwrap_or("");
+            continue;
+        }
+        let Some(end) = after.find('}') else { break };
+        let body = after.get(..end).unwrap_or("");
+        let (target, spec) = match body.split_once(':') {
+            Some((t, s)) => (t, Some(s)),
+            None => (body, None),
+        };
+        // Every `{}`/`{:spec}` consumes one positional argument, so the
+        // auto counter advances regardless of whether the spec is bare.
+        let index = if target.is_empty() {
+            let idx = auto;
+            auto += 1;
+            Some(idx)
+        } else if target.bytes().all(|b| b.is_ascii_digit()) {
+            target.parse::<usize>().ok()
+        } else {
+            None
+        };
+        if spec.is_none() || spec == Some("") {
+            out.push(index);
+        }
+        rest = after.get(end + 1..).unwrap_or("");
+    }
+    out
+}
+
+fn finding(file: &SourceFile, i: usize, message: String) -> Finding {
+    Finding {
+        rule: "determinism",
+        file: file.rel.clone(),
+        line: file.token(i).map(|t| t.line).unwrap_or(0),
+        module: file.module_path(i).to_owned(),
+        message,
+    }
+}

@@ -1,0 +1,147 @@
+//! `error-exhaustiveness`: every constructed `ExtractError` variant's
+//! `kind()` string must be named by the fault-matrix test.
+//!
+//! PR 1's robustness contract says every way extraction can fail is (a)
+//! a documented `kind()` string tallied into `failures_by_kind` and (b)
+//! pinned by the fault-matrix test in `tests/extraction_robustness.rs`.
+//! The tally side is structural (`failures_by_kind` is keyed by
+//! `kind()` itself), but nothing used to stop a new variant from being
+//! constructed without the test ever naming its kind — this rule does.
+//!
+//! Mechanics: the rule reads the `ExtractError::Variant => "kind"` arms
+//! out of the enum's `kind()` method, collects every
+//! `ExtractError::Variant` reference across the workspace, and requires
+//! each referenced variant's kind string to appear as a string literal
+//! in the fault-matrix test file.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Runs the workspace-level check over all files.
+pub fn check(files: &[SourceFile], cfg: &Config, out: &mut Vec<Finding>) {
+    let Some(enum_file) = files.iter().find(|f| f.rel == cfg.error_enum) else {
+        return;
+    };
+    let kinds = kind_arms(enum_file, &cfg.error_type);
+    if kinds.is_empty() {
+        out.push(Finding {
+            rule: "error-exhaustiveness",
+            file: enum_file.rel.clone(),
+            line: 1,
+            module: String::new(),
+            message: format!(
+                "no `{}::Variant => \"kind\"` arms found — is `kind()` still here?",
+                cfg.error_type
+            ),
+        });
+        return;
+    }
+    let mut constructed: BTreeSet<String> = BTreeSet::new();
+    for file in files {
+        if file.rel == cfg.error_enum {
+            continue;
+        }
+        collect_variant_refs(file, &cfg.error_type, &mut constructed);
+    }
+    let matrix_strings: BTreeSet<String> = files
+        .iter()
+        .find(|f| f.rel == cfg.fault_matrix)
+        .map(string_literals)
+        .unwrap_or_default();
+    for variant in &constructed {
+        let Some((kind, line)) = kinds.get(variant) else {
+            // A variant without a kind() arm cannot compile (the match
+            // is exhaustive), so this only fires mid-refactor.
+            continue;
+        };
+        if !matrix_strings.contains(kind) {
+            out.push(Finding {
+                rule: "error-exhaustiveness",
+                file: enum_file.rel.clone(),
+                line: *line,
+                module: String::new(),
+                message: format!(
+                    "`{}::{variant}` is constructed but its kind {kind:?} is never named by \
+                     {} — extend the fault matrix",
+                    cfg.error_type, cfg.fault_matrix
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts `Enum::Variant … => "kind"` arms: variant name to
+/// (kind string, line of the arm).
+fn kind_arms(file: &SourceFile, enum_name: &str) -> BTreeMap<String, (String, u32)> {
+    let mut arms = BTreeMap::new();
+    let tokens = &file.lexed.tokens;
+    for i in 0..tokens.len() {
+        if !is_variant_ref(file, i, enum_name) {
+            continue;
+        }
+        let variant = file.token_text(i + 3).to_owned();
+        let line = file.token(i + 3).map(|t| t.line).unwrap_or(0);
+        // Scan a short window for `=>` followed by a string literal
+        // (`ExtractError::InvalidLoad { .. } => "invalid-load"`).
+        let mut j = i + 4;
+        while j < i + 13 {
+            if file.is_punct(j, b'=') && file.is_punct(j + 1, b'>') {
+                if let Some(token) = file.token(j + 2) {
+                    if token.kind == TokenKind::Str {
+                        arms.insert(variant, (unquote(file.token_text(j + 2)), line));
+                    }
+                }
+                break;
+            }
+            j += 1;
+        }
+    }
+    arms
+}
+
+/// Collects every `Enum::Variant` reference in `file`.
+fn collect_variant_refs(file: &SourceFile, enum_name: &str, out: &mut BTreeSet<String>) {
+    for i in 0..file.lexed.tokens.len() {
+        if is_variant_ref(file, i, enum_name) {
+            let variant = file.token_text(i + 3);
+            // Skip method calls such as `ExtractError::kind` — variants
+            // are UpperCamelCase.
+            if variant.starts_with(char::is_uppercase) {
+                out.insert(variant.to_owned());
+            }
+        }
+    }
+}
+
+/// Whether tokens at `i` spell `Enum :: Ident`.
+fn is_variant_ref(file: &SourceFile, i: usize, enum_name: &str) -> bool {
+    file.is_ident(i, enum_name)
+        && file.is_punct(i + 1, b':')
+        && file.is_punct(i + 2, b':')
+        && matches!(file.token(i + 3), Some(t) if t.kind == TokenKind::Ident)
+}
+
+/// All plain string literal values in a file.
+fn string_literals(file: &SourceFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for i in 0..file.lexed.tokens.len() {
+        if matches!(file.token(i), Some(t) if t.kind == TokenKind::Str) {
+            out.insert(unquote(file.token_text(i)));
+        }
+    }
+    out
+}
+
+/// Strips the quotes off a plain `"…"` literal (raw/byte forms are not
+/// needed for kind strings).
+fn unquote(literal: &str) -> String {
+    literal
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(literal)
+        .to_owned()
+}

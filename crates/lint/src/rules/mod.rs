@@ -1,0 +1,30 @@
+//! The rule catalogue.
+//!
+//! Each per-file rule is a function from a [`SourceFile`] and the
+//! [`Config`] to findings; `error_exhaustiveness` is workspace-level and
+//! sees all files at once. Rules only *report* — suppression and
+//! baseline comparison happen in the driver, so every rule stays a pure
+//! token-stream scan.
+
+pub mod determinism;
+pub mod error_exhaustiveness;
+pub mod panic_freedom;
+pub mod shim_purity;
+pub mod unsafe_forbid;
+pub mod wall_clock;
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Runs every per-file rule on `file`.
+#[must_use]
+pub fn check_file(file: &SourceFile, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    determinism::check(file, cfg, &mut out);
+    wall_clock::check(file, cfg, &mut out);
+    panic_freedom::check(file, cfg, &mut out);
+    unsafe_forbid::check(file, cfg, &mut out);
+    shim_purity::check(file, cfg, &mut out);
+    out
+}

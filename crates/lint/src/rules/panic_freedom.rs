@@ -1,0 +1,109 @@
+//! `panic-freedom`: no `unwrap`/`expect`, panicking macros, or direct
+//! slice indexing in library code.
+//!
+//! The extraction pipeline's contract (§4 of the paper, PR 1's fault
+//! matrix) is that malformed input becomes a typed `ExtractError`,
+//! never a panic; the same discipline applies to every library crate a
+//! server build would link. Tests, benches, binaries, and examples are
+//! exempt — panicking is how tests fail and how CLIs bail.
+//!
+//! Indexing is flagged in postfix position only (`expr[…]`): array
+//! literals, attributes, `vec![…]`, and type positions such as
+//! `[u8; 8]` are not postfix and pass. The full-range form `expr[..]`
+//! cannot panic on slices and is also exempt.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::TokenKind;
+use crate::source::{FileClass, SourceFile};
+
+/// Keywords that may directly precede `[` without making it an index
+/// expression (`let [a, b] = …`, `return [x]`, `match x { … }`).
+const NON_POSTFIX_KEYWORDS: [&str; 18] = [
+    "let", "mut", "ref", "in", "as", "if", "else", "match", "return", "move", "dyn", "impl",
+    "where", "for", "while", "loop", "break", "const",
+];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans a library file for panic sites outside test items.
+pub fn check(file: &SourceFile, _cfg: &Config, out: &mut Vec<Finding>) {
+    if file.class != FileClass::Library {
+        return;
+    }
+    let tokens = &file.lexed.tokens;
+    for i in 0..tokens.len() {
+        if file.in_test(i) {
+            continue;
+        }
+        let Some(token) = file.token(i) else { break };
+        match token.kind {
+            TokenKind::Ident => {
+                let text = file.token_text(i);
+                if PANIC_MACROS.contains(&text) && file.is_punct(i + 1, b'!') {
+                    push(
+                        file,
+                        i,
+                        format!("`{text}!` in library code — return a typed error instead"),
+                        out,
+                    );
+                } else if (text == "unwrap" || text == "expect")
+                    && file.is_punct(i + 1, b'(')
+                    && i > 0
+                    && file.is_punct(i - 1, b'.')
+                {
+                    push(
+                        file,
+                        i,
+                        format!(
+                            "`.{text}()` in library code — propagate a typed error, or prove the \
+                             invariant with `debug_assert!` and a non-panicking fallback"
+                        ),
+                        out,
+                    );
+                }
+            }
+            TokenKind::Punct(b'[') if is_index_expr(file, i) => {
+                push(
+                    file,
+                    i,
+                    "direct slice indexing in library code — prefer `.get(…)` or an iterator"
+                        .to_owned(),
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether the `[` at token `i` opens an index expression.
+fn is_index_expr(file: &SourceFile, i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|p| file.token(p)) else {
+        return false;
+    };
+    let postfix = match prev.kind {
+        TokenKind::Ident => {
+            let text = file.token_text(i - 1);
+            !NON_POSTFIX_KEYWORDS.contains(&text)
+        }
+        TokenKind::Punct(b')') | TokenKind::Punct(b']') | TokenKind::Punct(b'?') => true,
+        _ => false,
+    };
+    if !postfix {
+        return false;
+    }
+    // `expr[..]` never panics on slices.
+    !(file.is_punct(i + 1, b'.') && file.is_punct(i + 2, b'.') && file.is_punct(i + 3, b']'))
+}
+
+fn push(file: &SourceFile, i: usize, message: String, out: &mut Vec<Finding>) {
+    let line = file.token(i).map(|t| t.line).unwrap_or(0);
+    out.push(Finding {
+        rule: "panic-freedom",
+        file: file.rel.clone(),
+        line,
+        module: file.module_path(i).to_owned(),
+        message,
+    });
+}

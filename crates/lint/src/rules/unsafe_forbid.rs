@@ -1,0 +1,40 @@
+//! `unsafe-forbid`: every crate root must carry
+//! `#![forbid(unsafe_code)]`.
+//!
+//! The workspace is pure safe Rust by policy (the SWAR fast paths of
+//! PR 4 were deliberately written without `unsafe`); `forbid` — not
+//! `deny` — at every crate root makes that unoverridable. The rule
+//! checks each `src/lib.rs` so a new crate cannot join the workspace
+//! without the pledge.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+/// Checks a crate-root `lib.rs` for the forbid attribute.
+pub fn check(file: &SourceFile, _cfg: &Config, out: &mut Vec<Finding>) {
+    let is_crate_root = file.rel.ends_with("/src/lib.rs") || file.rel == "src/lib.rs";
+    if !is_crate_root {
+        return;
+    }
+    let tokens = &file.lexed.tokens;
+    for i in 0..tokens.len() {
+        // `#` `!` `[` forbid `(` unsafe_code `)` `]`
+        if file.is_punct(i, b'#')
+            && file.is_punct(i + 1, b'!')
+            && file.is_punct(i + 2, b'[')
+            && file.is_ident(i + 3, "forbid")
+            && file.is_punct(i + 4, b'(')
+            && file.is_ident(i + 5, "unsafe_code")
+        {
+            return;
+        }
+    }
+    out.push(Finding {
+        rule: "unsafe-forbid",
+        file: file.rel.clone(),
+        line: 1,
+        module: String::new(),
+        message: "crate root lacks `#![forbid(unsafe_code)]`".to_owned(),
+    });
+}

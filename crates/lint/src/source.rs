@@ -1,0 +1,119 @@
+//! A parsed source file: path classification, tokens, and context.
+
+use crate::context::{self, FileContext};
+use crate::lexer::{self, Lexed, Token, TokenKind};
+
+/// What kind of compilation target a file belongs to. Rules are scoped
+/// by class: panic-freedom applies to `Library` only, bins and benches
+/// may time and unwrap freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Part of a crate's library (`src/**` minus `src/bin/**`).
+    Library,
+    /// A binary target (`src/bin/**`, `src/main.rs`, crate-root
+    /// `build.rs`).
+    Binary,
+    /// An integration test (`tests/**`).
+    Test,
+    /// A benchmark (`benches/**`).
+    Bench,
+    /// An example (`examples/**`).
+    Example,
+}
+
+/// Classifies a workspace-relative path (`/`-separated).
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    let in_dir = |dir: &str| rel.starts_with(dir) || rel.contains(&format!("/{dir}"));
+    if in_dir("tests/") {
+        FileClass::Test
+    } else if in_dir("benches/") {
+        FileClass::Bench
+    } else if in_dir("examples/") {
+        FileClass::Example
+    } else if in_dir("src/bin/")
+        || rel.ends_with("/src/main.rs")
+        || rel == "src/main.rs"
+        || rel.ends_with("build.rs") && !rel.contains("/src/")
+    {
+        FileClass::Binary
+    } else {
+        FileClass::Library
+    }
+}
+
+/// One source file, lexed and context-annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Target classification.
+    pub class: FileClass,
+    /// Raw text.
+    pub text: String,
+    /// Token stream and line comments.
+    pub lexed: Lexed,
+    /// Test regions and module paths.
+    pub ctx: FileContext,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `text` under the given relative path.
+    #[must_use]
+    pub fn parse(rel: &str, class: FileClass, text: String) -> SourceFile {
+        let lexed = lexer::lex(&text);
+        let ctx = context::analyze(&lexed.tokens, &text);
+        SourceFile {
+            rel: rel.to_owned(),
+            class,
+            text,
+            lexed,
+            ctx,
+        }
+    }
+
+    /// The text of token `i`, or `""` out of range.
+    #[must_use]
+    pub fn token_text(&self, i: usize) -> &str {
+        self.lexed
+            .tokens
+            .get(i)
+            .and_then(|t| self.text.get(t.start..t.end))
+            .unwrap_or("")
+    }
+
+    /// Whether token `i` is inside a `#[cfg(test)]`/`#[test]` item.
+    #[must_use]
+    pub fn in_test(&self, i: usize) -> bool {
+        self.ctx.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// The module path of token `i` (empty string at crate root).
+    #[must_use]
+    pub fn module_path(&self, i: usize) -> &str {
+        self.ctx
+            .module_of
+            .get(i)
+            .and_then(|&id| self.ctx.paths.get(id as usize))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// Token `i`, if in range.
+    #[must_use]
+    pub fn token(&self, i: usize) -> Option<&Token> {
+        self.lexed.tokens.get(i)
+    }
+
+    /// Whether token `i` is the punctuation byte `byte`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, byte: u8) -> bool {
+        matches!(self.token(i), Some(t) if t.kind == TokenKind::Punct(byte))
+    }
+
+    /// Whether token `i` is the identifier `text`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, text: &str) -> bool {
+        matches!(self.token(i), Some(t) if t.kind == TokenKind::Ident) && self.token_text(i) == text
+    }
+}

@@ -1,0 +1,53 @@
+//! Workspace source discovery.
+//!
+//! Collects every `.rs` file under the workspace's source trees,
+//! skipping build output, VCS internals, and `fixtures/` directories —
+//! fixtures are deliberate rule violations read by the linter's own
+//! tests and must never count against the workspace.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Returns `(absolute path, workspace-relative path)` for every source
+/// file, sorted by relative path for deterministic scans.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "src", "tests", "examples", "benches"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, top, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn visit(dir: &Path, rel: &str, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+    let mut entries: Vec<(String, PathBuf, bool)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, entry.path(), is_dir));
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (name, path, is_dir) in entries {
+        if name.starts_with('.') {
+            continue;
+        }
+        let child_rel = format!("{rel}/{name}");
+        if is_dir {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            visit(&path, &child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            out.push((path, child_rel));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+// Fixture: allow-comment handling — suppression, trailing form,
+// unused allows, and malformed allows. Lines are pinned by the tests.
+
+fn suppressed(o: Option<u32>) -> u32 {
+    // wm-lint: allow(panic-freedom): fixture exercising the standalone form
+    let a = o.unwrap(); // line 6: suppressed by the allow on line 5
+    let b = o.unwrap(); // wm-lint: allow(panic-freedom): trailing form, line 7
+    a + b
+}
+
+// wm-lint: allow(determinism): nothing here is deterministic (line 11, unused)
+fn unused_allow() {}
+
+// wm-lint: allow(panic-freedom) reason separator missing (line 14, malformed)
+fn malformed_missing_colon() {}
+
+// wm-lint: allow(not-a-rule): unknown rule id (line 17, malformed)
+fn malformed_unknown_rule() {}
+
+// wm-lint: allow(panic-freedom): well-formed but nothing to suppress (line 20, unused)
+fn reason_present_but_unused(o: Option<u32>) -> u32 {
+    o.unwrap_or(0)
+}

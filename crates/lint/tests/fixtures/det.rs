@@ -1,0 +1,30 @@
+// Fixture: determinism rule — order-dependent collections and bare
+// float Display in a (configured) deterministic output path.
+
+use std::collections::BTreeMap; // fine
+use std::collections::HashMap; // line 5: HashMap
+use std::collections::HashSet; // line 6: HashSet
+
+fn emit(value: f64, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}", 1.5)); // line 10: bare {} over a float
+    out.push_str(&format!("{:.2}", 2.5)); // pinned precision: fine
+    out.push_str(&format!("{} {:.1}", name, 3.5)); // bare {} maps to name: fine
+    out.push_str(&format!("{}", scale(4.5))); // float feeds a call: opaque, fine
+    out.push_str(&format!("{}", if value > 0.0 { "+" } else { "-" })); // opaque: fine
+    out
+}
+
+fn scale(x: f64) -> i64 {
+    (x * 1000.0) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_are_exempt() {
+        let mut seen = std::collections::HashMap::new(); // fine in tests
+        seen.insert(1, format!("{}", 9.5));
+        assert_eq!(seen.len(), 1);
+    }
+}

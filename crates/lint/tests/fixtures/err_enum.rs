@@ -1,0 +1,15 @@
+// Fixture: miniature error enum for the error-exhaustiveness rule.
+
+pub enum MiniError {
+    BadXml,
+    BadLoad { value: f64 },
+}
+
+impl MiniError {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MiniError::BadXml => "bad-xml",
+            MiniError::BadLoad { .. } => "bad-load",
+        }
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: a fault matrix naming every constructed kind — clean.
+
+fn documented() -> [&'static str; 2] {
+    ["bad-xml", "bad-load"]
+}

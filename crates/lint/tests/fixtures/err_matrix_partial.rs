@@ -1,0 +1,6 @@
+// Fixture: a fault matrix naming only one of the two constructed
+// kinds — the rule must flag the missing "bad-load".
+
+fn documented() -> [&'static str; 1] {
+    ["bad-xml"]
+}

@@ -1,0 +1,14 @@
+// Fixture: constructs both MiniError variants; also references the
+// lowercase associated fn `kind`, which must not count as a variant.
+
+fn fail_xml() -> MiniError {
+    MiniError::BadXml
+}
+
+fn fail_load() -> MiniError {
+    MiniError::BadLoad { value: 0.25 }
+}
+
+fn kind_of(e: &MiniError) -> &'static str {
+    MiniError::kind(e)
+}

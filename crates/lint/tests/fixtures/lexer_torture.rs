@@ -1,0 +1,42 @@
+// Fixture: lexer stress. Every panicky spelling below is inert —
+// hidden in strings, comments, or non-postfix positions — so a scan of
+// this file as library code must produce zero findings.
+
+const RAW: &str = r#"call .unwrap() and panic!("boom") inside a raw string"#;
+const RAW_NESTED: &str = r##"one "#" hash level deeper: .expect("x")"##;
+const PLAIN: &str = "escaped \" quote, backslash \\, and braces {} []";
+const BYTES: &[u8] = b"byte string with .unwrap() inside";
+const RAW_BYTES: &[u8] = br#"raw bytes with todo!()"#;
+const QUOTE: char = '\'';
+const NEWLINE: char = '\n';
+const BYTE_CHAR: u8 = b'[';
+
+/* block comment mentioning v[0].unwrap()
+   /* nested block comment with panic!("still a comment") */
+   and still inside the outer comment here
+*/
+
+pub fn generic<'a, T>(items: &'a [T]) -> Option<&'a T> {
+    items.first()
+}
+
+pub struct Table<'m> {
+    pub cells: &'m [u8],
+}
+
+pub fn r#match(r#type: u32) -> u32 {
+    r#type
+}
+
+const FLOAT_EXP: f64 = 1.5e3;
+const FLOAT_SUFFIX: f32 = 2f32;
+const HEX: u32 = 0xFF_u32;
+const RANGE_SUM: u32 = {
+    let mut sum = 0;
+    let mut i = 1u32;
+    while i < 3 {
+        sum += i;
+        i += 1;
+    }
+    sum
+};

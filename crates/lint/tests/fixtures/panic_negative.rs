@@ -1,0 +1,28 @@
+// Fixture: constructs the panic-freedom rule must NOT flag.
+
+#[derive(Debug)]
+struct Wrap([u8; 4]); // array type, not indexing
+
+fn fine(v: Vec<u32>, o: Option<u32>) -> u32 {
+    let a = o.unwrap_or(0); // different method, not unwrap
+    let b = o.unwrap_or_else(|| 1); // ditto
+    let c = v.get(0).copied().unwrap_or_default(); // ditto
+    let all = &v[..]; // full-range slice never panics
+    let lit = vec![1, 2, 3]; // macro bracket, not indexing
+    let arr = [a, b, c]; // array literal after `=`
+    debug_assert!(a <= b); // debug_assert is allowed
+    let [x, y, z] = arr; // pattern after `=`, not indexing
+    x + y + z + all.len() as u32 + lit.len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u32> = vec![7];
+        assert_eq!(v[0], Some(7).unwrap()); // test code is exempt
+        if v.is_empty() {
+            panic!("fixtures gone"); // exempt too
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: every panic-freedom violation class. Never compiled — read
+// by the rule tests, which pin the expected finding lines.
+
+fn violations(v: Vec<u32>, o: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = o.unwrap(); // line 5: unwrap
+    let b = r.expect("present"); // line 6: expect
+    if a > b {
+        panic!("boom"); // line 8: panic!
+    }
+    match a {
+        0 => unreachable!(), // line 11: unreachable!
+        1 => todo!(), // line 12: todo!
+        2 => unimplemented!(), // line 13: unimplemented!
+        _ => {}
+    }
+    let c = v[0]; // line 16: indexing
+    let d = &v[1..3]; // line 17: indexing (partial range can panic)
+    c + d.len() as u32
+}

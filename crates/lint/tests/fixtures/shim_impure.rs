@@ -1,0 +1,13 @@
+// Fixture: shim-purity rule — a shim reaching into workspace crates.
+
+use std::collections::BTreeMap; // std is fine
+
+use wm_model::Node; // line 5: wm_ prefix
+
+fn peek() -> &'static str {
+    ovh_weather::VERSION // line 8: facade crate
+}
+
+fn pure(map: &BTreeMap<u32, Node>) -> usize {
+    map.len()
+}

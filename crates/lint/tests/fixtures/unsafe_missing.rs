@@ -1,0 +1,6 @@
+//! Fixture: a crate root without `forbid`; `deny` is not enough
+//! because a module can override it with `allow`.
+
+#![deny(unsafe_code)]
+
+pub fn nope() {}

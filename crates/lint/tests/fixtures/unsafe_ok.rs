@@ -1,0 +1,5 @@
+//! Fixture: a crate root carrying the pledge.
+
+#![forbid(unsafe_code)]
+
+pub fn fine() {}

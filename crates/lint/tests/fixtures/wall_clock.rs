@@ -1,0 +1,22 @@
+// Fixture: no-wall-clock rule.
+
+use std::time::Instant; // line 3: Instant
+
+fn elapsed_ns() -> u128 {
+    let start = std::time::SystemTime::now(); // line 6: SystemTime
+    start
+        .elapsed()
+        .map(|duration| duration.as_nanos())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant; // fine: test region
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

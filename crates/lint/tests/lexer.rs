@@ -1,0 +1,153 @@
+//! Unit tests for the lexer layer: string forms, comments, lifetimes,
+//! and numeric literal classification.
+
+use wm_lint::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<TokenKind> {
+    lex(src).tokens.iter().map(|t| t.kind).collect()
+}
+
+fn texts(src: &str) -> Vec<String> {
+    let lexed = lex(src);
+    lexed
+        .tokens
+        .iter()
+        .map(|t| src.get(t.start..t.end).unwrap_or("").to_owned())
+        .collect()
+}
+
+#[test]
+fn raw_strings_swallow_their_bodies() {
+    let src = r####"let s = r#"contains "quotes" and .unwrap()"#;"####;
+    assert_eq!(
+        kinds(src),
+        vec![
+            TokenKind::Ident,
+            TokenKind::Ident,
+            TokenKind::Punct(b'='),
+            TokenKind::Str,
+            TokenKind::Punct(b';'),
+        ]
+    );
+}
+
+#[test]
+fn raw_string_hash_levels_nest() {
+    let src = r#####"r##"inner "#" stays inside"## x"#####;
+    let lexed = lex(src);
+    assert_eq!(lexed.tokens.len(), 2);
+    assert_eq!(lexed.tokens[0].kind, TokenKind::Str);
+    assert_eq!(lexed.tokens[1].kind, TokenKind::Ident);
+    assert_eq!(&src[lexed.tokens[1].start..], "x");
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    assert_eq!(
+        kinds(r##"b"x" br"y" c"z" cr#"w"#"##),
+        vec![TokenKind::Str; 4]
+    );
+    assert_eq!(kinds("b'a' b'\\''"), vec![TokenKind::Char; 2]);
+}
+
+#[test]
+fn escaped_quotes_stay_inside_strings() {
+    assert_eq!(
+        kinds(r#""a \" b" done"#),
+        vec![TokenKind::Str, TokenKind::Ident]
+    );
+    assert_eq!(
+        kinds(r#"'\'' done"#),
+        vec![TokenKind::Char, TokenKind::Ident]
+    );
+}
+
+#[test]
+fn lifetimes_versus_chars() {
+    assert_eq!(
+        kinds("<'a, 'static> 'x' '_"),
+        vec![
+            TokenKind::Punct(b'<'),
+            TokenKind::Lifetime,
+            TokenKind::Punct(b','),
+            TokenKind::Lifetime,
+            TokenKind::Punct(b'>'),
+            TokenKind::Char,
+            TokenKind::Lifetime,
+        ]
+    );
+}
+
+#[test]
+fn nested_block_comments_vanish() {
+    let src = "a /* one /* two */ still one */ b";
+    assert_eq!(texts(src), vec!["a", "b"]);
+}
+
+#[test]
+fn unterminated_block_comment_ends_cleanly() {
+    assert_eq!(texts("a /* never closed"), vec!["a"]);
+}
+
+#[test]
+fn line_comments_are_collected_with_lines() {
+    let src = "// first\nlet x = 1; // trailing\n/// doc\n";
+    let lexed = lex(src);
+    let lines: Vec<u32> = lexed.comments.iter().map(|c| c.line).collect();
+    assert_eq!(lines, vec![1, 2, 3]);
+    let first = lexed.comments[0];
+    assert_eq!(&src[first.start..first.end], "// first");
+}
+
+#[test]
+fn numeric_literal_classification() {
+    assert_eq!(
+        kinds("1 1.5 1.5e3 2e-4 0xFF 0b10 1_000 2f32 3u64 1..3"),
+        vec![
+            TokenKind::Int,
+            TokenKind::Float,
+            TokenKind::Float,
+            TokenKind::Float,
+            TokenKind::Int,
+            TokenKind::Int,
+            TokenKind::Int,
+            TokenKind::Float,
+            TokenKind::Int,
+            TokenKind::Int,
+            TokenKind::Punct(b'.'),
+            TokenKind::Punct(b'.'),
+            TokenKind::Int,
+        ]
+    );
+}
+
+#[test]
+fn method_calls_on_literals_are_not_floats() {
+    assert_eq!(
+        kinds("1.max(2)"),
+        vec![
+            TokenKind::Int,
+            TokenKind::Punct(b'.'),
+            TokenKind::Ident,
+            TokenKind::Punct(b'('),
+            TokenKind::Int,
+            TokenKind::Punct(b')'),
+        ]
+    );
+}
+
+#[test]
+fn raw_identifiers_lex_as_idents() {
+    let src = "r#match(r#type)";
+    let t = texts(src);
+    assert_eq!(t, vec!["r#match", "(", "r#type", ")"]);
+    assert_eq!(kinds(src)[0], TokenKind::Ident);
+}
+
+#[test]
+fn multi_line_tokens_report_their_starting_line() {
+    let src = "x\nr#\"line two\nline three\"# y";
+    let lexed = lex(src);
+    let token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    assert_eq!(token_lines, vec![1, 2, 3]);
+}

@@ -309,7 +309,7 @@ impl Timeline {
 
         // --- Internal step upgrades ----------------------------------------
         // Eligible: internal groups between non-leaf genesis routers.
-        let leaf_set: std::collections::HashSet<&String> = genesis.leaf_routers.iter().collect();
+        let leaf_set: std::collections::BTreeSet<&String> = genesis.leaf_routers.iter().collect();
         let internal_pairs: Vec<(String, String)> = state
             .groups
             .iter()

@@ -197,7 +197,7 @@ mod tests {
 
     #[test]
     fn all_fault_kinds_occur() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for i in 0..3_000_000i64 {
             if let Some(kind) = fault_for(42, MapKind::Europe, Timestamp::from_unix(i * 300)) {
                 seen.insert(format!("{kind:?}"));

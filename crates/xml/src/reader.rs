@@ -249,7 +249,7 @@ impl<'a> Reader<'a> {
         self.pos += 2; // consume "</"
         let name = self.read_name()?;
         self.skip_whitespace();
-        self.expect(b'>', "'>' closing the tag")?;
+        self.expect_byte(b'>', "'>' closing the tag")?;
         match self.stack.pop() {
             Some(open) if open == name => Ok(Event::EndElement { name }),
             Some(open) => Err(Error::new(
@@ -299,7 +299,7 @@ impl<'a> Reader<'a> {
                 }
                 Some(b'/') => {
                     self.pos += 1;
-                    self.expect(b'>', "'>' after '/'")?;
+                    self.expect_byte(b'>', "'>' after '/'")?;
                     self.seen_root = true;
                     return Ok(Event::StartElement {
                         name,
@@ -327,7 +327,7 @@ impl<'a> Reader<'a> {
     fn read_attribute(&mut self) -> Result<Attribute<'a>> {
         let name = self.read_name()?;
         self.skip_whitespace();
-        self.expect(b'=', "'=' after attribute name")?;
+        self.expect_byte(b'=', "'=' after attribute name")?;
         self.skip_whitespace();
         let quote = match self.peek() {
             Some(q @ (b'"' | b'\'')) => q,
@@ -397,7 +397,7 @@ impl<'a> Reader<'a> {
         self.input.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8, expected: &'static str) -> Result<()> {
+    fn expect_byte(&mut self, byte: u8, expected: &'static str) -> Result<()> {
         match self.peek() {
             Some(b) if b == byte => {
                 self.pos += 1;
@@ -431,8 +431,11 @@ fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
     const HIGHS: u64 = 0x8080_8080_8080_8080;
     let broadcast = u64::from_ne_bytes([needle; 8]);
     let mut i = from;
-    while i + 8 <= haystack.len() {
-        let chunk = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte window"));
+    while let Some(window) = haystack.get(i..i + 8) {
+        let Ok(bytes) = <[u8; 8]>::try_from(window) else {
+            break; // `window` is exactly 8 bytes; kept panic-free anyway
+        };
+        let chunk = u64::from_le_bytes(bytes);
         let x = chunk ^ broadcast;
         let found = x.wrapping_sub(ONES) & !x & HIGHS;
         if found != 0 {
@@ -440,7 +443,8 @@ fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
         }
         i += 8;
     }
-    haystack[i..]
+    haystack
+        .get(i..)?
         .iter()
         .position(|&b| b == needle)
         .map(|p| i + p)

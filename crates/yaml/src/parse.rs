@@ -29,8 +29,11 @@ pub(crate) fn memchr_byte(needle: u8, haystack: &[u8]) -> Option<usize> {
     const HIGHS: u64 = 0x8080_8080_8080_8080;
     let broadcast = u64::from_ne_bytes([needle; 8]);
     let mut i = 0;
-    while i + 8 <= haystack.len() {
-        let chunk = u64::from_le_bytes(haystack[i..i + 8].try_into().expect("8-byte window"));
+    while let Some(window) = haystack.get(i..i + 8) {
+        let Ok(bytes) = <[u8; 8]>::try_from(window) else {
+            break; // `window` is exactly 8 bytes; kept panic-free anyway
+        };
+        let chunk = u64::from_le_bytes(bytes);
         let x = chunk ^ broadcast;
         let found = x.wrapping_sub(ONES) & !x & HIGHS;
         if found != 0 {
@@ -38,7 +41,8 @@ pub(crate) fn memchr_byte(needle: u8, haystack: &[u8]) -> Option<usize> {
         }
         i += 8;
     }
-    haystack[i..]
+    haystack
+        .get(i..)?
         .iter()
         .position(|&b| b == needle)
         .map(|p| i + p)
@@ -54,7 +58,12 @@ pub fn parse(text: &str) -> Result<Value> {
         return Ok(Value::Null);
     }
     let mut cursor = Cursor { lines, pos: 0 };
-    let root_indent = cursor.current().expect("non-empty").indent;
+    // `lines` was checked non-empty above; fall back to Null rather
+    // than panic if that invariant ever breaks.
+    let root_indent = match cursor.current() {
+        Some(first) => first.indent,
+        None => return Ok(Value::Null),
+    };
     let value = parse_value(&mut cursor, root_indent)?;
     if let Some(line) = cursor.current() {
         return Err(Error::new(line.number, "content after the document root"));

@@ -5,4 +5,6 @@
 //! a re-export of the facade crate. Depend on [`ovh_weather`] directly in
 //! downstream code.
 
+#![forbid(unsafe_code)]
+
 pub use ovh_weather;

@@ -173,3 +173,60 @@ fn structured_hostile_documents_are_classified() {
     let snapshot = extract_svg(&nested, MapKind::Europe, t, &config).expect("valid empty map");
     assert!(snapshot.nodes.is_empty() && snapshot.links.is_empty());
 }
+
+/// Every `ExtractError::kind()` string the library can construct is
+/// documented here and reachable through `failures_by_kind`. The
+/// `error-exhaustiveness` lint rule cross-checks this list against the
+/// variants constructed anywhere in the workspace, so adding an error
+/// variant without extending this table fails `wm-lint --deny-new`.
+#[test]
+fn documented_kinds_cover_every_classification() {
+    const DOCUMENTED_KINDS: &[&str] = &[
+        "invalid-xml",
+        "invalid-svg",
+        "invalid-load",
+        "malformed-structure",
+        "dangling-link",
+        "self-loop",
+        "label-too-far",
+        "unlinked-router",
+    ];
+    let config = ExtractConfig::default();
+    let t = Timestamp::from_unix(0);
+    // One minimal document per kind we can reach from the outside; the
+    // remaining kinds are pinned by the fault matrix above.
+    let probes: &[(&str, &str)] = &[
+        ("invalid-xml", "<svg><unclosed"),
+        (
+            "invalid-svg",
+            r#"<svg><polygon points="not numbers"/></svg>"#,
+        ),
+        (
+            "invalid-load",
+            r#"<svg><polygon points="0,0 40,0 20,6"/><polygon points="100,0 60,0 80,6"/>
+               <text class="labellink" x="1" y="1">240 %</text></svg>"#,
+        ),
+        (
+            "malformed-structure",
+            r#"<svg><text class="labellink" x="1" y="1">5 %</text></svg>"#,
+        ),
+    ];
+    for (expected, doc) in probes {
+        let err = extract_svg(doc, MapKind::Europe, t, &config)
+            .expect_err("probe documents must be refused");
+        assert_eq!(
+            &err.kind(),
+            expected,
+            "probe for {expected} classified as {}",
+            err.kind()
+        );
+        assert!(DOCUMENTED_KINDS.contains(&err.kind()));
+    }
+    // The documented list is exactly the kind() surface: no duplicates,
+    // and every batch tally key must belong to it (checked by the fault
+    // matrix run above for the kinds injected there).
+    let mut unique: Vec<&str> = DOCUMENTED_KINDS.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), DOCUMENTED_KINDS.len());
+}
