@@ -9,6 +9,8 @@ cargo test -q --test scheduling_equivalence
 cargo test -q --test analysis_equivalence
 cargo test -q --test cache_robustness
 cargo test -q --test cache_equivalence
+cargo test -q --test segment_robustness
+cargo test -q --test segment_equivalence
 cargo bench --no-run --workspace
 cargo clippy -- -D warnings
 cargo clippy -p wm-lint -- -D warnings
@@ -26,4 +28,10 @@ target/release/ovh-weather generate --out "$smoke_dir" --from 2022-02-01 --to 20
 target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --metrics
 target/release/ovh-weather index --in "$smoke_dir" --map europe --threads 2
 target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --cache --metrics | grep -q "cache:"
+# Segment store: compact into time-sharded segments, then serve a
+# six-hour window from only the segments it intersects. (Plain grep, not
+# -q: quitting at the first match closes the pipe mid-print.)
+target/release/ovh-weather index --in "$smoke_dir" --map europe --threads 2 --compact --metrics | grep "segments:" > /dev/null
+target/release/ovh-weather analyze --in "$smoke_dir" --map europe --threads 2 --cache --metrics \
+    --from 2022-02-01T06:00:00Z --to 2022-02-01T12:00:00Z | grep "segments:" > /dev/null
 rm -rf "$smoke_dir"

@@ -11,7 +11,7 @@
 
 use std::borrow::Borrow;
 
-use wm_model::{Duration, TopologySnapshot};
+use wm_model::{Duration, TimeRange, TopologySnapshot};
 
 use crate::degree::{DegreeAnalysis, DegreePass};
 use crate::evolution::{EvolutionPass, EvolutionReport};
@@ -52,6 +52,14 @@ pub struct SuiteConfig {
     pub min_link_delta: usize,
     /// When set, the Fig. 6 upgrade forensics to run alongside.
     pub upgrade: Option<UpgradeTarget>,
+    /// When set, snapshots outside this half-open window are ignored.
+    ///
+    /// The windowed dataset loader already restricts what it *loads*;
+    /// this is the belt-and-braces filter that makes the suite itself
+    /// range-aware, so driving it from an unrestricted source (a full
+    /// snapshot slice, a whole columnar store) produces the same report
+    /// as driving it from a windowed load.
+    pub range: Option<TimeRange>,
 }
 
 impl Default for SuiteConfig {
@@ -61,6 +69,7 @@ impl Default for SuiteConfig {
             min_router_delta: 1,
             min_link_delta: 4,
             upgrade: None,
+            range: None,
         }
     }
 }
@@ -69,6 +78,7 @@ impl Default for SuiteConfig {
 #[derive(Debug, Clone)]
 pub struct AnalysisSuite {
     snapshots: usize,
+    range: Option<TimeRange>,
     timeframe: TimeframePass,
     evolution: EvolutionPass,
     degree: DegreePass,
@@ -87,6 +97,7 @@ impl AnalysisSuite {
     pub fn new(config: SuiteConfig) -> AnalysisSuite {
         AnalysisSuite {
             snapshots: 0,
+            range: config.range,
             timeframe: TimeframePass::new(config.max_gap),
             evolution: EvolutionPass::new(config.min_router_delta, config.min_link_delta),
             degree: DegreePass::default(),
@@ -120,6 +131,12 @@ impl AnalysisPass for AnalysisSuite {
     type Output = SuiteReport;
 
     fn observe(&mut self, snapshot: &TopologySnapshot) {
+        if self
+            .range
+            .is_some_and(|range| !range.contains(snapshot.timestamp))
+        {
+            return;
+        }
         self.snapshots += 1;
         self.timeframe.observe(snapshot);
         self.evolution.observe(snapshot);
@@ -420,6 +437,30 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn range_filter_matches_prefiltered_input() {
+        let snapshots = corpus();
+        let range = TimeRange::new(
+            Timestamp::from_ymd_hms(2021, 6, 1, 4, 0, 0),
+            Timestamp::from_ymd_hms(2021, 6, 1, 16, 0, 0),
+        );
+        let config = SuiteConfig {
+            range: Some(range),
+            ..SuiteConfig::default()
+        };
+        let windowed = AnalysisSuite::run(config, &snapshots);
+        let filtered: Vec<TopologySnapshot> = snapshots
+            .iter()
+            .filter(|s| range.contains(s.timestamp))
+            .cloned()
+            .collect();
+        assert!(filtered.len() < snapshots.len() && !filtered.is_empty());
+        assert_eq!(
+            windowed,
+            AnalysisSuite::run(SuiteConfig::default(), &filtered)
+        );
     }
 
     #[test]

@@ -4,11 +4,12 @@
 //! ovh-weather generate --out DIR --from DATE --to DATE [--map M] [--seed N] [--scale X]
 //! ovh-weather extract  --in DIR [--map M] [--threads N] [--metrics]
 //! ovh-weather stats    --in DIR [--cache[=auto|off|rebuild]] [--threads N]
-//! ovh-weather index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--metrics]
+//! ovh-weather index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--compact] [--metrics]
 //! ovh-weather inspect  FILE.svg|FILE.yaml [--map M]
 //! ovh-weather validate FILE.yaml
 //! ovh-weather verify   [--map M] [--at DATE] [--seed N] [--scale X]
-//! ovh-weather analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]] [--metrics]
+//! ovh-weather analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]]
+//!                      [--from DATE] [--to DATE] [--metrics]
 //! ovh-weather diff     OLD.yaml NEW.yaml
 //! ```
 //!
@@ -16,11 +17,15 @@
 //! the released dataset's layout); `extract` re-extracts the SVG files of
 //! an existing corpus; `stats` prints Table 2 for a corpus directory;
 //! `index` prebuilds the binary longitudinal cache so later `analyze
-//! --cache` runs skip YAML entirely; `inspect` extracts or parses one
-//! file and summarises it; `validate` audits a YAML snapshot; `verify`
-//! runs the simulator round-trip check; `analyze` loads a stored corpus
-//! into the columnar longitudinal store and runs all nine §5 analyses in
-//! one pass; `diff` names the structural changes between two snapshots.
+//! --cache` runs skip YAML entirely (`--compact` builds and validates
+//! the time-sharded segment store instead, repairing any damaged
+//! segment); `inspect` extracts or parses one file and summarises it;
+//! `validate` audits a YAML snapshot; `verify` runs the simulator
+//! round-trip check; `analyze` loads a stored corpus into the columnar
+//! longitudinal store and runs all nine §5 analyses in one pass —
+//! `--from`/`--to` restrict it to a time window served from only the
+//! segments the window intersects; `diff` names the structural changes
+//! between two snapshots.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::process::ExitCode;
@@ -65,11 +70,12 @@ commands:
   generate --out DIR --from YYYY-MM-DD --to YYYY-MM-DD [--map M] [--seed N] [--scale X]
   extract  --in DIR [--map M] [--threads N] [--metrics]
   stats    --in DIR [--cache[=auto|off|rebuild]] [--threads N]
-  index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--metrics]
+  index    --in DIR [--map M] [--threads N] [--cache[=auto|rebuild]] [--compact] [--metrics]
   inspect  FILE.svg|FILE.yaml [--map M]
   validate FILE.yaml
   verify   [--map M] [--at YYYY-MM-DD] [--seed N] [--scale X]
-  analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]] [--metrics]
+  analyze  --in DIR [--map M] [--threads N] [--cache[=auto|off|rebuild]]
+           [--from YYYY-MM-DD] [--to YYYY-MM-DD] [--metrics]
   diff     OLD.yaml NEW.yaml
 
 common options:
@@ -78,12 +84,14 @@ common options:
   --map M      europe|world|north-america|asia-pacific (default all/europe)
   --threads N  extraction / corpus-loading workers (default: available parallelism)
   --cache[=M]  longitudinal cache mode: auto (bare --cache), off, rebuild
+  --compact    (index) build/validate the time-sharded segment store
+  --from/--to  (analyze) restrict analysis to [from, to), served from segments
   --metrics    print per-stage timing histograms and throughput";
 
 /// Options that are boolean switches rather than `--key value` pairs.
 /// `cache` is a switch with an optional mode: bare `--cache` means
 /// `auto`, and `--cache=MODE` selects one explicitly.
-const FLAG_KEYS: &[&str] = &["metrics", "cache"];
+const FLAG_KEYS: &[&str] = &["metrics", "cache", "compact"];
 
 /// Parsed `--key value` options, boolean `--flag`s and positionals.
 struct Options {
@@ -346,6 +354,9 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
         mode => mode,
     };
     let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
+    if options.flag("compact") {
+        return cmd_index_compact(&store, &options, threads, mode);
+    }
     let mut maps_indexed = 0usize;
     for map in options.maps()? {
         let started = std::time::Instant::now();
@@ -376,6 +387,64 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `index --compact`: brings the time-sharded segment store of every
+/// map in line with the corpus, validating (and repairing) each
+/// segment file on the way.
+fn cmd_index_compact(
+    store: &DatasetStore,
+    options: &Options,
+    threads: usize,
+    mode: CacheMode,
+) -> Result<(), String> {
+    let mut maps_indexed = 0usize;
+    for map in options.maps()? {
+        let started = std::time::Instant::now();
+        let (manifest, load_stats) =
+            reindex_segments(store, map, threads, mode).map_err(|e| e.to_string())?;
+        if manifest.segments.is_empty() {
+            continue;
+        }
+        maps_indexed += 1;
+        let snapshots: u64 = manifest.segments.iter().map(|m| m.snapshots).sum();
+        println!(
+            "{:<15} compacted {} snapshots into {} segment(s) in {:.2?} [{}]",
+            map.display_name(),
+            snapshots,
+            manifest.segments.len(),
+            started.elapsed(),
+            cache_outcome(&load_stats.cache),
+        );
+        if options.flag("metrics") {
+            print_segment_metrics(&load_stats, threads);
+        }
+    }
+    if maps_indexed == 0 {
+        return Err("no YAML snapshots to compact".to_owned());
+    }
+    Ok(())
+}
+
+/// The corpus/cache counter block of a segment-store operation, where
+/// no columnar store is materialised.
+fn print_segment_metrics(load_stats: &CorpusLoadStats, threads: usize) {
+    println!(
+        "corpus: {} files, {} parsed, {} failed, {:.1} MiB ({threads} threads)",
+        load_stats.files,
+        load_stats.parsed,
+        load_stats.failed,
+        load_stats.bytes as f64 / (1024.0 * 1024.0),
+    );
+    let c = &load_stats.cache;
+    println!(
+        "cache: {} hit, {} miss, {} append, {} corrupt, {} stale; {} snapshots from cache, {} appended",
+        c.hits, c.misses, c.appends, c.corrupt, c.stale, c.snapshots_from_cache, c.snapshots_appended
+    );
+    println!(
+        "segments: {} touched, {} rebuilt",
+        c.segments_touched, c.segments_rebuilt
+    );
+}
+
 /// The deterministic corpus/cache counter block behind `--metrics`.
 fn print_load_metrics(load_stats: &CorpusLoadStats, columnar: &LongitudinalStore, threads: usize) {
     println!(
@@ -388,9 +457,21 @@ fn print_load_metrics(load_stats: &CorpusLoadStats, columnar: &LongitudinalStore
     let c = &load_stats.cache;
     if !c.is_empty() {
         println!(
-            "cache: {} hit, {} miss, {} append, {} corrupt; {} snapshots from cache, {} appended",
-            c.hits, c.misses, c.appends, c.corrupt, c.snapshots_from_cache, c.snapshots_appended
+            "cache: {} hit, {} miss, {} append, {} corrupt, {} stale; {} snapshots from cache, {} appended",
+            c.hits,
+            c.misses,
+            c.appends,
+            c.corrupt,
+            c.stale,
+            c.snapshots_from_cache,
+            c.snapshots_appended
         );
+        if c.segments_touched > 0 || c.segments_rebuilt > 0 {
+            println!(
+                "segments: {} touched, {} rebuilt",
+                c.segments_touched, c.segments_rebuilt
+            );
+        }
     }
     println!(
         "columnar store: {} snapshots, {} nodes, {} link identities, {} load rows, {} topology events, ~{:.1} MiB",
@@ -464,19 +545,39 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let dir = options.required("in")?;
     let threads = options.threads()?;
     let mode = options.cache_mode()?;
+    // `--from`/`--to` restrict the analysis to a half-open window; the
+    // windowed loader then only touches the segments the window
+    // intersects instead of materialising the whole history.
+    let from = options.date("from")?;
+    let to = options.date("to")?;
+    let range = if from.is_some() || to.is_some() {
+        Some(TimeRange::new(
+            from.unwrap_or(TimeRange::ALL.start),
+            to.unwrap_or(TimeRange::ALL.end),
+        ))
+    } else {
+        None
+    };
     let store = DatasetStore::open_existing(dir).map_err(|e| e.to_string())?;
     let mut maps_analyzed = 0usize;
     for map in options.maps()? {
         let load_started = std::time::Instant::now();
-        let (columnar, load_stats) =
-            build_longitudinal_cached(&store, map, threads, mode).map_err(|e| e.to_string())?;
+        let (columnar, load_stats) = match range {
+            Some(range) => build_longitudinal_windowed(&store, map, range, threads, mode),
+            None => build_longitudinal_cached(&store, map, threads, mode),
+        }
+        .map_err(|e| e.to_string())?;
         if columnar.is_empty() {
             continue;
         }
         maps_analyzed += 1;
         let load_elapsed = load_started.elapsed();
         let analyze_started = std::time::Instant::now();
-        let report = AnalysisSuite::run(SuiteConfig::default(), columnar.snapshots());
+        let config = SuiteConfig {
+            range,
+            ..SuiteConfig::default()
+        };
+        let report = AnalysisSuite::run(config, columnar.snapshots());
         let analyze_elapsed = analyze_started.elapsed();
         println!("=== {} ===", map.display_name());
         print!("{}", report.render());
@@ -488,7 +589,10 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         println!();
     }
     if maps_analyzed == 0 {
-        return Err(format!("no YAML snapshots under {dir}"));
+        return Err(match range {
+            Some(range) => format!("no YAML snapshots under {dir} within {range}"),
+            None => format!("no YAML snapshots under {dir}"),
+        });
     }
     Ok(())
 }

@@ -66,9 +66,10 @@ pub mod prelude {
         SuiteReport, WhiskerSummary,
     };
     pub use wm_dataset::{
-        build_longitudinal, build_longitudinal_cached, load_snapshots, CacheError, CacheMode,
+        build_longitudinal, build_longitudinal_cached, build_longitudinal_windowed,
+        build_longitudinal_windowed_with, load_snapshots, reindex_segments, CacheError, CacheMode,
         CorpusFingerprint, CorpusLoadStats, CorpusStats, DatasetStore, FileKind, LinkDef, LinkId,
-        LongitudinalStore, NodeId, TopologyEvent,
+        LongitudinalStore, NodeId, SegmentManifest, SegmentMeta, SegmentPolicy, TopologyEvent,
     };
     pub use wm_extract::{
         extract_batch, extract_batch_with, extract_svg, from_yaml_str, to_yaml_string, BatchInput,
@@ -76,7 +77,7 @@ pub mod prelude {
         SnapshotSink, Stage,
     };
     pub use wm_model::{
-        Duration, Link, LinkEnd, LinkKind, Load, MapKind, Node, NodeKind, Timestamp,
+        Duration, Link, LinkEnd, LinkKind, Load, MapKind, Node, NodeKind, TimeRange, Timestamp,
         TopologySnapshot,
     };
     pub use wm_simulator::{Simulation, SimulationConfig};

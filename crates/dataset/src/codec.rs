@@ -245,35 +245,35 @@ impl CorpusFingerprint {
 // Encoding.
 // ---------------------------------------------------------------------------
 
-struct Writer {
-    buf: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) buf: Vec<u8>,
 }
 
 impl Writer {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
-    fn u16(&mut self, v: u16) {
+    pub(crate) fn u16(&mut self, v: u16) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
-    fn bytes(&mut self, v: &[u8]) {
+    pub(crate) fn bytes(&mut self, v: &[u8]) {
         self.buf.extend_from_slice(v);
     }
-    fn str16(&mut self, s: &str) {
+    pub(crate) fn str16(&mut self, s: &str) {
         debug_assert!(s.len() <= u16::MAX as usize);
         self.u16(s.len() as u16);
         self.bytes(s.as_bytes());
     }
-    fn opt_str16(&mut self, s: Option<&str>) {
+    pub(crate) fn opt_str16(&mut self, s: Option<&str>) {
         match s {
             None => self.u8(0),
             Some(s) => {
@@ -282,7 +282,7 @@ impl Writer {
             }
         }
     }
-    fn u32_run(&mut self, values: &[u32]) {
+    pub(crate) fn u32_run(&mut self, values: &[u32]) {
         self.u64(values.len() as u64);
         for &v in values {
             self.buf.extend_from_slice(&v.to_le_bytes());
@@ -448,17 +448,17 @@ pub fn encode_store(
 // ---------------------------------------------------------------------------
 
 /// A bounds-checked cursor over a section payload.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CacheError> {
+    pub(crate) fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CacheError> {
         let end = self
             .pos
             .checked_add(n)
@@ -469,36 +469,39 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self, context: &'static str) -> Result<u8, CacheError> {
+    pub(crate) fn u8(&mut self, context: &'static str) -> Result<u8, CacheError> {
         Ok(self.take(1, context)?[0])
     }
 
-    fn u16(&mut self, context: &'static str) -> Result<u16, CacheError> {
+    pub(crate) fn u16(&mut self, context: &'static str) -> Result<u16, CacheError> {
         let b = self.take(2, context)?;
         Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self, context: &'static str) -> Result<u32, CacheError> {
+    pub(crate) fn u32(&mut self, context: &'static str) -> Result<u32, CacheError> {
         let b = self.take(4, context)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self, context: &'static str) -> Result<u64, CacheError> {
+    pub(crate) fn u64(&mut self, context: &'static str) -> Result<u64, CacheError> {
         let b = self.take(8, context)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
     }
 
-    fn i64(&mut self, context: &'static str) -> Result<i64, CacheError> {
+    pub(crate) fn i64(&mut self, context: &'static str) -> Result<i64, CacheError> {
         Ok(self.u64(context)? as i64)
     }
 
-    fn str16(&mut self, context: &'static str) -> Result<&'a str, CacheError> {
+    pub(crate) fn str16(&mut self, context: &'static str) -> Result<&'a str, CacheError> {
         let len = self.u16(context)? as usize;
         let bytes = self.take(len, context)?;
         std::str::from_utf8(bytes).map_err(|_| CacheError::Invalid("non-UTF-8 string"))
     }
 
-    fn opt_str16(&mut self, context: &'static str) -> Result<Option<&'a str>, CacheError> {
+    pub(crate) fn opt_str16(
+        &mut self,
+        context: &'static str,
+    ) -> Result<Option<&'a str>, CacheError> {
         match self.u8(context)? {
             0 => Ok(None),
             1 => Ok(Some(self.str16(context)?)),
@@ -507,7 +510,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Bulk-decodes a length-prefixed `u32` run.
-    fn u32_run(&mut self, context: &'static str) -> Result<Vec<u32>, CacheError> {
+    pub(crate) fn u32_run(&mut self, context: &'static str) -> Result<Vec<u32>, CacheError> {
         let len = self.checked_len(context)?;
         let bytes = self.take(len * 4, context)?;
         Ok(bytes
@@ -518,7 +521,7 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u64` count and sanity-bounds it against the bytes left,
     /// so a corrupt length cannot trigger a huge allocation.
-    fn checked_len(&mut self, context: &'static str) -> Result<usize, CacheError> {
+    pub(crate) fn checked_len(&mut self, context: &'static str) -> Result<usize, CacheError> {
         let len = self.u64(context)?;
         let remaining = (self.buf.len() - self.pos) as u64;
         if len > remaining {
@@ -527,7 +530,7 @@ impl<'a> Reader<'a> {
         Ok(len as usize)
     }
 
-    fn finished(&self, context: &'static str) -> Result<(), CacheError> {
+    pub(crate) fn finished(&self, context: &'static str) -> Result<(), CacheError> {
         if self.pos == self.buf.len() {
             Ok(())
         } else {

@@ -17,7 +17,12 @@
 //!   snapshot vector or the columnar store, with a cache-aware entry
 //!   point ([`build_longitudinal_cached`]) that fingerprints the corpus;
 //! * [`codec`] — the versioned, checksummed binary cache format that
-//!   persists a built store so later runs skip YAML entirely.
+//!   persists a built store so later runs skip YAML entirely;
+//! * [`segment`] / [`segments`] — the time-sharded segment store:
+//!   sealed immutable window segments plus an active tail, a manifest
+//!   mapping time spans to segment files, windowed loads
+//!   ([`build_longitudinal_windowed`]) that decode only intersecting
+//!   segments, and synchronous compaction ([`reindex_segments`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +31,8 @@ pub mod codec;
 pub mod loader;
 pub mod longitudinal;
 pub mod paths;
+pub mod segment;
+pub mod segments;
 mod stats;
 mod store;
 
@@ -40,5 +47,14 @@ pub use longitudinal::{
     TopologyEvent,
 };
 pub use paths::{parse_path, relative_path, FileKind};
+pub use segment::{
+    decode_segment, decode_segment_header, encode_segment, identity_digest, SegmentHeader,
+    SEGMENT_FORMAT_VERSION, SEGMENT_MAGIC,
+};
+pub use segments::{
+    build_longitudinal_windowed, build_longitudinal_windowed_with, decode_manifest,
+    encode_manifest, reindex_segments, reindex_segments_with, segment_name, write_manifest,
+    SegmentManifest, SegmentMeta, SegmentPolicy, MANIFEST_FORMAT_VERSION, MANIFEST_MAGIC,
+};
 pub use stats::{CellStats, CorpusStats};
 pub use store::{DatasetEntry, DatasetStore};

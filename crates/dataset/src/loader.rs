@@ -39,7 +39,7 @@ pub struct CorpusLoadStats {
 }
 
 impl CorpusLoadStats {
-    fn merge(&mut self, other: CorpusLoadStats) {
+    pub(crate) fn merge(&mut self, other: CorpusLoadStats) {
         self.files += other.files;
         self.parsed += other.parsed;
         self.failed += other.failed;
@@ -147,7 +147,14 @@ pub fn build_longitudinal_cached(
                         "warning: discarding longitudinal cache for {}: {err}; rebuilding from YAML",
                         map.slug()
                     );
-                    cache.corrupt += 1;
+                    // A version mismatch is staleness, not damage: the
+                    // image is structurally sound, this build just
+                    // cannot read it.
+                    if matches!(err, codec::CacheError::UnsupportedVersion(_)) {
+                        cache.stale += 1;
+                    } else {
+                        cache.corrupt += 1;
+                    }
                     None
                 }
             },
@@ -239,7 +246,11 @@ fn persist(
 }
 
 /// The corpus fingerprint from enumerated entries plus per-file hashes.
-fn fingerprint_from(map: MapKind, entries: &[DatasetEntry], hashes: &[u64]) -> CorpusFingerprint {
+pub(crate) fn fingerprint_from(
+    map: MapKind,
+    entries: &[DatasetEntry],
+    hashes: &[u64],
+) -> CorpusFingerprint {
     CorpusFingerprint {
         entries: entries
             .iter()
@@ -255,7 +266,7 @@ fn fingerprint_from(map: MapKind, entries: &[DatasetEntry], hashes: &[u64]) -> C
 
 /// The layout-relative path of one snapshot file as a `/`-joined string
 /// (platform-independent, so fingerprints are portable).
-fn relative_path_string(map: MapKind, timestamp: Timestamp) -> String {
+pub(crate) fn relative_path_string(map: MapKind, timestamp: Timestamp) -> String {
     let path = relative_path(map, FileKind::Yaml, timestamp);
     let mut out = String::new();
     for component in path.iter() {
@@ -269,7 +280,7 @@ fn relative_path_string(map: MapKind, timestamp: Timestamp) -> String {
 
 /// Materialises `entries` as snapshots sorted by `(timestamp, entry
 /// order)`, like the legacy loader, optionally hashing file contents.
-fn load_sorted(
+pub(crate) fn load_sorted(
     store: &DatasetStore,
     map: MapKind,
     entries: &[DatasetEntry],
@@ -289,7 +300,7 @@ fn load_sorted(
 
 /// Hashes every entry's contents in parallel without parsing anything —
 /// the cache-validation pass. Returned in entry order.
-fn hash_entries(
+pub(crate) fn hash_entries(
     store: &DatasetStore,
     map: MapKind,
     entries: &[DatasetEntry],
@@ -345,7 +356,7 @@ fn hash_entries(
 /// FNV-1a content hash of every entry, in entry order — the combined
 /// parse-and-fingerprint pass of the cache-miss path, which avoids
 /// reading each file twice.
-fn load_fold_entries<S: SnapshotSink>(
+pub(crate) fn load_fold_entries<S: SnapshotSink>(
     store: &DatasetStore,
     map: MapKind,
     entries: &[DatasetEntry],

@@ -168,6 +168,107 @@ impl DatasetStore {
         }
     }
 
+    /// Directory holding one map's segment files and manifest.
+    ///
+    /// Dot-prefixed like the monolithic cache, so nothing under it can
+    /// ever surface from [`Self::entries`].
+    #[must_use]
+    pub fn segments_dir(&self, map: MapKind) -> PathBuf {
+        self.root.join(map.slug()).join(".segments")
+    }
+
+    /// Absolute path of one map's segment manifest.
+    #[must_use]
+    pub fn manifest_path(&self, map: MapKind) -> PathBuf {
+        self.segments_dir(map).join("manifest")
+    }
+
+    /// Absolute path of one named segment file.
+    #[must_use]
+    pub fn segment_path(&self, map: MapKind, name: &str) -> PathBuf {
+        self.segments_dir(map).join(name)
+    }
+
+    /// Writes one segment file atomically (temporary sibling + rename).
+    pub fn write_segment_file(&self, map: MapKind, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let path = self.segment_path(map, name);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_file_name(format!("{name}.tmp"));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Reads one segment file; `Ok(None)` when it does not exist.
+    pub fn read_segment_file(&self, map: MapKind, name: &str) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.segment_path(map, name)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Deletes one segment file if present.
+    pub fn remove_segment_file(&self, map: MapKind, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.segment_path(map, name)) {
+            Ok(()) => Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Writes one map's segment manifest atomically.
+    pub fn write_manifest_bytes(&self, map: MapKind, bytes: &[u8]) -> io::Result<()> {
+        let path = self.manifest_path(map);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let tmp = path.with_file_name("manifest.tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)
+    }
+
+    /// Reads one map's segment manifest; `Ok(None)` when absent.
+    pub fn read_manifest_bytes(&self, map: MapKind) -> io::Result<Option<Vec<u8>>> {
+        match fs::read(self.manifest_path(map)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(err) => Err(err),
+        }
+    }
+
+    /// Names of the segment files present on disk (`seg-*.seg`), sorted.
+    ///
+    /// Used to garbage-collect files a rewritten manifest no longer
+    /// references and to recover a manifest from segment headers.
+    pub fn list_segment_files(&self, map: MapKind) -> io::Result<Vec<String>> {
+        let dir = self.segments_dir(map);
+        if !dir.is_dir() {
+            return Ok(Vec::new());
+        }
+        let mut names = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with("seg-") && name.ends_with(".seg") {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Removes one map's whole segment directory (forced reindex).
+    pub fn remove_segments(&self, map: MapKind) -> io::Result<()> {
+        match fs::remove_dir_all(self.segments_dir(map)) {
+            Ok(()) => Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(err) => Err(err),
+        }
+    }
+
     fn walk(&self, dir: &Path, out: &mut Vec<DatasetEntry>) -> io::Result<()> {
         if !dir.is_dir() {
             return Ok(());
@@ -315,6 +416,75 @@ mod tests {
         assert_eq!(store.open_cache(MapKind::World).unwrap(), None);
         // Removing an absent cache is not an error.
         store.remove_cache(MapKind::World).unwrap();
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn segment_files_round_trip_and_stay_invisible() {
+        let store = temp_store("segfiles");
+        let t = Timestamp::from_ymd_hms(2022, 2, 1, 0, 0, 0);
+        store
+            .write(MapKind::Europe, FileKind::Yaml, t, b"map: europe")
+            .unwrap();
+
+        assert_eq!(store.read_manifest_bytes(MapKind::Europe).unwrap(), None);
+        assert!(store
+            .list_segment_files(MapKind::Europe)
+            .unwrap()
+            .is_empty());
+
+        store
+            .write_segment_file(MapKind::Europe, "seg-00.seg", b"one")
+            .unwrap();
+        store
+            .write_segment_file(MapKind::Europe, "seg-01.seg", b"two")
+            .unwrap();
+        store.write_manifest_bytes(MapKind::Europe, b"mf").unwrap();
+        assert_eq!(
+            store.list_segment_files(MapKind::Europe).unwrap(),
+            vec!["seg-00.seg".to_owned(), "seg-01.seg".to_owned()]
+        );
+        assert_eq!(
+            store
+                .read_segment_file(MapKind::Europe, "seg-00.seg")
+                .unwrap()
+                .as_deref(),
+            Some(&b"one"[..])
+        );
+        assert_eq!(
+            store
+                .read_manifest_bytes(MapKind::Europe)
+                .unwrap()
+                .as_deref(),
+            Some(&b"mf"[..])
+        );
+        // No temporaries linger after the atomic writes.
+        assert!(!store
+            .segments_dir(MapKind::Europe)
+            .join("seg-00.seg.tmp")
+            .exists());
+        assert!(!store
+            .segments_dir(MapKind::Europe)
+            .join("manifest.tmp")
+            .exists());
+
+        // The dot-prefixed directory never pollutes corpus enumeration.
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1, "only the snapshot: {entries:?}");
+
+        store
+            .remove_segment_file(MapKind::Europe, "seg-01.seg")
+            .unwrap();
+        store
+            .remove_segment_file(MapKind::Europe, "seg-01.seg")
+            .unwrap();
+        assert_eq!(
+            store.list_segment_files(MapKind::Europe).unwrap(),
+            vec!["seg-00.seg".to_owned()]
+        );
+        store.remove_segments(MapKind::Europe).unwrap();
+        assert!(!store.segments_dir(MapKind::Europe).exists());
+        store.remove_segments(MapKind::Europe).unwrap();
         fs::remove_dir_all(store.root()).unwrap();
     }
 

@@ -252,13 +252,25 @@ pub struct CacheStats {
     /// Incremental appends: the cached fingerprint was a strict prefix
     /// of the corpus and only the tail was parsed.
     pub appends: u64,
-    /// Cache files rejected as corrupt (bad magic, version, CRC,
-    /// truncation, invalid contents) before rebuilding.
+    /// Cache files rejected as corrupt (bad magic, CRC, truncation,
+    /// invalid contents) before rebuilding.
     pub corrupt: u64,
+    /// Cache files written by a different format version — structurally
+    /// intact but unreadable by this build, rebuilt like a miss. Kept
+    /// apart from `corrupt` so a fleet-wide version bump does not read
+    /// as data damage.
+    pub stale: u64,
     /// Snapshots served from the cache without parsing YAML.
     pub snapshots_from_cache: u64,
     /// Snapshots parsed from YAML to extend a stale cache.
     pub snapshots_appended: u64,
+    /// Segments decoded or built to serve a windowed load — the
+    /// acceptance counter proving a narrow window never touches the
+    /// whole history.
+    pub segments_touched: u64,
+    /// Segments covering previously indexed time that had to be
+    /// re-encoded (damaged file, stale version, or a corpus edit).
+    pub segments_rebuilt: u64,
 }
 
 impl CacheStats {
@@ -268,8 +280,11 @@ impl CacheStats {
         self.misses += other.misses;
         self.appends += other.appends;
         self.corrupt += other.corrupt;
+        self.stale += other.stale;
         self.snapshots_from_cache += other.snapshots_from_cache;
         self.snapshots_appended += other.snapshots_appended;
+        self.segments_touched += other.segments_touched;
+        self.segments_rebuilt += other.segments_rebuilt;
     }
 
     /// `true` when no cache activity was recorded at all.
@@ -483,14 +498,21 @@ impl fmt::Display for BatchMetrics {
             let c = &self.cache;
             writeln!(
                 f,
-                "  cache:     {} hit, {} miss, {} append, {} corrupt",
-                c.hits, c.misses, c.appends, c.corrupt
+                "  cache:     {} hit, {} miss, {} append, {} corrupt, {} stale",
+                c.hits, c.misses, c.appends, c.corrupt, c.stale
             )?;
             writeln!(
                 f,
                 "             {} snapshots from cache, {} appended from YAML",
                 c.snapshots_from_cache, c.snapshots_appended
             )?;
+            if c.segments_touched > 0 || c.segments_rebuilt > 0 {
+                writeln!(
+                    f,
+                    "  segments:  {} touched, {} rebuilt",
+                    c.segments_touched, c.segments_rebuilt
+                )?;
+            }
         }
         if self.failures_by_kind.is_empty() {
             writeln!(f, "  failures:  none")?;

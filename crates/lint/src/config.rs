@@ -40,6 +40,8 @@ impl Config {
                 "crates/svg/src/build.rs",
                 "crates/dataset/src/codec.rs",
                 "crates/dataset/src/longitudinal.rs",
+                "crates/dataset/src/segment.rs",
+                "crates/dataset/src/segments.rs",
                 "crates/dataset/src/stats.rs",
                 "crates/analysis/src/",
                 "crates/simulator/src/",

@@ -34,7 +34,7 @@ pub use link::{Link, LinkEnd, LinkKind};
 pub use map::MapKind;
 pub use node::{Node, NodeKind, NodeName};
 pub use snapshot::{ParallelGroup, TopologySnapshot};
-pub use time::{Duration, Timestamp};
+pub use time::{Duration, TimeRange, Timestamp};
 
 /// A link load percentage in `[0, 100]`.
 ///

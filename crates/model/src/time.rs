@@ -347,6 +347,62 @@ impl fmt::Display for Timestamp {
     }
 }
 
+/// A half-open UTC time range `[start, end)`.
+///
+/// Snapshot timestamps sit on a 5-minute grid, so the half-open
+/// convention composes cleanly: `[a, b)` followed by `[b, c)` covers
+/// `[a, c)` with no snapshot counted twice. An empty range (`end <=
+/// start`) contains nothing and intersects nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeRange {
+    /// First instant inside the range.
+    pub start: Timestamp,
+    /// First instant past the range.
+    pub end: Timestamp,
+}
+
+impl TimeRange {
+    /// The range containing every representable timestamp.
+    pub const ALL: TimeRange = TimeRange {
+        start: Timestamp::from_unix(i64::MIN),
+        end: Timestamp::from_unix(i64::MAX),
+    };
+
+    /// Creates the range `[start, end)`.
+    #[must_use]
+    pub const fn new(start: Timestamp, end: Timestamp) -> TimeRange {
+        TimeRange { start, end }
+    }
+
+    /// Whether `t` lies inside the range.
+    #[must_use]
+    pub fn contains(self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the range contains no instant at all.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Whether the range intersects the *closed* span `[min, max]`.
+    ///
+    /// Segment manifests record the closed span of the timestamps a
+    /// segment actually holds, so windowed loads ask this question for
+    /// every segment.
+    #[must_use]
+    pub fn intersects_closed(self, min: Timestamp, max: Timestamp) -> bool {
+        !self.is_empty() && min < self.end && self.start <= max
+    }
+}
+
+impl fmt::Display for TimeRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
 /// Days from the Unix epoch to a civil date (Hinnant's `days_from_civil`).
 fn days_from_civil(year: i32, month: u8, day: u8) -> i64 {
     let y = i64::from(year) - i64::from(month <= 2);
@@ -399,6 +455,39 @@ pub fn is_leap_year(year: i32) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_range_membership_is_half_open() {
+        let start = Timestamp::from_ymd(2022, 2, 1);
+        let end = start + Duration::from_hours(6);
+        let range = TimeRange::new(start, end);
+        assert!(range.contains(start));
+        assert!(range.contains(end - SNAPSHOT_INTERVAL));
+        assert!(!range.contains(end));
+        assert!(!range.contains(start - SNAPSHOT_INTERVAL));
+        assert!(!range.is_empty());
+        assert!(TimeRange::new(end, start).is_empty());
+        assert!(TimeRange::new(start, start).is_empty());
+        assert!(TimeRange::ALL.contains(start));
+        assert_eq!(
+            range.to_string(),
+            "[2022-02-01T00:00:00Z, 2022-02-01T06:00:00Z)"
+        );
+    }
+
+    #[test]
+    fn time_range_closed_span_intersection() {
+        let t = |h: i64| Timestamp::from_ymd(2022, 2, 1) + Duration::from_hours(h);
+        let range = TimeRange::new(t(2), t(4));
+        // Span entirely before, overlapping both edges, entirely after.
+        assert!(!range.intersects_closed(t(0), t(1)));
+        assert!(range.intersects_closed(t(1), t(2)), "closed max == start");
+        assert!(range.intersects_closed(t(3), t(6)));
+        assert!(!range.intersects_closed(t(4), t(6)), "end is exclusive");
+        assert!(range.intersects_closed(t(0), t(6)), "span swallows range");
+        // Empty ranges intersect nothing.
+        assert!(!TimeRange::new(t(2), t(2)).intersects_closed(t(0), t(6)));
+    }
 
     #[test]
     fn epoch_is_1970() {

@@ -104,11 +104,6 @@ fn every_corruption_mode_falls_back_to_a_clean_rebuild() {
             b[0] ^= 0xFF;
             b
         }),
-        ("unsupported version", {
-            let mut b = pristine.clone();
-            b[8] = 99;
-            b
-        }),
         ("flipped payload bit", {
             let mut b = pristine.clone();
             let last = b.len() - 1;
@@ -126,6 +121,7 @@ fn every_corruption_mode_falls_back_to_a_clean_rebuild() {
         store.write_cache(map, &bytes).expect("plant corruption");
         let cache = assert_recovers(&store, &baseline, &baseline_stats, what);
         assert_eq!(cache.corrupt, 1, "{what}: must be counted as corrupt");
+        assert_eq!(cache.stale, 0, "{what}: damage is not staleness");
         assert_eq!(cache.misses, 1, "{what}: rebuild is a miss");
         assert_eq!(cache.hits, 0, "{what}: no hit");
 
@@ -134,6 +130,20 @@ fn every_corruption_mode_falls_back_to_a_clean_rebuild() {
         assert_eq!(cache.hits, 1, "{what}: recovery must restore the cache");
         assert_eq!(cache.corrupt, 0);
     }
+
+    // An image written by a different format version is *stale*, not
+    // corrupt: it is structurally sound, this build just cannot read
+    // it. The distinction keeps "disk damage" alarms meaningful.
+    let mut old_version = pristine.clone();
+    old_version[8] = 99;
+    store.write_cache(map, &old_version).expect("plant version");
+    let cache = assert_recovers(&store, &baseline, &baseline_stats, "unsupported version");
+    assert_eq!(cache.stale, 1, "version mismatch must be counted stale");
+    assert_eq!(cache.corrupt, 0, "version mismatch is not corruption");
+    assert_eq!(cache.misses, 1, "version mismatch still rebuilds");
+    let cache = assert_recovers(&store, &baseline, &baseline_stats, "after version rebuild");
+    assert_eq!(cache.hits, 1, "rebuild must restore the cache");
+    assert_eq!(cache.stale, 0);
 
     std::fs::remove_dir_all(store.root()).expect("cleanup");
 }
